@@ -1,0 +1,115 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented glue
+
+//! Criterion benches — one per evaluation axis of the paper. Each bench
+//! runs the same experiment the corresponding table/figure builder runs
+//! (with a short window), so `cargo bench` exercises every reproduction
+//! code path and reports how long regenerating each artefact costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parastat::figures::{scaling, tables, validation};
+use parastat::{Budget, Experiment};
+use simcore::SimDuration;
+use vrsys::presets as headsets;
+use workloads::browse::BrowseScenario;
+use workloads::AppId;
+
+fn tiny() -> Budget {
+    Budget {
+        duration: SimDuration::from_secs(5),
+        iterations: 1,
+    }
+}
+
+/// Table II: one row (HandBrake — the paper's highest-signal app).
+fn bench_table2_row(c: &mut Criterion) {
+    c.bench_function("table2_row_handbrake", |b| {
+        b.iter(|| Experiment::new(AppId::Handbrake).budget(tiny()).run())
+    });
+}
+
+/// Table III / Fig. 8: the WinX GPU-offload experiment at one design point.
+fn bench_gpu_offload(c: &mut Criterion) {
+    c.bench_function("table3_point_winx_cuda_12", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::WinxHdConverter)
+                .budget(tiny())
+                .cuda(true)
+                .run()
+        })
+    });
+    c.bench_function("fig8_point_handbrake_nosmt_6", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::Handbrake)
+                .budget(tiny())
+                .logical(6, false)
+                .run()
+        })
+    });
+}
+
+/// Fig. 4–7: the core-scaling sweep at one point + a timeline build.
+fn bench_core_scaling(c: &mut Criterion) {
+    c.bench_function("fig4_point_photoshop_4cores", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::Photoshop)
+                .budget(tiny())
+                .logical(4, true)
+                .run()
+        })
+    });
+    c.bench_function("fig5_timeline_handbrake", |b| {
+        b.iter(|| scaling::timeline(AppId::Handbrake, tiny(), SimDuration::from_millis(100)))
+    });
+}
+
+/// Fig. 9/10: GPU-swap experiments.
+fn bench_gpu_swap(c: &mut Criterion) {
+    c.bench_function("fig10_point_wineth_gtx680", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::WinEthMiner)
+                .budget(tiny())
+                .gpu(simgpu::presets::gtx_680())
+                .run()
+        })
+    });
+}
+
+/// Fig. 11: one browsing cell.
+fn bench_browsing(c: &mut Criterion) {
+    c.bench_function("fig11_point_chrome_espn", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::Chrome)
+                .budget(tiny())
+                .browse(BrowseScenario::Espn)
+                .run()
+        })
+    });
+}
+
+/// Fig. 12/13: one VR headset cell.
+fn bench_vr(c: &mut Criterion) {
+    c.bench_function("fig12_point_cars2_vivepro", |b| {
+        b.iter(|| {
+            Experiment::new(AppId::ProjectCars2)
+                .budget(tiny())
+                .headset(headsets::vive_pro())
+                .run()
+        })
+    });
+}
+
+/// Table I + §III-D validation.
+fn bench_misc(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| b.iter(tables::table1));
+    c.bench_function("validation_automation", |b| {
+        b.iter(|| validation::automation_validation(tiny()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_row, bench_gpu_offload, bench_core_scaling,
+              bench_gpu_swap, bench_browsing, bench_vr, bench_misc
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented glue
+
+//! Criterion benches of the discrete-event simulator itself: how fast a
+//! simulated second runs for scheduler-heavy and GPU-heavy workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use machine::{Machine, MachineConfig};
+use simcore::SimDuration;
+use workloads::{build, AppId, WorkloadOpts};
+
+fn sim_one_second(app: AppId) {
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let opts = WorkloadOpts {
+        duration: SimDuration::from_secs(1),
+        ..WorkloadOpts::default()
+    };
+    build(app, &mut m, &opts);
+    m.run_for(SimDuration::from_secs(1));
+    let trace = m.into_trace();
+    assert!(!trace.events().is_empty());
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_second");
+    g.throughput(Throughput::Elements(1));
+    for app in [
+        AppId::EasyMiner,      // 13 always-ready threads: scheduler stress
+        AppId::Handbrake,      // fork-join pool with serialization
+        AppId::ProjectCars2,   // frame pacing + GPU pipelining
+        AppId::Chrome,         // multi-process, many timers
+    ] {
+        g.bench_function(format!("{app:?}"), |b| b.iter(|| sim_one_second(app)));
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // Analyzer throughput over a dense trace.
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let opts = WorkloadOpts {
+        duration: SimDuration::from_secs(10),
+        ..WorkloadOpts::default()
+    };
+    build(AppId::EasyMiner, &mut m, &opts);
+    m.run_for(SimDuration::from_secs(10));
+    let trace = m.into_trace();
+    let filter = trace.pids_by_name("easyminer");
+    let mut g = c.benchmark_group("trace_analysis");
+    g.throughput(Throughput::Elements(trace.events().len() as u64));
+    g.bench_function("concurrency_profile", |b| {
+        b.iter(|| etwtrace::analysis::concurrency(&trace, &filter))
+    });
+    g.bench_function("gpu_utilization", |b| {
+        b.iter(|| etwtrace::analysis::gpu_utilization(&trace, &filter, Some(0)))
+    });
+    g.bench_function("instantaneous_tlp_100ms", |b| {
+        b.iter(|| {
+            etwtrace::analysis::instantaneous_tlp(
+                &trace,
+                &filter,
+                SimDuration::from_millis(100),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator, bench_analysis
+}
+criterion_main!(benches);

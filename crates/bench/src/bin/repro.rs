@@ -1,0 +1,154 @@
+//! `repro` — regenerate the paper's tables and figures on the simulated rig.
+//!
+//! ```text
+//! repro <artefact>... [--budget quick|standard|paper] [--out DIR]
+//! repro all          [--budget …]
+//! ```
+//!
+//! Each artefact prints its report to stdout and writes it (plus CSV for the
+//! timeline figures) under `--out` (default `results/`).
+
+use parastat::figures::{
+    ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
+};
+use parastat::{paper, suite, Budget};
+use repro_bench::{budget, ARTEFACTS};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artefacts: Vec<String> = Vec::new();
+    let mut budget_name = "standard".to_string();
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                budget_name = it.next().unwrap_or_else(|| usage("--budget needs a value"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "all" => artefacts.extend(ARTEFACTS.iter().map(|s| s.to_string())),
+            other if ARTEFACTS.contains(&other) => artefacts.push(other.to_string()),
+            other => usage(&format!("unknown artefact `{other}`")),
+        }
+    }
+    if artefacts.is_empty() {
+        usage("no artefact given");
+    }
+    let b = budget(&budget_name);
+    fs::create_dir_all(&out_dir).expect("create output directory");
+    eprintln!(
+        "# budget: {} ({}s x {} iterations)",
+        budget_name,
+        b.duration.as_secs_f64(),
+        b.iterations
+    );
+
+    // Table II results are reused by figs 2 and 3.
+    let mut table2_cache: Option<Vec<suite::AppMeasurement>> = None;
+    let mut table2 = |b: Budget| -> Vec<suite::AppMeasurement> {
+        table2_cache
+            .get_or_insert_with(|| {
+                eprintln!("# running the 30-application suite…");
+                suite::run_table2(b)
+            })
+            .clone()
+    };
+
+    for artefact in artefacts {
+        eprintln!("# {artefact}");
+        match artefact.as_str() {
+            "table1" => emit(&out_dir, "table1", &tables::table1(), None),
+            "table2" => {
+                let results = table2(b);
+                emit(
+                    &out_dir,
+                    "table2",
+                    &suite::render_table2(&results),
+                    Some(suite::table2_csv(&results)),
+                );
+            }
+            "table3" => emit(&out_dir, "table3", &tables::table3(b).render(), None),
+            "fig2" => {
+                let results = table2(b);
+                emit(&out_dir, "fig2", &compare::fig2(&results).render(), None);
+            }
+            "fig3" => {
+                let results = table2(b);
+                emit(&out_dir, "fig3", &compare::fig3(&results).render(), None);
+            }
+            "fig4" => emit(&out_dir, "fig4", &scaling::fig4(b).render(), None),
+            "fig5" => emit_timeline(&out_dir, "fig5", &scaling::fig5(b)),
+            "fig6" => emit_timeline(&out_dir, "fig6", &scaling::fig6(b)),
+            "fig7" => emit_timeline(&out_dir, "fig7", &scaling::fig7(b)),
+            "fig8" => emit(&out_dir, "fig8", &smt::fig8(b).render(), None),
+            "fig9" => emit(&out_dir, "fig9", &gpu::fig9(b).render(), None),
+            "fig10" => emit(&out_dir, "fig10", &gpu::fig10(b).render(), None),
+            "fig11" => emit(&out_dir, "fig11", &web::fig11(b).render(), None),
+            "fig12" => emit(&out_dir, "fig12", &vr::fig12(b).render(), None),
+            "fig13" => emit(&out_dir, "fig13", &vr::fig13(b).render(), None),
+            "validation" => emit(
+                &out_dir,
+                "validation",
+                &validation::automation_validation(b).render(),
+                None,
+            ),
+            "discussion" => emit(&out_dir, "discussion", &discussion::discussion(b), None),
+            "power" => emit(
+                &out_dir,
+                "power",
+                &parastat::energy::browser_power(b).render(),
+                None,
+            ),
+            "ablation" => emit(&out_dir, "ablation", &ablation::ablation(b), None),
+            "stability" => emit(
+                &out_dir,
+                "stability",
+                &stability::stability(b, 5).render(),
+                None,
+            ),
+            _ => unreachable!("validated above"),
+        }
+    }
+    eprintln!(
+        "# done; paper says the average TLP is {:.1} across the suite",
+        paper::AVERAGE_TLP
+    );
+}
+
+fn emit_timeline(out_dir: &Path, name: &str, fig: &parastat::figures::scaling::Timeline) {
+    emit(out_dir, name, &fig.render(), Some(fig.to_csv()));
+    let labels: Vec<String> = fig
+        .runs
+        .iter()
+        .flat_map(|(n, ..)| [format!("tlp_{n}"), format!("gpu_{n}")])
+        .collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let gp = parastat::report::gnuplot_script(
+        &fig.title,
+        &format!("{name}.csv"),
+        &label_refs,
+        "TLP / GPU %",
+    );
+    fs::write(out_dir.join(format!("{name}.gp")), gp).expect("write gnuplot script");
+}
+
+fn emit(out_dir: &Path, name: &str, report: &str, csv: Option<String>) {
+    println!("{report}");
+    let md = out_dir.join(format!("{name}.md"));
+    fs::write(&md, report).expect("write report");
+    if let Some(csv) = csv {
+        let path = out_dir.join(format!("{name}.csv"));
+        fs::write(&path, csv).expect("write csv");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro <artefact>...|all [--budget quick|standard|paper] [--out DIR]");
+    eprintln!("artefacts: {}", ARTEFACTS.join(" "));
+    std::process::exit(2);
+}

@@ -1,0 +1,136 @@
+//! `tracetool` — the UIforETW + wpaexporter workflow as one CLI:
+//! record an application trace on the simulated rig, save it as a binary
+//! `.etl` file, and analyze or export it offline.
+//!
+//! ```text
+//! tracetool record <app-substring> <seconds> <out.etl>   # UIforETW step
+//! tracetool summary <trace.etl>                          # task-manager view
+//! tracetool tlp <trace.etl> <process-prefix>             # Equation 1
+//! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
+//! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
+//! ```
+
+use etwtrace::{analysis, etl, export, EtlTrace};
+use machine::{Machine, MachineConfig};
+use simcore::SimDuration;
+use std::fs::File;
+use std::io::BufWriter;
+use workloads::{build, AppId, WorkloadOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let [_, app, secs, out] = &args[..] else {
+                usage("record <app-substring> <seconds> <out.etl>");
+            };
+            let secs: u64 = secs.parse().unwrap_or_else(|_| usage("bad seconds"));
+            let app = resolve_app(app);
+            eprintln!("recording {} for {secs}s…", app.display_name());
+            let mut m = Machine::new(MachineConfig::study_rig(12, true));
+            let opts = WorkloadOpts {
+                duration: SimDuration::from_secs(secs),
+                ..WorkloadOpts::default()
+            };
+            build(app, &mut m, &opts);
+            m.run_for(SimDuration::from_secs(secs));
+            let trace = m.into_trace();
+            let file = File::create(out).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+            etl::write_etl(&trace, BufWriter::new(file)).expect("write trace");
+            eprintln!("{} events → {out}", trace.events().len());
+        }
+        Some("summary") => {
+            let trace = load(&args, 2);
+            println!(
+                "{:<26} {:>4} {:>8} {:>7} {:>7}",
+                "process", "pid", "threads", "CPU %", "GPU %"
+            );
+            for p in analysis::per_process_summary(&trace) {
+                println!(
+                    "{:<26} {:>4} {:>8} {:>7.1} {:>7.1}",
+                    p.name, p.pid, p.threads, p.cpu_percent, p.gpu_percent
+                );
+            }
+        }
+        Some("tlp") => {
+            let [_, path, prefix] = &args[..] else {
+                usage("tlp <trace.etl> <process-prefix>");
+            };
+            let trace = read(path);
+            let filter = trace.pids_by_name(prefix);
+            if filter.is_empty() {
+                usage(&format!("no process matches `{prefix}`"));
+            }
+            let profile = analysis::concurrency(&trace, &filter);
+            let util = analysis::gpu_utilization(&trace, &filter, None);
+            let lat = analysis::scheduling_latency(&trace, &filter);
+            let sched = analysis::schedule_stats(&trace, &filter);
+            println!("processes        : {}", filter.len());
+            println!("TLP              : {:.3}", profile.tlp());
+            println!("max concurrency  : {}", profile.max_concurrency());
+            println!("GPU utilization  : {:.2} %", util.percent());
+            println!("sched latency    : mean {:.0} µs, p95 {:.0} µs", lat.mean_us, lat.p95_us);
+            println!(
+                "run episodes     : {} (mean {:.2} ms, max {:.1} ms), {} migrations",
+                sched.episodes, sched.mean_slice_ms, sched.max_slice_ms, sched.migrations
+            );
+            let engines = analysis::gpu_engine_breakdown(&trace, &filter, 0);
+            if !engines.is_empty() {
+                let parts: Vec<String> = engines
+                    .iter()
+                    .map(|(e, f)| {
+                        let name = if *e == u32::MAX {
+                            "nvenc".to_string()
+                        } else {
+                            format!("queue{e}")
+                        };
+                        format!("{name} {:.1}%", f * 100.0)
+                    })
+                    .collect();
+                println!("GPU engines      : {}", parts.join(", "));
+            }
+            let c: Vec<String> = profile
+                .fractions()
+                .iter()
+                .map(|f| format!("{:.1}", f * 100.0))
+                .collect();
+            println!("c0..cN (%)       : {}", c.join(" "));
+        }
+        Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
+        Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
+        _ => usage("record|summary|tlp|export-cpu|export-gpu"),
+    }
+}
+
+fn load(args: &[String], arity: usize) -> EtlTrace {
+    if args.len() != arity {
+        usage("expected a trace file");
+    }
+    read(&args[1])
+}
+
+fn read(path: &str) -> EtlTrace {
+    let file = File::open(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    etl::read_etl(std::io::BufReader::new(file))
+        .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+}
+
+fn resolve_app(wanted: &str) -> AppId {
+    AppId::ALL
+        .iter()
+        .copied()
+        .find(|a| {
+            a.display_name()
+                .to_ascii_lowercase()
+                .contains(&wanted.to_ascii_lowercase())
+        })
+        .unwrap_or_else(|| usage(&format!("no app matches `{wanted}`")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("tracetool: {msg}");
+    eprintln!("usage: tracetool record <app> <secs> <out.etl>");
+    eprintln!("       tracetool summary|export-cpu|export-gpu <trace.etl>");
+    eprintln!("       tracetool tlp <trace.etl> <process-prefix>");
+    std::process::exit(2);
+}

@@ -1,0 +1,48 @@
+//! # repro-bench — the reproduction harness
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run --release -p repro-bench --bin repro
+//!   -- <artefact>`) regenerates every table and figure of the paper's
+//!   evaluation and writes reports under `results/`;
+//! * the **criterion benches** (`cargo bench -p repro-bench`) measure the
+//!   real hash kernels, the simulator's event throughput and one
+//!   representative experiment per evaluation axis.
+
+use parastat::Budget;
+use simcore::SimDuration;
+
+/// Budget selection shared by the binary and the benches.
+///
+/// `paper` matches the paper's protocol (3 × 60 s); `quick` is a smoke-run
+/// budget; `standard` balances fidelity and runtime for CI.
+pub fn budget(name: &str) -> Budget {
+    match name {
+        "paper" => Budget::paper(),
+        "quick" => Budget::quick(),
+        _ => Budget {
+            duration: SimDuration::from_secs(30),
+            iterations: 2,
+        },
+    }
+}
+
+/// The artefact names the `repro` binary accepts, in paper order.
+pub const ARTEFACTS: [&str; 20] = [
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "validation", "discussion", "ablation",
+    "power", "stability",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_parse() {
+        assert_eq!(budget("paper").iterations, 3);
+        assert_eq!(budget("quick").iterations, 1);
+        assert_eq!(budget("standard").iterations, 2);
+        assert_eq!(ARTEFACTS.len(), 20);
+    }
+}

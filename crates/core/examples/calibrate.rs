@@ -1,0 +1,44 @@
+//! Calibration harness: prints measured vs paper Table II for all 30 apps.
+//!
+//! Run with `cargo run --release -p parastat --example calibrate [secs]`.
+
+use parastat::experiment::Budget;
+use parastat::{paper, suite};
+use simcore::SimDuration;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let budget = Budget {
+        duration: SimDuration::from_secs(secs),
+        iterations: 1,
+    };
+    println!(
+        "{:<28} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7} | {:>4}",
+        "app", "tlp", "ref", "Δ", "gpu%", "ref", "Δ", "maxC"
+    );
+    let mut tlp_sum = 0.0;
+    for app in workloads::AppId::ALL {
+        let m = suite::table2_experiment(app, budget).run();
+        let r = paper::table2_row(app);
+        tlp_sum += m.tlp.mean();
+        println!(
+            "{:<28} {:>6.2} {:>6.1} {:>+7.2} | {:>6.1} {:>6.1} {:>+7.1} | {:>4}",
+            app.display_name(),
+            m.tlp.mean(),
+            r.tlp,
+            m.tlp.mean() - r.tlp,
+            m.gpu_percent.mean(),
+            r.gpu,
+            m.gpu_percent.mean() - r.gpu,
+            m.max_concurrency,
+        );
+    }
+    println!(
+        "\naverage TLP: measured {:.2}, paper {:.1}",
+        tlp_sum / 30.0,
+        paper::AVERAGE_TLP
+    );
+}

@@ -1,0 +1,349 @@
+//! Ablation studies for the design choices DESIGN.md calls out: the SMT
+//! contention factors, the scheduler quantum, the GPU queue discipline, the
+//! Kepler dispatch-gap model, and a "2018 software on the 2010 rig"
+//! counterfactual.
+
+use crate::experiment::{Budget, Experiment};
+use crate::report;
+use simcore::SimDuration;
+use simcpu::SmtModel;
+use workloads::AppId;
+
+/// SMT-factor sensitivity: how the Fig. 8 "SMT loses at equal logical-core
+/// count" result depends on the per-thread vector pair factor.
+#[derive(Clone, Debug)]
+pub struct SmtSweep {
+    /// `(vector_pair factor, rate with SMT, rate without SMT)` at 6 logical.
+    pub rows: Vec<(f64, f64, f64)>,
+}
+
+/// Sweeps the vector pair factor across plausible values.
+pub fn smt_factor_sweep(budget: Budget) -> SmtSweep {
+    let rows = [0.50f64, 0.57, 0.70, 0.85]
+        .iter()
+        .map(|&factor| {
+            let model = SmtModel {
+                vector_pair: factor,
+                ..SmtModel::default()
+            };
+            let rate = |smt: bool| {
+                Experiment::new(AppId::Handbrake)
+                    .budget(budget)
+                    .logical(6, smt)
+                    .smt_model(model.clone())
+                    .run()
+                    .transcode_fps
+                    .mean()
+            };
+            (factor, rate(true), rate(false))
+        })
+        .collect();
+    SmtSweep { rows }
+}
+
+impl SmtSweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(f, smt, no)| {
+                vec![
+                    format!("{f:.2}"),
+                    format!("{smt:.1}"),
+                    format!("{no:.1}"),
+                    format!("{:.0} %", 100.0 * (no - smt) / no),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablation — SMT vector-pair factor vs HandBrake @6 logical\n\n{}\n\
+             The paper's Fig. 8 direction (no-SMT wins at equal logical cores)\n\
+             holds for every plausible factor; the gap narrows as the factor\n\
+             approaches 1.0 (perfect SMT).\n",
+            report::markdown_table(
+                &["pair factor", "SMT (FPS)", "no SMT (FPS)", "gap"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Scheduler-quantum sensitivity: TLP and context-switch volume.
+#[derive(Clone, Debug)]
+pub struct QuantumSweep {
+    /// `(quantum ms, EasyMiner TLP, context switches per simulated second)`.
+    pub rows: Vec<(u64, f64, f64)>,
+}
+
+/// Sweeps the quantum across 1–20 ms.
+pub fn quantum_sweep(budget: Budget) -> QuantumSweep {
+    let rows = [1u64, 5, 20]
+        .iter()
+        .map(|&ms| {
+            let exp = Experiment::new(AppId::EasyMiner)
+                .budget(budget)
+                .quantum(SimDuration::from_millis(ms));
+            let run = exp.run_once(4);
+            let switches = run
+                .trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, etwtrace::TraceEvent::CSwitch { .. }))
+                .count() as f64
+                / run.trace.window().as_secs_f64();
+            (ms, run.tlp(), switches)
+        })
+        .collect();
+    QuantumSweep { rows }
+}
+
+impl QuantumSweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(ms, tlp, sw)| {
+                vec![format!("{ms}"), format!("{tlp:.2}"), format!("{sw:.0}")]
+            })
+            .collect();
+        format!(
+            "Ablation — scheduler quantum vs EasyMiner\n\n{}\n\
+             TLP is insensitive to the quantum (the miner saturates every core\n\
+             regardless); only the context-switch pattern changes, driven by how\n\
+             quickly the GPU feeder regains a core — supporting the 5 ms choice.\n",
+            report::markdown_table(&["quantum (ms)", "TLP", "cswitch/s"], &rows)
+        )
+    }
+}
+
+/// GPU queue-discipline ablation: PhoenixMiner's dual-queue structure.
+#[derive(Clone, Debug)]
+pub struct QueueAblation {
+    /// Mean outstanding packets with 1 and 2 queues.
+    pub outstanding: (f64, f64),
+    /// Utilization with 1 and 2 queues.
+    pub util: (f64, f64),
+}
+
+/// Compares the real PhoenixMiner model (2 queues) against a hypothetical
+/// single-queue variant built from the same blocks.
+pub fn queue_ablation(budget: Budget) -> QueueAblation {
+    use machine::Machine;
+    use simgpu::PacketKind;
+    use workloads::blocks::GpuPump;
+
+    let run = |queues: usize| -> (f64, f64) {
+        let exp = Experiment::new(AppId::PhoenixMiner).budget(budget);
+        let (mut m, _opts) = exp.build_machine(5);
+        let pid = Machine::add_process(&mut m, "phoenixminer.exe");
+        let gf = m.gpu_spec(0).effective_gflops(PacketKind::Ethash) * 0.025;
+        for q in 0..queues {
+            m.spawn(
+                pid,
+                &format!("pump-{q}"),
+                Box::new(GpuPump::new(q, PacketKind::Ethash, gf, 2)),
+            );
+        }
+        m.run_for(budget.duration);
+        let trace = m.into_trace();
+        let filter = trace.pids_by_name("phoenixminer");
+        let util = etwtrace::analysis::gpu_utilization(&trace, &filter, Some(0));
+        (util.mean_outstanding, util.busy_frac * 100.0)
+    };
+    let (out1, util1) = run(1);
+    let (out2, util2) = run(2);
+    QueueAblation {
+        outstanding: (out1, out2),
+        util: (util1, util2),
+    }
+}
+
+impl QueueAblation {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        format!(
+            "Ablation — PhoenixMiner hardware queues\n\n\
+             1 queue : {:.2} packets in flight, {:.1} % utilization\n\
+             2 queues: {:.2} packets in flight, {:.1} % utilization\n\
+             Only the dual-queue discipline reproduces Table II's footnote\n\
+             (\"two packets were simultaneously executing on the GPU\").\n",
+            self.outstanding.0, self.util.0, self.outstanding.1, self.util.1
+        )
+    }
+}
+
+/// Kepler dispatch-gap ablation: WinEth utilization on the real GTX 680
+/// model vs a hypothetical gap-free Kepler.
+#[derive(Clone, Debug)]
+pub struct KeplerGap {
+    /// Utilization with the gap model (the shipped GTX 680).
+    pub with_gap: f64,
+    /// Utilization on the hypothetical stall-free card.
+    pub without_gap: f64,
+    /// Utilization on the GTX 1080 Ti reference.
+    pub pascal: f64,
+}
+
+/// Quantifies how much of Fig. 10's WinEth outlier the dispatch-gap model
+/// contributes.
+pub fn kepler_gap_ablation(budget: Budget) -> KeplerGap {
+    let run = |gpu: simgpu::GpuSpec| {
+        Experiment::new(AppId::WinEthMiner)
+            .budget(budget)
+            .gpu(gpu)
+            .run()
+            .gpu_percent
+            .mean()
+    };
+    // A 680-shaped card on an architecture without the Ethash stalls.
+    let mut gapless = simgpu::presets::gtx_680();
+    gapless.name = "hypothetical stall-free GTX 680";
+    gapless.arch = simgpu::GpuArch::Pascal;
+    KeplerGap {
+        with_gap: run(simgpu::presets::gtx_680()),
+        without_gap: run(gapless),
+        pascal: run(simgpu::presets::gtx_1080_ti()),
+    }
+}
+
+impl KeplerGap {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        format!(
+            "Ablation — Kepler Ethash dispatch gaps (Fig. 10's WinEth outlier)\n\n\
+             GTX 680 (gap model)      : {:.1} %\n\
+             GTX 680 without the gaps : {:.1} %\n\
+             GTX 1080 Ti              : {:.1} %\n\
+             Removing the driver-stall model erases the outlier — the utilization\n\
+             deficit is entirely the \"Kepler is not optimized for mining\" effect.\n",
+            self.with_gap, self.without_gap, self.pascal
+        )
+    }
+}
+
+/// Counterfactual: 2018 software on Blake et al.'s 2010 rig.
+#[derive(Clone, Debug)]
+pub struct Rig2010 {
+    /// `(app, TLP on 2018 rig, TLP on 2010 rig)`.
+    pub rows: Vec<(AppId, f64, f64)>,
+}
+
+/// Runs a CPU-side subset of the suite on the dual-socket Xeon + GTX 285.
+pub fn rig_2010(budget: Budget) -> Rig2010 {
+    let apps = [AppId::Handbrake, AppId::Excel, AppId::QuickTime];
+    let rows = apps
+        .iter()
+        .map(|&app| {
+            let now = Experiment::new(app).budget(budget).run().tlp.mean();
+            let then = Experiment::new(app)
+                .budget(budget)
+                .cpu(simcpu::presets::blake_2010_xeon())
+                .gpu(simgpu::presets::gtx_285())
+                .run()
+                .tlp
+                .mean();
+            (app, now, then)
+        })
+        .collect();
+    Rig2010 { rows }
+}
+
+impl Rig2010 {
+    /// Renders the counterfactual.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(app, now, then)| {
+                vec![
+                    app.display_name().to_string(),
+                    format!("{now:.2}"),
+                    format!("{then:.2}"),
+                ]
+            })
+            .collect();
+        format!(
+            "Counterfactual — 2018 software on the 2010 rig (2×Xeon, GTX 285)\n\n{}\n\
+             Today's parallel software scales onto the older 16-thread machine —\n\
+             the 2010 study's low TLP was a software property, not a hardware one.\n",
+            report::markdown_table(
+                &["Application", "TLP (2018 rig)", "TLP (2010 rig)"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Runs all ablations and concatenates the reports.
+pub fn ablation(budget: Budget) -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}",
+        smt_factor_sweep(budget).render(),
+        quantum_sweep(budget).render(),
+        queue_ablation(budget).render(),
+        kepler_gap_ablation(budget).render(),
+        rig_2010(budget).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> Budget {
+        Budget {
+            duration: SimDuration::from_secs(8),
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn smt_direction_is_robust_across_factors() {
+        let sweep = smt_factor_sweep(budget());
+        for (f, smt, no) in &sweep.rows {
+            assert!(no > smt, "factor {f}: smt {smt} vs no-smt {no}");
+        }
+        // The gap shrinks as the factor grows.
+        let gap = |row: &(f64, f64, f64)| (row.2 - row.1) / row.2;
+        assert!(gap(&sweep.rows[0]) > gap(&sweep.rows[3]));
+        assert!(sweep.render().contains("pair factor"));
+    }
+
+    #[test]
+    fn quantum_choice_is_not_load_bearing() {
+        let sweep = quantum_sweep(budget());
+        let tlps: Vec<f64> = sweep.rows.iter().map(|&(_, t, _)| t).collect();
+        for t in &tlps {
+            assert!((t - tlps[0]).abs() < 0.3, "{tlps:?}");
+        }
+        // Shorter quanta → more context switches.
+        assert!(sweep.rows[0].2 > sweep.rows[2].2, "{sweep:?}");
+    }
+
+    #[test]
+    fn dual_queue_is_needed_for_the_phoenix_footnote() {
+        let q = queue_ablation(budget());
+        assert!(q.outstanding.1 > 1.9, "{q:?}");
+        assert!(q.outstanding.0 < 1.5, "{q:?}");
+        assert!(q.util.1 > 99.0);
+    }
+
+    #[test]
+    fn gap_model_is_the_whole_outlier() {
+        let k = kepler_gap_ablation(budget());
+        assert!(k.with_gap < k.without_gap - 5.0, "{k:?}");
+        assert!(k.without_gap > 99.0, "{k:?}");
+    }
+
+    #[test]
+    fn modern_software_scales_on_the_2010_rig() {
+        let r = rig_2010(budget());
+        let (_, now, then) = r.rows.iter().find(|(a, ..)| *a == AppId::Handbrake).unwrap();
+        // HandBrake spreads across the Xeon's 16 threads too.
+        assert!(*then > 7.0, "2010-rig TLP {then}");
+        assert!(*now > 7.0, "2018-rig TLP {now}");
+        assert!(r.render().contains("2010 rig"));
+    }
+}

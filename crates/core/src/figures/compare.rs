@@ -1,0 +1,249 @@
+//! Figures 2 and 3: the 18-year TLP and GPU-utilization comparisons.
+
+use crate::report;
+use crate::suite::AppMeasurement;
+use historical::{Metric, Provenance};
+use workloads::AppId;
+
+/// One bar of a comparison figure.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Label, e.g. `"HandBrake 1.1.0"`.
+    pub label: String,
+    /// Study year: 2000, 2010 or 2018.
+    pub year: u16,
+    /// Figure category group.
+    pub category: &'static str,
+    /// Metric value.
+    pub value: f64,
+    /// Whether this bar was measured here or digitized from prior work.
+    pub measured: bool,
+}
+
+/// A comparison figure (Fig. 2 or Fig. 3).
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Figure title.
+    pub title: &'static str,
+    /// All bars, grouped by category then year.
+    pub bars: Vec<Bar>,
+}
+
+/// Maps a 2018 app to its Figure 2/3 category label.
+fn fig_category(app: AppId) -> &'static str {
+    use workloads::Category::*;
+    match app.category() {
+        VrGaming => "VR Gaming",
+        ImageAuthoring => "Image Authoring",
+        Office => "Office",
+        MultimediaPlayback => "Media Playback",
+        VideoAuthoring | VideoTranscoding => "Video Authoring & Transcoding",
+        WebBrowsing => "Web Browsing",
+        CryptocurrencyMining => "Cryptocurrency Mining",
+        PersonalAssistant => "Personal Assistant",
+    }
+}
+
+/// Apps that appear in Figure 2's 2018 series (the figure excludes miners
+/// and assistants, which have no historical counterpart).
+fn fig2_apps() -> Vec<AppId> {
+    use AppId::*;
+    vec![
+        ArizonaSunshine,
+        Fallout4Vr,
+        RawData,
+        SeriousSamVr,
+        SpacePirateTrainer,
+        ProjectCars2,
+        Photoshop,
+        Maya3d,
+        AcrobatPro,
+        PowerPoint,
+        Word,
+        Excel,
+        QuickTime,
+        WindowsMediaPlayer,
+        PremierePro,
+        PowerDirector,
+        Handbrake,
+        Firefox,
+        Edge,
+    ]
+}
+
+/// Builds Figure 2 from suite results plus the historical datasets.
+pub fn fig2(results: &[AppMeasurement]) -> Comparison {
+    let mut bars = Vec::new();
+    for e in historical::entries(2000, Metric::Tlp) {
+        bars.push(Bar {
+            label: e.app.to_string(),
+            year: 2000,
+            category: e.category,
+            value: e.value,
+            measured: e.provenance != Provenance::DigitizedEstimate,
+        });
+    }
+    for e in historical::entries(2010, Metric::Tlp) {
+        bars.push(Bar {
+            label: e.app.to_string(),
+            year: 2010,
+            category: e.category,
+            value: e.value,
+            measured: false,
+        });
+    }
+    for r in results {
+        if fig2_apps().contains(&r.app()) {
+            bars.push(Bar {
+                label: r.app().display_name().to_string(),
+                year: 2018,
+                category: fig_category(r.app()),
+                value: r.measured.tlp.mean(),
+                measured: true,
+            });
+        }
+    }
+    Comparison {
+        title: "Fig. 2 — TLP of desktop applications, 2000 vs 2010 vs 2018",
+        bars,
+    }
+}
+
+/// Apps in Figure 3's 2018 series.
+fn fig3_apps() -> Vec<AppId> {
+    let mut apps = fig2_apps();
+    apps.extend([AppId::Autocad, AppId::VlcMediaPlayer, AppId::WinxHdConverter, AppId::Chrome]);
+    apps
+}
+
+/// Builds Figure 3 (GPU utilization, 2010 vs 2018).
+pub fn fig3(results: &[AppMeasurement]) -> Comparison {
+    let mut bars = Vec::new();
+    for e in historical::entries(2010, Metric::GpuUtilPercent) {
+        bars.push(Bar {
+            label: e.app.to_string(),
+            year: 2010,
+            category: e.category,
+            value: e.value,
+            measured: false,
+        });
+    }
+    for r in results {
+        if fig3_apps().contains(&r.app()) {
+            bars.push(Bar {
+                label: r.app().display_name().to_string(),
+                year: 2018,
+                category: fig_category(r.app()),
+                value: r.measured.gpu_percent.mean(),
+                measured: true,
+            });
+        }
+    }
+    Comparison {
+        title: "Fig. 3 — GPU utilization of desktop applications, 2010 vs 2018",
+        bars,
+    }
+}
+
+impl Comparison {
+    /// Bars of one year within one category.
+    pub fn bars_for(&self, category: &str, year: u16) -> Vec<&Bar> {
+        self.bars
+            .iter()
+            .filter(|b| b.category == category && b.year == year)
+            .collect()
+    }
+
+    /// Category-average value for a year, `None` if absent.
+    pub fn category_mean(&self, category: &str, year: u16) -> Option<f64> {
+        let bars = self.bars_for(category, year);
+        if bars.is_empty() {
+            return None;
+        }
+        Some(bars.iter().map(|b| b.value).sum::<f64>() / bars.len() as f64)
+    }
+
+    /// All category labels, in first-appearance order.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cats = Vec::new();
+        for b in &self.bars {
+            if !cats.contains(&b.category) {
+                cats.push(b.category);
+            }
+        }
+        cats
+    }
+
+    /// Renders grouped text bar charts.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        for cat in self.categories() {
+            out.push_str(&format!("\n## {cat}\n"));
+            let rows: Vec<(String, f64)> = self
+                .bars
+                .iter()
+                .filter(|b| b.category == cat)
+                .map(|b| {
+                    let tag = if b.measured { "" } else { " (digitized)" };
+                    (format!("{} [{}]{}", b.label, b.year, tag), b.value)
+                })
+                .collect();
+            out.push_str(&report::bar_chart(&rows, 40));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Budget;
+    use crate::paper;
+    use crate::suite;
+
+    fn mini_results() -> Vec<AppMeasurement> {
+        [AppId::Handbrake, AppId::QuickTime]
+            .iter()
+            .map(|&app| AppMeasurement {
+                measured: suite::table2_experiment(app, Budget::quick()).run(),
+                reference: paper::table2_row(app),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig2_combines_three_studies() {
+        let fig = fig2(&mini_results());
+        assert!(fig.bars.iter().any(|b| b.year == 2000));
+        assert!(fig.bars.iter().any(|b| b.year == 2010));
+        assert!(fig.bars.iter().any(|b| b.year == 2018 && b.measured));
+        let rendered = fig.render();
+        assert!(rendered.contains("digitized"));
+        assert!(rendered.contains("HandBrake"));
+    }
+
+    #[test]
+    fn handbrake_tlp_rises_across_studies() {
+        // §V-B: "applications that have shown a large amount of concurrency
+        // in previous work, e.g. HandBrake, see a further increase in TLP".
+        let fig = fig2(&mini_results());
+        let hist = historical::lookup("HandBrake 0.9", 2010, Metric::Tlp).unwrap();
+        let now = fig
+            .bars
+            .iter()
+            .find(|b| b.year == 2018 && b.label.contains("HandBrake"))
+            .unwrap()
+            .value;
+        assert!(now > hist, "2018 {now} vs 2010 {hist}");
+    }
+
+    #[test]
+    fn fig3_media_gpu_drops_since_2010() {
+        // §V-B: "all benchmarks, except for those in VR gaming, show lower
+        // GPU utilization" than 2010.
+        let fig = fig3(&mini_results());
+        let old = fig.category_mean("Media Playback", 2010).unwrap();
+        let new = fig.category_mean("Media Playback", 2018).unwrap();
+        assert!(new < old, "2018 {new} vs 2010 {old}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Figure 9 (Premiere Pro CUDA vs non-CUDA on both GPUs) and Figure 10
+//! (GPU utilization, GTX 680 vs GTX 1080 Ti).
+
+use crate::experiment::{Budget, Experiment};
+use crate::report;
+use simcore::{Series, SimDuration};
+use simgpu::GpuSpec;
+use workloads::AppId;
+
+/// One Premiere export configuration of Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Run {
+    /// GPU card name.
+    pub gpu: &'static str,
+    /// CUDA acceleration on.
+    pub cuda: bool,
+    /// Mean TLP of the run.
+    pub tlp: f64,
+    /// Mean GPU utilization (%).
+    pub util: f64,
+    /// GPU utilization over time.
+    pub util_series: Series,
+}
+
+/// Figure 9 result.
+#[derive(Clone, Debug)]
+pub struct Fig9 {
+    /// The four runs (2 GPUs × CUDA on/off).
+    pub runs: Vec<Fig9Run>,
+}
+
+/// Runs Fig. 9.
+pub fn fig9(budget: Budget) -> Fig9 {
+    let gpus: [(&'static str, GpuSpec); 2] = [
+        ("GTX 1080 Ti", simgpu::presets::gtx_1080_ti()),
+        ("GTX 680", simgpu::presets::gtx_680()),
+    ];
+    let mut runs = Vec::new();
+    for (gpu_name, gpu) in &gpus {
+        for cuda in [false, true] {
+            let exp = Experiment::new(AppId::PremierePro)
+                .budget(budget)
+                .gpu(gpu.clone())
+                .cuda(cuda);
+            let run = exp.run_once(11);
+            runs.push(Fig9Run {
+                gpu: gpu_name,
+                cuda,
+                tlp: run.tlp(),
+                util: run.gpu_util().percent(),
+                util_series: run.gpu_series(SimDuration::from_millis(250)),
+            });
+        }
+    }
+    Fig9 { runs }
+}
+
+impl Fig9 {
+    /// Finds a run.
+    pub fn run(&self, gpu: &str, cuda: bool) -> &Fig9Run {
+        self.runs
+            .iter()
+            .find(|r| r.gpu == gpu && r.cuda == cuda)
+            .expect("run measured")
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Fig. 9 — Premiere Pro export: GPU utilization, CUDA vs non-CUDA\n\n");
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:<12} {:<9} | TLP {:>4.1} | GPU {:>5.1}% | {}\n",
+                r.gpu,
+                if r.cuda { "CUDA" } else { "non-CUDA" },
+                r.tlp,
+                r.util,
+                report::sparkline(&r.util_series, 50)
+            ));
+        }
+        out
+    }
+}
+
+/// The applications of Fig. 10 ("applications that show substantial use of
+/// GPU"; VR needs better than a GTX 970, PhoenixMiner does not support the
+/// 680 — both excluded, as in the paper).
+pub const FIG10_APPS: [AppId; 6] = [
+    AppId::WindowsMediaPlayer,
+    AppId::VlcMediaPlayer,
+    AppId::WinxHdConverter,
+    AppId::BitcoinMiner,
+    AppId::EasyMiner,
+    AppId::WinEthMiner,
+];
+
+/// Figure 10 result: per app, utilization on both cards.
+#[derive(Clone, Debug)]
+pub struct Fig10 {
+    /// `(app, util on GTX 680, util on GTX 1080 Ti)`.
+    pub rows: Vec<(AppId, f64, f64)>,
+}
+
+/// Runs Fig. 10.
+pub fn fig10(budget: Budget) -> Fig10 {
+    let rows = FIG10_APPS
+        .iter()
+        .map(|&app| {
+            let mid = Experiment::new(app)
+                .budget(budget)
+                .gpu(simgpu::presets::gtx_680())
+                .run()
+                .gpu_percent
+                .mean();
+            let hi = Experiment::new(app)
+                .budget(budget)
+                .gpu(simgpu::presets::gtx_1080_ti())
+                .run()
+                .gpu_percent
+                .mean();
+            (app, mid, hi)
+        })
+        .collect();
+    Fig10 { rows }
+}
+
+impl Fig10 {
+    /// Utilizations for one app: `(GTX 680, GTX 1080 Ti)`.
+    pub fn row(&self, app: AppId) -> (f64, f64) {
+        self.rows
+            .iter()
+            .find(|(a, ..)| *a == app)
+            .map(|&(_, mid, hi)| (mid, hi))
+            .expect("app measured")
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(app, mid, hi)| {
+                vec![
+                    app.display_name().to_string(),
+                    format!("{mid:.1}"),
+                    format!("{hi:.1}"),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig. 10 — GPU utilization, GTX 680 vs GTX 1080 Ti\n\n{}",
+            report::markdown_table(&["Application", "GTX 680 (%)", "GTX 1080 Ti (%)"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> Budget {
+        Budget {
+            duration: SimDuration::from_secs(10),
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn fig9_cuda_raises_util_and_680_runs_hotter() {
+        let fig = fig9(Budget {
+            duration: SimDuration::from_secs(20),
+            iterations: 1,
+        });
+        // "Video export with CUDA support shows higher utilization and
+        // lower TLP than without CUDA, and the utilization is higher for
+        // GTX 680."
+        for gpu in ["GTX 1080 Ti", "GTX 680"] {
+            let on = fig.run(gpu, true);
+            let off = fig.run(gpu, false);
+            assert!(on.util > off.util, "{gpu}: {on:?} vs {off:?}");
+            assert!(on.tlp <= off.tlp + 0.15, "{gpu}: {on:?} vs {off:?}");
+        }
+        let hi = fig.run("GTX 1080 Ti", true);
+        let mid = fig.run("GTX 680", true);
+        assert!(mid.util > hi.util, "680 {} vs 1080 {}", mid.util, hi.util);
+        assert!(fig.render().contains("CUDA"));
+    }
+
+    #[test]
+    fn fig10_video_apps_hotter_on_680_but_wineth_cooler() {
+        let fig = fig10(budget());
+        // Video apps see "a notable improvement in utilization" on the 680…
+        for app in [AppId::WindowsMediaPlayer, AppId::VlcMediaPlayer, AppId::WinxHdConverter] {
+            let (mid, hi) = fig.row(app);
+            assert!(mid > hi, "{app:?}: 680 {mid} vs 1080 {hi}");
+        }
+        // …SHA miners saturate both…
+        for app in [AppId::BitcoinMiner, AppId::EasyMiner] {
+            let (mid, hi) = fig.row(app);
+            assert!(mid > 90.0 && hi > 90.0, "{app:?}: {mid} {hi}");
+        }
+        // …and WinEth is the outlier: lower utilization on Kepler.
+        let (mid, hi) = fig.row(AppId::WinEthMiner);
+        assert!(mid < hi, "wineth: 680 {mid} vs 1080 {hi}");
+        assert!(fig.render().contains("GTX 680"));
+    }
+}

@@ -1,0 +1,37 @@
+//! One builder per table and figure of the paper's evaluation.
+//!
+//! Every builder runs the necessary experiments on the simulated rig and
+//! returns a structured result with a `render()` method producing the
+//! text/markdown report (plus CSV where a figure is a time series). The
+//! `repro` binary in the bench crate calls these one-to-one:
+//!
+//! | Paper artefact | Builder |
+//! |---|---|
+//! | Table I | [`tables::table1`] |
+//! | Table II | [`crate::suite::run_table2`] |
+//! | Table III | [`tables::table3`] |
+//! | Fig. 2 (TLP 2000/2010/2018) | [`compare::fig2`] |
+//! | Fig. 3 (GPU 2010/2018) | [`compare::fig3`] |
+//! | Fig. 4 (TLP vs cores) | [`scaling::fig4`] |
+//! | Fig. 5–7 (timelines) | [`scaling::timeline`] |
+//! | Fig. 8 (SMT sweep) | [`smt::fig8`] |
+//! | Fig. 9 (Premiere CUDA) | [`gpu::fig9`] |
+//! | Fig. 10 (GPU swap) | [`gpu::fig10`] |
+//! | Fig. 11 (browsing) | [`web::fig11`] |
+//! | Fig. 12 (VR headsets) | [`vr::fig12`] |
+//! | Fig. 13 (VR FPS traces) | [`vr::fig13`] |
+//! | §III-D validation | [`validation::automation_validation`] |
+//! | §VII discussion what-ifs | [`discussion::discussion`] |
+//! | design-choice ablations | [`ablation::ablation`] |
+
+pub mod ablation;
+pub mod compare;
+pub mod discussion;
+pub mod gpu;
+pub mod scaling;
+pub mod smt;
+pub mod stability;
+pub mod tables;
+pub mod validation;
+pub mod vr;
+pub mod web;

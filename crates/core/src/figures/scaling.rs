@@ -1,0 +1,228 @@
+//! Figure 4 (TLP vs enabled logical cores) and the timeline Figures 5–7.
+
+use crate::experiment::{Budget, Experiment};
+use crate::report;
+use simcore::{Series, SimDuration};
+use workloads::AppId;
+
+/// The applications of Fig. 4 — "the application with the highest average
+/// TLP in each category".
+pub const FIG4_APPS: [AppId; 8] = [
+    AppId::EasyMiner,
+    AppId::Handbrake,
+    AppId::Photoshop,
+    AppId::ProjectCars2,
+    AppId::Chrome,
+    AppId::VlcMediaPlayer,
+    AppId::Excel,
+    AppId::Cortana,
+];
+
+/// The core counts of the §V-C1 sweep (logical CPUs, SMT enabled).
+pub const FIG4_CORES: [usize; 3] = [4, 8, 12];
+
+/// Fig. 4 result: TLP per app per core count.
+#[derive(Clone, Debug)]
+pub struct Fig4 {
+    /// `(app, [TLP at 4, 8, 12 logical])`.
+    pub rows: Vec<(AppId, Vec<f64>)>,
+}
+
+/// Runs the Fig. 4 sweep.
+pub fn fig4(budget: Budget) -> Fig4 {
+    let rows = FIG4_APPS
+        .iter()
+        .map(|&app| {
+            let tlps = FIG4_CORES
+                .iter()
+                .map(|&n| {
+                    Experiment::new(app)
+                        .budget(budget)
+                        .logical(n, true)
+                        .run()
+                        .tlp
+                        .mean()
+                })
+                .collect();
+            (app, tlps)
+        })
+        .collect();
+    Fig4 { rows }
+}
+
+impl Fig4 {
+    /// Renders the sweep as a table with the ideal-scaling row.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "Ideal".to_string(),
+            "4.0".to_string(),
+            "8.0".to_string(),
+            "12.0".to_string(),
+        ]];
+        for (app, tlps) in &self.rows {
+            let mut row = vec![app.display_name().to_string()];
+            row.extend(tlps.iter().map(|t| format!("{t:.1}")));
+            rows.push(row);
+        }
+        format!(
+            "Fig. 4 — TLP vs enabled logical cores (SMT on)\n\n{}",
+            report::markdown_table(&["Application", "4 cores", "8 cores", "12 cores"], &rows)
+        )
+    }
+}
+
+/// A timeline figure (Figs. 5, 6, 7): instantaneous TLP and GPU utilization
+/// for one app at several core counts.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// The app under test.
+    pub app: AppId,
+    /// Figure caption.
+    pub title: String,
+    /// `(logical cores, TLP series, GPU % series)`.
+    pub runs: Vec<(usize, Series, Series)>,
+    /// Busy duration per run (for the "runtime shrinks" observation).
+    pub busy_until: Vec<(usize, f64)>,
+}
+
+/// Builds one of the timeline figures. `bin` is the sampling window
+/// (100 ms reproduces the paper's plots).
+pub fn timeline(app: AppId, budget: Budget, bin: SimDuration) -> Timeline {
+    let mut runs = Vec::new();
+    let mut busy_until = Vec::new();
+    for &n in &FIG4_CORES {
+        let mut exp = Experiment::new(app).budget(budget).logical(n, true);
+        if app == AppId::Handbrake || app == AppId::WinxHdConverter {
+            // A finite clip so the runtime scales with core count (Fig. 5).
+            let frames = (budget.duration.as_secs_f64() * 18.0) as u64;
+            exp = exp.transcode_frames(frames);
+        }
+        let run = exp.run_once(7);
+        let tlp = run.tlp_series(bin);
+        let gpu = run.gpu_series(bin);
+        // Last instant with application activity = effective runtime.
+        let last_busy = tlp
+            .iter()
+            .filter(|&(_, v)| v > 0.0)
+            .map(|(t, _)| t.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        busy_until.push((n, last_busy));
+        runs.push((n, tlp, gpu));
+    }
+    Timeline {
+        app,
+        title: format!(
+            "Instantaneous TLP and GPU utilization over time — {}",
+            app.display_name()
+        ),
+        runs,
+        busy_until,
+    }
+}
+
+/// Fig. 5: HandBrake.
+pub fn fig5(budget: Budget) -> Timeline {
+    timeline(AppId::Handbrake, budget, SimDuration::from_millis(100))
+}
+
+/// Fig. 6: Photoshop.
+pub fn fig6(budget: Budget) -> Timeline {
+    timeline(AppId::Photoshop, budget, SimDuration::from_millis(100))
+}
+
+/// Fig. 7: Project CARS 2 on the Rift.
+pub fn fig7(budget: Budget) -> Timeline {
+    timeline(AppId::ProjectCars2, budget, SimDuration::from_millis(100))
+}
+
+impl Timeline {
+    /// Renders sparklines plus the per-core-count runtime summary.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n\n", self.title);
+        for (n, tlp, gpu) in &self.runs {
+            out.push_str(&format!(
+                "{n:>2} logical | TLP  max {:>4.1} | {}\n",
+                tlp.max().unwrap_or(0.0),
+                report::sparkline(tlp, 60)
+            ));
+            out.push_str(&format!(
+                "           | GPU% max {:>4.1} | {}\n",
+                gpu.max().unwrap_or(0.0),
+                report::sparkline(gpu, 60)
+            ));
+        }
+        out.push_str("\nActive runtime (s): ");
+        for (n, t) in &self.busy_until {
+            out.push_str(&format!("{n} cores → {t:.1}s  "));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// CSV of all series for external plotting.
+    pub fn to_csv(&self) -> String {
+        let labelled: Vec<(String, &Series)> = self
+            .runs
+            .iter()
+            .flat_map(|(n, tlp, gpu)| {
+                [
+                    (format!("tlp_{n}"), tlp),
+                    (format!("gpu_{n}"), gpu),
+                ]
+            })
+            .collect();
+        let borrowed: Vec<(&str, &Series)> = labelled
+            .iter()
+            .map(|(l, s)| (l.as_str(), *s))
+            .collect();
+        report::series_csv(&borrowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_easyminer_scales_linearly() {
+        let budget = Budget {
+            duration: SimDuration::from_secs(8),
+            iterations: 1,
+        };
+        let fig = fig4(budget);
+        let (_, em) = fig
+            .rows
+            .iter()
+            .find(|(a, _)| *a == AppId::EasyMiner)
+            .unwrap();
+        // §V-C1: "EasyMiner … leading to the TLP scaling linearly".
+        assert!((em[0] - 4.0).abs() < 0.5, "{em:?}");
+        assert!((em[1] - 8.0).abs() < 0.8, "{em:?}");
+        assert!((em[2] - 12.0).abs() < 1.2, "{em:?}");
+        // Low-parallelism apps stay flat.
+        let (_, vlc) = fig
+            .rows
+            .iter()
+            .find(|(a, _)| *a == AppId::VlcMediaPlayer)
+            .unwrap();
+        assert!(vlc[2] - vlc[0] < 1.0, "{vlc:?}");
+        assert!(fig.render().contains("Ideal"));
+    }
+
+    #[test]
+    fn fig5_handbrake_runtime_shrinks_with_cores() {
+        let budget = Budget {
+            duration: SimDuration::from_secs(20),
+            iterations: 1,
+        };
+        let fig = fig5(budget);
+        let t4 = fig.busy_until.iter().find(|(n, _)| *n == 4).unwrap().1;
+        let t12 = fig.busy_until.iter().find(|(n, _)| *n == 12).unwrap().1;
+        assert!(
+            t12 < t4 * 0.75,
+            "transcode must finish faster on 12 cores: {t4} vs {t12}"
+        );
+        assert!(!fig.to_csv().is_empty());
+        assert!(fig.render().contains("logical"));
+    }
+}

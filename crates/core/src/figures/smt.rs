@@ -1,0 +1,153 @@
+//! Figure 8: transcode rate and GPU utilization of HandBrake and WinX for
+//! 2–6 logical cores, SMT on/off, GTX 1080 Ti vs GTX 680.
+
+use crate::experiment::{Budget, Experiment};
+use crate::report;
+use simgpu::GpuSpec;
+use workloads::AppId;
+
+/// One measured Fig. 8 point.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    /// Transcoder.
+    pub app: AppId,
+    /// GPU card name.
+    pub gpu: &'static str,
+    /// SMT mask enabled.
+    pub smt: bool,
+    /// Enabled logical CPUs.
+    pub logical: usize,
+    /// Transcode rate in FPS.
+    pub rate: f64,
+    /// GPU utilization in percent.
+    pub util: f64,
+}
+
+/// Figure 8 result.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// All measured points.
+    pub points: Vec<Fig8Point>,
+}
+
+/// The logical-core counts of Fig. 8.
+pub const FIG8_CORES: [usize; 3] = [2, 4, 6];
+
+/// Runs the Fig. 8 sweep (2 apps × 2 GPUs × 2 SMT modes × 3 core counts).
+pub fn fig8(budget: Budget) -> Fig8 {
+    let gpus: [(&'static str, GpuSpec); 2] = [
+        ("GTX 1080 Ti", simgpu::presets::gtx_1080_ti()),
+        ("GTX 680", simgpu::presets::gtx_680()),
+    ];
+    let mut points = Vec::new();
+    for app in [AppId::Handbrake, AppId::WinxHdConverter] {
+        for (gpu_name, gpu) in &gpus {
+            for smt in [true, false] {
+                for &logical in &FIG8_CORES {
+                    let m = Experiment::new(app)
+                        .budget(budget)
+                        .logical(logical, smt)
+                        .gpu(gpu.clone())
+                        .run();
+                    points.push(Fig8Point {
+                        app,
+                        gpu: gpu_name,
+                        smt,
+                        logical,
+                        rate: m.transcode_fps.mean(),
+                        util: m.gpu_percent.mean(),
+                    });
+                }
+            }
+        }
+    }
+    Fig8 { points }
+}
+
+impl Fig8 {
+    /// Finds a point.
+    pub fn point(&self, app: AppId, gpu: &str, smt: bool, logical: usize) -> &Fig8Point {
+        self.points
+            .iter()
+            .find(|p| p.app == app && p.gpu == gpu && p.smt == smt && p.logical == logical)
+            .expect("point measured")
+    }
+
+    /// Renders both panels of Fig. 8.
+    pub fn render(&self) -> String {
+        let series_label = |p: &Fig8Point| {
+            format!(
+                "{}-{}{}",
+                if p.app == AppId::Handbrake { "HB" } else { "WinX" },
+                if p.gpu.contains("1080") { "1080" } else { "680" },
+                if p.smt { "-SMT" } else { "" }
+            )
+        };
+        let mut labels: Vec<String> = self.points.iter().map(&series_label).collect();
+        labels.dedup();
+        let mut rate_rows = Vec::new();
+        let mut util_rows = Vec::new();
+        for label in &labels {
+            let pts: Vec<&Fig8Point> = self
+                .points
+                .iter()
+                .filter(|p| &series_label(p) == label)
+                .collect();
+            rate_rows.push(
+                std::iter::once(label.clone())
+                    .chain(pts.iter().map(|p| format!("{:.1}", p.rate)))
+                    .collect::<Vec<String>>(),
+            );
+            util_rows.push(
+                std::iter::once(label.clone())
+                    .chain(pts.iter().map(|p| format!("{:.1}", p.util)))
+                    .collect::<Vec<String>>(),
+            );
+        }
+        format!(
+            "Fig. 8(a) — Transcode rate (FPS) vs logical cores\n\n{}\nFig. 8(b) — GPU utilization (%) vs logical cores\n\n{}",
+            report::markdown_table(&["Series", "2", "4", "6"], &rate_rows),
+            report::markdown_table(&["Series", "2", "4", "6"], &util_rows),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn fig8_reproduces_the_smt_and_gpu_shapes() {
+        let budget = Budget {
+            duration: SimDuration::from_secs(10),
+            iterations: 1,
+        };
+        let fig = fig8(budget);
+        assert_eq!(fig.points.len(), 24);
+        // (1) SMT lowers the transcode rate at equal logical-core counts.
+        for app in [AppId::Handbrake, AppId::WinxHdConverter] {
+            for n in [4usize, 6] {
+                let smt = fig.point(app, "GTX 1080 Ti", true, n).rate;
+                let no = fig.point(app, "GTX 1080 Ti", false, n).rate;
+                assert!(no > smt, "{app:?} @{n}: noSMT {no} vs SMT {smt}");
+            }
+        }
+        // (2) HandBrake's GPU utilization "stays below 1 %" on the study
+        // card (the slower 680 pays slightly more for the same previews).
+        for p in fig.points.iter().filter(|p| p.app == AppId::Handbrake) {
+            if p.gpu.contains("1080") {
+                assert!(p.util < 1.0, "{p:?}");
+            } else {
+                assert!(p.util < 2.0, "{p:?}");
+            }
+        }
+        // (3) WinX transcode rates are nearly GPU-independent, but the 680
+        // runs hotter to deliver them.
+        let hi = fig.point(AppId::WinxHdConverter, "GTX 1080 Ti", false, 6);
+        let mid = fig.point(AppId::WinxHdConverter, "GTX 680", false, 6);
+        assert!((hi.rate - mid.rate).abs() / hi.rate < 0.1, "{hi:?} {mid:?}");
+        assert!(mid.util > 1.8 * hi.util, "680 {} vs 1080 {}", mid.util, hi.util);
+        assert!(fig.render().contains("Fig. 8(a)"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Table I (system specs) and Table III (WinX GPU offloading).
+
+use crate::experiment::{Budget, Experiment};
+use crate::paper;
+use crate::report;
+use workloads::AppId;
+
+/// Renders Table I: the benchmarking system specification.
+pub fn table1() -> String {
+    let cpu = simcpu::presets::i7_8700k();
+    let gpu = simgpu::presets::gtx_1080_ti();
+    let rows = vec![
+        vec![
+            "CPU".to_string(),
+            format!(
+                "{}, {:.2}-{:.2} GHz, {} cores / {} threads",
+                cpu.name,
+                cpu.base_mhz / 1e3,
+                cpu.turbo_mhz / 1e3,
+                cpu.physical_cores,
+                cpu.logical_cpus()
+            ),
+        ],
+        vec![
+            "Graphics".to_string(),
+            format!(
+                "{}, {:.0} MHz, {} CUDA cores",
+                gpu.name, gpu.core_mhz, gpu.cuda_cores
+            ),
+        ],
+        vec!["RAM".to_string(), format!("{} GB DDR4", cpu.ram_gib)],
+        vec!["LLC".to_string(), format!("{} MB", cpu.llc_kib / 1024)],
+        vec![
+            "OS".to_string(),
+            "Simulated Windows-10-like scheduler (5 ms quantum, SMT-aware)".to_string(),
+        ],
+    ];
+    report::markdown_table(&["Component", "Specification"], &rows)
+}
+
+/// One measured row of Table III.
+#[derive(Clone, Debug)]
+pub struct MeasuredTable3Row {
+    /// Enabled logical CPUs.
+    pub logical: usize,
+    /// Measured transcode rate without / with the GPU (FPS).
+    pub rate: (f64, f64),
+    /// Measured TLP without / with the GPU.
+    pub tlp: (f64, f64),
+    /// Measured GPU utilization without / with the GPU (%).
+    pub util: (f64, f64),
+    /// The paper's row for comparison.
+    pub reference: paper::Table3Row,
+}
+
+/// Table III result.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// Rows for 4, 8, 12 logical CPUs.
+    pub rows: Vec<MeasuredTable3Row>,
+}
+
+/// Runs WinX at 4/8/12 logical CPUs with and without CUDA/NVENC.
+pub fn table3(budget: Budget) -> Table3 {
+    let rows = paper::TABLE3
+        .iter()
+        .map(|reference| {
+            let no_gpu = Experiment::new(AppId::WinxHdConverter)
+                .budget(budget)
+                .logical(reference.logical, true)
+                .cuda(false)
+                .run();
+            let gpu = Experiment::new(AppId::WinxHdConverter)
+                .budget(budget)
+                .logical(reference.logical, true)
+                .cuda(true)
+                .run();
+            MeasuredTable3Row {
+                logical: reference.logical,
+                rate: (no_gpu.transcode_fps.mean(), gpu.transcode_fps.mean()),
+                tlp: (no_gpu.tlp.mean(), gpu.tlp.mean()),
+                util: (no_gpu.gpu_percent.mean(), gpu.gpu_percent.mean()),
+                reference: *reference,
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Mean speed-up from enabling the GPU (the paper reports 143 %).
+    pub fn mean_speedup_pct(&self) -> f64 {
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| (r.rate.1 / r.rate.0 - 1.0) * 100.0)
+            .sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Renders the table, measured vs paper.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.logical.to_string(),
+                    format!("{:.1} / {:.1}", r.rate.0, r.rate.1),
+                    format!("{:.0} / {:.0}", r.reference.rate_no_gpu, r.reference.rate_gpu),
+                    format!("{:.1} / {:.1}", r.tlp.0, r.tlp.1),
+                    format!("{:.1} / {:.1}", r.reference.tlp_no_gpu, r.reference.tlp_gpu),
+                    format!("{:.1} / {:.1}", r.util.0, r.util.1),
+                    format!("{:.1} / {:.1}", r.reference.util_no_gpu, r.reference.util_gpu),
+                ]
+            })
+            .collect();
+        let table = report::markdown_table(
+            &[
+                "Logical CPUs",
+                "Rate noGPU/GPU (meas.)",
+                "Rate (paper)",
+                "TLP noGPU/GPU (meas.)",
+                "TLP (paper)",
+                "GPU% noGPU/GPU (meas.)",
+                "GPU% (paper)",
+            ],
+            &rows,
+        );
+        format!(
+            "Table III — WinX transcode with and without CUDA/NVENC\n\n{table}\nMean GPU speed-up: {:.0} % (paper's Table III: {:.0} %, stated as \"143 %\")\n",
+            self.mean_speedup_pct(),
+            paper::WINX_CUDA_SPEEDUP_PCT
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_the_rig() {
+        let t = table1();
+        assert!(t.contains("i7-8700K"));
+        assert!(t.contains("GTX 1080 Ti"));
+        assert!(t.contains("3584"));
+    }
+
+    #[test]
+    fn table3_directions_match_paper() {
+        let t3 = table3(Budget::quick());
+        assert_eq!(t3.rows.len(), 3);
+        for r in &t3.rows {
+            assert!(r.rate.1 > r.rate.0, "GPU must raise rate: {r:?}");
+            assert!(r.tlp.1 < r.tlp.0 + 0.2, "GPU must not raise TLP: {r:?}");
+            assert!(r.util.1 > r.util.0, "GPU must raise util: {r:?}");
+        }
+        // Rate grows with cores in both columns.
+        assert!(t3.rows[2].rate.0 > t3.rows[0].rate.0);
+        assert!(t3.rows[2].rate.1 > t3.rows[0].rate.1);
+        let rendered = t3.render();
+        assert!(rendered.contains("Table III"));
+    }
+}

@@ -1,0 +1,99 @@
+//! §III-D: validating that AutoIt automation does not distort results.
+//!
+//! The paper compares an application with heavy user interaction
+//! (PowerDirector, TLP) and one with non-trivial GPU utilization (VLC, GPU)
+//! under manual vs automated input: "The TLP for manual testing was 3.3 %
+//! smaller than with automatic testing. The GPU utilization is 2.4 % lower
+//! with AutoIt than when performed manually."
+
+use crate::experiment::{Budget, Experiment};
+use crate::paper;
+use workloads::AppId;
+
+/// Automation-validation result.
+#[derive(Clone, Debug)]
+pub struct Validation {
+    /// PowerDirector TLP: (automated, manual).
+    pub tlp: (f64, f64),
+    /// VLC GPU utilization %: (automated, manual).
+    pub gpu: (f64, f64),
+}
+
+/// Runs the validation experiment.
+pub fn automation_validation(budget: Budget) -> Validation {
+    let tlp_auto = Experiment::new(AppId::PowerDirector)
+        .budget(budget)
+        .run()
+        .tlp
+        .mean();
+    let tlp_manual = Experiment::new(AppId::PowerDirector)
+        .budget(budget)
+        .manual_input()
+        .run()
+        .tlp
+        .mean();
+    let gpu_auto = Experiment::new(AppId::VlcMediaPlayer)
+        .budget(budget)
+        .run()
+        .gpu_percent
+        .mean();
+    let gpu_manual = Experiment::new(AppId::VlcMediaPlayer)
+        .budget(budget)
+        .manual_input()
+        .run()
+        .gpu_percent
+        .mean();
+    Validation {
+        tlp: (tlp_auto, tlp_manual),
+        gpu: (gpu_auto, gpu_manual),
+    }
+}
+
+impl Validation {
+    /// Relative TLP difference in percent (positive = manual smaller).
+    pub fn tlp_delta_pct(&self) -> f64 {
+        (self.tlp.0 - self.tlp.1) / self.tlp.0 * 100.0
+    }
+
+    /// Relative GPU difference in percent.
+    pub fn gpu_delta_pct(&self) -> f64 {
+        ((self.gpu.0 - self.gpu.1) / self.gpu.0.max(1e-9) * 100.0).abs()
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "§III-D automation validation\n\n\
+             PowerDirector TLP : automated {:.2}, manual {:.2} (Δ {:.1} %; paper: {:.1} %)\n\
+             VLC GPU util     : automated {:.1} %, manual {:.1} % (Δ {:.1} %; paper: {:.1} %)\n\
+             Conclusion: automation does not significantly distort the results.\n",
+            self.tlp.0,
+            self.tlp.1,
+            self.tlp_delta_pct(),
+            paper::VALIDATION_TLP_DELTA_PCT,
+            self.gpu.0,
+            self.gpu.1,
+            self.gpu_delta_pct(),
+            paper::VALIDATION_GPU_DELTA_PCT,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn automation_does_not_distort_results() {
+        let budget = Budget {
+            duration: SimDuration::from_secs(30),
+            iterations: 2,
+        };
+        let v = automation_validation(budget);
+        // The deltas must stay small (the paper's point): under 12 %.
+        assert!(v.tlp_delta_pct().abs() < 12.0, "TLP Δ {}", v.tlp_delta_pct());
+        assert!(v.gpu_delta_pct().abs() < 12.0, "GPU Δ {}", v.gpu_delta_pct());
+        assert!(v.render().contains("automation"));
+    }
+}

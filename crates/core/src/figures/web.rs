@@ -1,0 +1,147 @@
+//! Figure 11: browser TLP and GPU utilization across the four browsing
+//! tests (multi-tab vs single-tab; ESPN vs Wikipedia).
+
+use crate::experiment::{Budget, Experiment};
+use crate::report;
+use workloads::browse::BrowseScenario;
+use workloads::AppId;
+
+/// The browsers of §V-E.
+pub const BROWSERS: [AppId; 3] = [AppId::Chrome, AppId::Firefox, AppId::Edge];
+
+/// The four scenarios of Fig. 11.
+pub const SCENARIOS: [BrowseScenario; 4] = [
+    BrowseScenario::MultiTab,
+    BrowseScenario::SingleTab,
+    BrowseScenario::Espn,
+    BrowseScenario::Wiki,
+];
+
+/// One measured cell of Fig. 11.
+#[derive(Clone, Debug)]
+pub struct Fig11Cell {
+    /// Browser.
+    pub app: AppId,
+    /// Scenario.
+    pub scenario: BrowseScenario,
+    /// Mean TLP.
+    pub tlp: f64,
+    /// Mean GPU utilization (%).
+    pub util: f64,
+    /// Processes the browser spawned.
+    pub processes: usize,
+}
+
+/// Figure 11 result.
+#[derive(Clone, Debug)]
+pub struct Fig11 {
+    /// All 12 cells.
+    pub cells: Vec<Fig11Cell>,
+}
+
+/// Runs Fig. 11 (3 browsers × 4 scenarios).
+pub fn fig11(budget: Budget) -> Fig11 {
+    let mut cells = Vec::new();
+    for app in BROWSERS {
+        for scenario in SCENARIOS {
+            let exp = Experiment::new(app).budget(budget).browse(scenario);
+            let m = exp.run();
+            let processes = exp.run_once(3).filter.len();
+            cells.push(Fig11Cell {
+                app,
+                scenario,
+                tlp: m.tlp.mean(),
+                util: m.gpu_percent.mean(),
+                processes,
+            });
+        }
+    }
+    Fig11 { cells }
+}
+
+impl Fig11 {
+    /// Finds a cell.
+    pub fn cell(&self, app: AppId, scenario: BrowseScenario) -> &Fig11Cell {
+        self.cells
+            .iter()
+            .find(|c| c.app == app && c.scenario == scenario)
+            .expect("cell measured")
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for app in BROWSERS {
+            let mut row = vec![app.display_name().to_string()];
+            for scenario in SCENARIOS {
+                let c = self.cell(app, scenario);
+                row.push(format!("{:.2} / {:.1}%", c.tlp, c.util));
+            }
+            row.push(
+                self.cell(app, BrowseScenario::MultiTab)
+                    .processes
+                    .to_string(),
+            );
+            rows.push(row);
+        }
+        format!(
+            "Fig. 11 — Browsing tests: TLP / GPU utilization\n\n{}",
+            report::markdown_table(
+                &[
+                    "Browser",
+                    "Multi-tab",
+                    "Single-tab",
+                    "ESPN",
+                    "Wikipedia",
+                    "Processes (multi)",
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn fig11_reproduces_the_browsing_findings() {
+        let budget = Budget {
+            duration: SimDuration::from_secs(30),
+            iterations: 1,
+        };
+        let fig = fig11(budget);
+        assert_eq!(fig.cells.len(), 12);
+        for app in BROWSERS {
+            // "The tests using multiple tabs have similar or higher TLP
+            // compared to those using a single tab."
+            let multi = fig.cell(app, BrowseScenario::MultiTab);
+            let single = fig.cell(app, BrowseScenario::SingleTab);
+            assert!(
+                multi.tlp >= single.tlp - 0.1,
+                "{app:?}: multi {} vs single {}",
+                multi.tlp,
+                single.tlp
+            );
+            // "All web browsers use more GPU while rendering ESPN."
+            let espn = fig.cell(app, BrowseScenario::Espn);
+            let wiki = fig.cell(app, BrowseScenario::Wiki);
+            assert!(espn.util > wiki.util, "{app:?}");
+        }
+        // "Chrome attains the highest TLP" on ESPN.
+        let chrome = fig.cell(AppId::Chrome, BrowseScenario::Espn).tlp;
+        for other in [AppId::Firefox, AppId::Edge] {
+            assert!(
+                chrome >= fig.cell(other, BrowseScenario::Espn).tlp - 0.05,
+                "chrome {chrome} vs {other:?}"
+            );
+        }
+        // Chrome spawns the most processes.
+        let cp = fig.cell(AppId::Chrome, BrowseScenario::MultiTab).processes;
+        let fp = fig.cell(AppId::Firefox, BrowseScenario::MultiTab).processes;
+        assert!(cp > fp, "chrome {cp} vs firefox {fp}");
+        assert!(fig.render().contains("ESPN"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Text rendering helpers: markdown tables, heat-map shades, sparklines
+//! and CSV dumps used by every figure builder.
+
+use simcore::Series;
+
+/// Maps a fraction in `[0,1]` to a heat-map shade, like Table II's cells.
+pub fn heat_shade(frac: f64) -> char {
+    match frac {
+        f if f <= 0.0005 => ' ',
+        f if f < 0.02 => '·',
+        f if f < 0.10 => '░',
+        f if f < 0.30 => '▒',
+        f if f < 0.60 => '▓',
+        _ => '█',
+    }
+}
+
+/// Renders a heat-map row for `c_0..c_n` fractions.
+pub fn heat_row(fractions: &[f64]) -> String {
+    fractions.iter().map(|&f| heat_shade(f)).collect()
+}
+
+/// Renders a markdown table.
+///
+/// # Panics
+/// Panics if any row's length differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact unicode sparkline of a series (for timeline figures in text).
+pub fn sparkline(series: &Series, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let thinned = series.thin(width);
+    let max = thinned.max().unwrap_or(0.0);
+    if max <= 0.0 {
+        return BARS[0].to_string().repeat(thinned.len());
+    }
+    thinned
+        .iter()
+        .map(|(_, v)| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// CSV dump of one or more aligned series: `time_s,<label>…` — the raw data
+/// behind every figure, for external plotting.
+pub fn series_csv(series: &[(&str, &Series)]) -> String {
+    let mut out = String::from("time_s");
+    for (label, _) in series {
+        out.push(',');
+        out.push_str(label);
+    }
+    out.push('\n');
+    let rows = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let t = series
+            .iter()
+            .find_map(|(_, s)| s.points().get(i).map(|&(t, _)| t))
+            .map(|t| t.as_secs_f64())
+            .unwrap_or_default();
+        out.push_str(&format!("{t:.3}"));
+        for (_, s) in series {
+            match s.points().get(i) {
+                Some(&(_, v)) => out.push_str(&format!(",{v:.4}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a mean ± σ pair the way Table II prints them.
+pub fn mean_sigma(mean: f64, sigma: f64) -> String {
+    format!("{mean:.1} ± {sigma:.2}")
+}
+
+/// A labelled bar chart in text (for the comparison figures).
+pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let w = if max > 0.0 {
+            ((value / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} {:>7.1} {}\n",
+            value,
+            "█".repeat(w)
+        ));
+    }
+    out
+}
+
+/// Emits a gnuplot script that plots the given `(label, series)` pairs from
+/// a CSV produced by [`series_csv`] — paste both into files and run
+/// `gnuplot fig.gp` to get a publication-style figure.
+pub fn gnuplot_script(title: &str, csv_path: &str, labels: &[&str], y_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str("set datafile separator ','\n");
+    out.push_str(&format!("set title {title:?}\n"));
+    out.push_str("set xlabel 'time (s)'\n");
+    out.push_str(&format!("set ylabel {y_label:?}\n"));
+    out.push_str("set key outside\nset grid\n");
+    out.push_str("plot ");
+    let plots: Vec<String> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            format!(
+                "{csv_path:?} using 1:{} with lines title {label:?}",
+                i + 2
+            )
+        })
+        .collect();
+    out.push_str(&plots.join(", \\\n     "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    #[test]
+    fn shades_are_monotone() {
+        let fracs = [0.0, 0.01, 0.05, 0.2, 0.5, 0.9];
+        let shades: Vec<char> = fracs.iter().map(|&f| heat_shade(f)).collect();
+        assert_eq!(shades, vec![' ', '·', '░', '▒', '▓', '█']);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["App", "TLP"],
+            &[vec!["HandBrake".into(), "9.4".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("App"));
+        assert!(lines[2].contains("HandBrake"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn markdown_table_checks_width()
+    {
+        markdown_table(&["A", "B"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s: Series = (0..8)
+            .map(|i| (SimTime::from_nanos(i), i as f64))
+            .collect();
+        let line = sparkline(&s, 8);
+        assert_eq!(line.chars().count(), 8);
+        assert!(line.ends_with('█'));
+        assert!(line.starts_with('▁'));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s: Series = (0..3)
+            .map(|i| (SimTime::from_nanos(i * 1_000_000_000), i as f64))
+            .collect();
+        let csv = series_csv(&[("tlp", &s)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,tlp");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("1.000,1"));
+    }
+
+    #[test]
+    fn gnuplot_script_references_all_columns() {
+        let gp = gnuplot_script("Fig. 5", "fig5.csv", &["tlp_4", "tlp_12"], "TLP");
+        assert!(gp.contains("using 1:2"));
+        assert!(gp.contains("using 1:3"));
+        assert!(gp.contains("\"Fig. 5\""));
+        assert!(gp.contains("fig5.csv"));
+    }
+
+    #[test]
+    fn bar_chart_renders() {
+        let chart = bar_chart(&[("a".into(), 1.0), ("bb".into(), 2.0)], 10);
+        assert!(chart.contains("██████████"));
+        assert!(chart.lines().count() == 2);
+    }
+}

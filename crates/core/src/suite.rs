@@ -1,0 +1,224 @@
+//! The full Table II sweep: all thirty applications on the study rig.
+
+use crate::experiment::{Budget, Experiment, Measurement};
+use crate::paper;
+use crate::report;
+use workloads::AppId;
+
+/// One application's measurement next to its paper reference.
+#[derive(Clone, Debug)]
+pub struct AppMeasurement {
+    /// The measurement from the simulated rig.
+    pub measured: Measurement,
+    /// The paper's Table II row.
+    pub reference: &'static paper::Table2Row,
+}
+
+impl AppMeasurement {
+    /// The application.
+    pub fn app(&self) -> AppId {
+        self.measured.app
+    }
+}
+
+/// Builds the Table II experiment for one application. Premiere Pro's
+/// Table II row was captured without CUDA (its 0.6 % GPU column; the CUDA
+/// comparison lives in Fig. 9), so its experiment disables CUDA here.
+pub fn table2_experiment(app: AppId, budget: Budget) -> Experiment {
+    let exp = Experiment::new(app).budget(budget);
+    match app {
+        AppId::PremierePro => exp.cuda(false),
+        _ => exp,
+    }
+}
+
+/// Runs the whole suite (30 applications).
+pub fn run_table2(budget: Budget) -> Vec<AppMeasurement> {
+    AppId::ALL
+        .iter()
+        .map(|&app| AppMeasurement {
+            measured: table2_experiment(app, budget).run(),
+            reference: paper::table2_row(app),
+        })
+        .collect()
+}
+
+/// Average measured TLP across the suite (the paper's headline 3.1).
+pub fn average_tlp(results: &[AppMeasurement]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.measured.tlp.mean()).sum::<f64>() / results.len() as f64
+}
+
+/// Per-category averages — Table II's last two columns.
+///
+/// Returns `(category, mean TLP, mean GPU %)` in Table II order, covering
+/// only the categories present in `results`.
+pub fn category_averages(
+    results: &[AppMeasurement],
+) -> Vec<(workloads::Category, f64, f64)> {
+    workloads::Category::ALL
+        .iter()
+        .filter_map(|&cat| {
+            let rows: Vec<&AppMeasurement> = results
+                .iter()
+                .filter(|r| r.app().category() == cat)
+                .collect();
+            if rows.is_empty() {
+                return None;
+            }
+            let n = rows.len() as f64;
+            let tlp = rows.iter().map(|r| r.measured.tlp.mean()).sum::<f64>() / n;
+            let gpu = rows.iter().map(|r| r.measured.gpu_percent.mean()).sum::<f64>() / n;
+            Some((cat, tlp, gpu))
+        })
+        .collect()
+}
+
+/// Renders the suite as the Table II report: heat-map, TLP and GPU columns,
+/// measured vs paper.
+pub fn render_table2(results: &[AppMeasurement]) -> String {
+    let mut rows = Vec::new();
+    for r in results {
+        let m = &r.measured;
+        rows.push(vec![
+            m.app.category().label().to_string(),
+            m.app.display_name().to_string(),
+            report::heat_row(&m.fractions()),
+            report::mean_sigma(m.tlp.mean(), m.tlp.population_std_dev()),
+            format!("{:.1}", r.reference.tlp),
+            report::mean_sigma(m.gpu_percent.mean(), m.gpu_percent.population_std_dev()),
+            format!("{:.1}", r.reference.gpu),
+        ]);
+    }
+    let table = report::markdown_table(
+        &[
+            "Category",
+            "Application",
+            "C0..C12",
+            "TLP (measured)",
+            "TLP (paper)",
+            "GPU % (measured)",
+            "GPU % (paper)",
+        ],
+        &rows,
+    );
+    let mut cat_rows = Vec::new();
+    for (cat, tlp, gpu) in category_averages(results) {
+        let paper_tlp = category_paper_mean(results, cat, |r| r.tlp);
+        let paper_gpu = category_paper_mean(results, cat, |r| r.gpu);
+        cat_rows.push(vec![
+            cat.label().to_string(),
+            format!("{tlp:.1}"),
+            format!("{paper_tlp:.1}"),
+            format!("{gpu:.1}"),
+            format!("{paper_gpu:.1}"),
+        ]);
+    }
+    let cats = report::markdown_table(
+        &[
+            "Category",
+            "Avg TLP (measured)",
+            "Avg TLP (paper)",
+            "Avg GPU % (measured)",
+            "Avg GPU % (paper)",
+        ],
+        &cat_rows,
+    );
+    format!(
+        "{table}\n{cats}\nAverage TLP: measured {:.2}, paper {:.1}\n",
+        average_tlp(results),
+        paper::AVERAGE_TLP
+    )
+}
+
+fn category_paper_mean(
+    results: &[AppMeasurement],
+    cat: workloads::Category,
+    metric: impl Fn(&paper::Table2Row) -> f64,
+) -> f64 {
+    let rows: Vec<f64> = results
+        .iter()
+        .filter(|r| r.app().category() == cat)
+        .map(|r| metric(r.reference))
+        .collect();
+    rows.iter().sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Dumps the suite as machine-readable CSV (one row per application):
+/// measured and paper TLP/GPU plus the full `c0..c12` distribution.
+pub fn table2_csv(results: &[AppMeasurement]) -> String {
+    let mut out = String::from(
+        "app,category,tlp_measured,tlp_sigma,tlp_paper,gpu_measured,gpu_sigma,gpu_paper,max_concurrency",
+    );
+    let n = results
+        .first()
+        .map_or(12, |r| r.measured.n_logical);
+    for i in 0..=n {
+        out.push_str(&format!(",c{i}"));
+    }
+    out.push('\n');
+    for r in results {
+        let m = &r.measured;
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.1},{:.3},{:.3},{:.1},{}",
+            m.app.display_name().replace(',', ";"),
+            m.app.category().label(),
+            m.tlp.mean(),
+            m.tlp.population_std_dev(),
+            r.reference.tlp,
+            m.gpu_percent.mean(),
+            m.gpu_percent.population_std_dev(),
+            r.reference.gpu,
+            m.max_concurrency,
+        ));
+        for c in m.fractions() {
+            out.push_str(&format!(",{c:.5}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_overrides_premiere_cuda() {
+        let e = table2_experiment(AppId::PremierePro, Budget::quick());
+        assert!(!e.opts.cuda);
+        let e = table2_experiment(AppId::WinxHdConverter, Budget::quick());
+        assert!(e.opts.cuda);
+    }
+
+    #[test]
+    fn small_subset_renders() {
+        let budget = Budget::quick();
+        let results: Vec<AppMeasurement> = [AppId::Handbrake, AppId::Braina]
+            .iter()
+            .map(|&app| AppMeasurement {
+                measured: table2_experiment(app, budget).run(),
+                reference: paper::table2_row(app),
+            })
+            .collect();
+        let report = render_table2(&results);
+        assert!(report.contains("HandBrake"));
+        assert!(report.contains("Braina"));
+        assert!(report.contains("Average TLP"));
+        let csv = table2_csv(&results);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("app,category,tlp_measured"));
+        assert!(lines[0].ends_with(",c12"));
+        assert!(lines[1].contains("Video Transcoding"));
+        // Category averages cover exactly the categories present.
+        let cats = category_averages(&results);
+        assert_eq!(cats.len(), 2);
+        let (cat, tlp, _) = cats[0];
+        assert_eq!(cat, workloads::Category::VideoTranscoding);
+        assert!(tlp > 7.0);
+        assert!(report.contains("Avg TLP"));
+    }
+}

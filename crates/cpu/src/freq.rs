@@ -1,0 +1,106 @@
+//! Turbo-frequency model: effective clock as a function of how many physical
+//! cores are active, plus the ops/second speed function used by the
+//! scheduler's compute-segment integration.
+
+use crate::smt::{ComputeKind, SmtModel};
+use crate::CpuSpec;
+
+/// Reference ops per second: one op = one cycle of scalar IPC-1 work at the
+/// study rig's 3.7 GHz base clock. `machine::Work::busy_ms(1.0)` therefore
+/// means "about 1 ms of single-thread CPU time on the paper's machine".
+pub const REF_OPS_PER_SEC: f64 = 3.7e9;
+
+/// Frequency scaling model (Intel Turbo Boost-style).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FreqModel;
+
+impl FreqModel {
+    /// Effective clock in MHz when `active_physical` cores have work.
+    ///
+    /// Linear from single-core turbo down to the all-core turbo; zero active
+    /// cores reports the single-core turbo (the next core to wake gets it).
+    pub fn effective_mhz(&self, spec: &CpuSpec, active_physical: usize) -> f64 {
+        if spec.physical_cores <= 1 || active_physical <= 1 {
+            return spec.turbo_mhz;
+        }
+        let n = active_physical.min(spec.physical_cores) as f64;
+        let span = spec.physical_cores as f64 - 1.0;
+        let frac = (n - 1.0) / span;
+        spec.turbo_mhz - frac * (spec.turbo_mhz - spec.all_core_mhz)
+    }
+
+    /// Ops per second delivered to one hardware thread running `kind`, given
+    /// the number of active physical cores and the sibling's work (if any).
+    pub fn thread_ops_per_sec(
+        &self,
+        spec: &CpuSpec,
+        smt: &SmtModel,
+        kind: ComputeKind,
+        active_physical: usize,
+        sibling: Option<ComputeKind>,
+    ) -> f64 {
+        let mhz = self.effective_mhz(spec, active_physical);
+        mhz * 1e6 * SmtModel::ipc(kind) * smt.pair_factor(kind, sibling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn single_core_gets_full_turbo() {
+        let f = FreqModel;
+        let cpu = presets::i7_8700k();
+        assert_eq!(f.effective_mhz(&cpu, 1), 4700.0);
+        assert_eq!(f.effective_mhz(&cpu, 0), 4700.0);
+    }
+
+    #[test]
+    fn all_cores_get_all_core_turbo() {
+        let f = FreqModel;
+        let cpu = presets::i7_8700k();
+        assert_eq!(f.effective_mhz(&cpu, 6), 4300.0);
+        // Overcommitted count clamps.
+        assert_eq!(f.effective_mhz(&cpu, 60), 4300.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_with_active_cores() {
+        let f = FreqModel;
+        let cpu = presets::i7_8700k();
+        let mut last = f64::INFINITY;
+        for n in 1..=6 {
+            let mhz = f.effective_mhz(&cpu, n);
+            assert!(mhz <= last);
+            last = mhz;
+        }
+    }
+
+    #[test]
+    fn thread_speed_accounts_for_smt_and_kind() {
+        let f = FreqModel;
+        let cpu = presets::i7_8700k();
+        let smt = SmtModel::default();
+        let alone = f.thread_ops_per_sec(&cpu, &smt, ComputeKind::Vector, 6, None);
+        let shared = f.thread_ops_per_sec(
+            &cpu,
+            &smt,
+            ComputeKind::Vector,
+            6,
+            Some(ComputeKind::Vector),
+        );
+        assert!(shared < alone);
+        // IPC(Vector)=2.1 at 4.3GHz alone: 2.1 * 4.3e9
+        assert!((alone - 2.1 * 4.3e9).abs() / alone < 1e-9);
+    }
+
+    #[test]
+    fn no_turbo_cpu_is_flat() {
+        let f = FreqModel;
+        let cpu = presets::flautner_2000_smp();
+        assert_eq!(f.effective_mhz(&cpu, 1), 733.0);
+        assert_eq!(f.effective_mhz(&cpu, 4), 733.0);
+    }
+}

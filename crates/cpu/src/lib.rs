@@ -1,0 +1,79 @@
+//! # simcpu — CPU hardware model for the desktop-parallelism study
+//!
+//! Models the processor side of the benchmarking rigs:
+//!
+//! * [`CpuSpec`] — clocks, core/SMT counts; presets for the paper's
+//!   i7-8700K ([`presets::i7_8700k`]), Blake et al.'s 2010 dual-socket Xeon
+//!   and Flautner et al.'s 2000-era SMP.
+//! * [`Topology`] — logical-CPU enumeration plus the Windows-style
+//!   *core-scaling masks* the paper uses ("4 / 8 / 12 logical cores with
+//!   SMT", "2–6 logical cores without SMT").
+//! * [`FreqModel`] — turbo scaling with the number of active physical cores.
+//! * [`SmtModel`] — per-thread throughput factors when two hardware threads
+//!   share a physical core, by [`ComputeKind`]; reproduces §V-C2's finding
+//!   that SMT *lowers* transcode rate at equal logical-core counts.
+//!
+//! Speeds are expressed in **ops/second**, where one "op" is the work one
+//! reference core (3.7 GHz, IPC 1) does in one cycle-equivalent. Workload
+//! models specify compute in reference-milliseconds via `machine::Work`.
+
+pub mod freq;
+pub mod presets;
+pub mod smt;
+pub mod topology;
+
+pub use freq::FreqModel;
+pub use smt::{ComputeKind, SmtCounters, SmtModel};
+pub use topology::{LogicalCpu, Topology};
+
+/// Static description of a CPU package (or multi-socket set).
+///
+/// ```
+/// use simcpu::presets;
+/// let cpu = presets::i7_8700k();
+/// assert_eq!(cpu.logical_cpus(), 12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. `"Intel Core i7-8700K"`.
+    pub name: &'static str,
+    /// Physical cores across all sockets.
+    pub physical_cores: usize,
+    /// Hardware threads per physical core (1 = no SMT).
+    pub smt_ways: usize,
+    /// Base clock in MHz.
+    pub base_mhz: f64,
+    /// Maximum single-core turbo in MHz.
+    pub turbo_mhz: f64,
+    /// All-core sustained turbo in MHz.
+    pub all_core_mhz: f64,
+    /// Last-level cache in KiB (reporting only).
+    pub llc_kib: u64,
+    /// Installed RAM in GiB (reporting only).
+    pub ram_gib: u64,
+}
+
+impl CpuSpec {
+    /// Total logical CPUs (`physical_cores * smt_ways`).
+    pub fn logical_cpus(&self) -> usize {
+        self.physical_cores * self.smt_ways
+    }
+
+    /// The full topology with every logical CPU enabled.
+    pub fn full_topology(&self) -> Topology {
+        Topology::full(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_logical_count() {
+        let cpu = presets::i7_8700k();
+        assert_eq!(cpu.physical_cores, 6);
+        assert_eq!(cpu.smt_ways, 2);
+        assert_eq!(cpu.logical_cpus(), 12);
+    }
+}

@@ -1,0 +1,70 @@
+//! CPU presets for the three generations of benchmarking rigs in the study.
+
+use crate::CpuSpec;
+
+/// The paper's 2018 rig (Table I): Intel Core i7-8700K, 6 cores / 12 threads,
+/// 3.70 GHz base with Turbo Boost to 4.70 GHz, 12 MB LLC, 64 GB DDR4.
+pub fn i7_8700k() -> CpuSpec {
+    CpuSpec {
+        name: "Intel Core i7-8700K",
+        physical_cores: 6,
+        smt_ways: 2,
+        base_mhz: 3700.0,
+        turbo_mhz: 4700.0,
+        // Coffee Lake all-core turbo is 4.3 GHz.
+        all_core_mhz: 4300.0,
+        llc_kib: 12 * 1024,
+        ram_gib: 64,
+    }
+}
+
+/// Blake et al.'s 2010 rig: dual-socket, four 2.26 GHz 4-way out-of-order
+/// cores per socket with SMT, 8 MB LLC, 6 GB RAM.
+pub fn blake_2010_xeon() -> CpuSpec {
+    CpuSpec {
+        name: "2x Intel Xeon E5520 (2010 rig)",
+        physical_cores: 8,
+        smt_ways: 2,
+        base_mhz: 2260.0,
+        turbo_mhz: 2530.0,
+        all_core_mhz: 2400.0,
+        llc_kib: 8 * 1024,
+        ram_gib: 6,
+    }
+}
+
+/// Flautner et al.'s 2000-era symmetric multiprocessor: 2–4 uniprocessor-class
+/// cores, no SMT.
+pub fn flautner_2000_smp() -> CpuSpec {
+    CpuSpec {
+        name: "4x Pentium III-class SMP (2000 rig)",
+        physical_cores: 4,
+        smt_ways: 1,
+        base_mhz: 733.0,
+        turbo_mhz: 733.0,
+        all_core_mhz: 733.0,
+        llc_kib: 256,
+        ram_gib: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rig_matches_table1() {
+        let cpu = i7_8700k();
+        assert_eq!(cpu.logical_cpus(), 12);
+        assert_eq!(cpu.base_mhz, 3700.0);
+        assert_eq!(cpu.turbo_mhz, 4700.0);
+        assert_eq!(cpu.ram_gib, 64);
+    }
+
+    #[test]
+    fn historical_rigs_shrink() {
+        assert!(flautner_2000_smp().logical_cpus() < blake_2010_xeon().logical_cpus());
+        assert_eq!(flautner_2000_smp().smt_ways, 1);
+        assert_eq!(blake_2010_xeon().logical_cpus(), 16);
+    }
+}

@@ -1,0 +1,27 @@
+//! # simgpu — discrete GPU model for the desktop-parallelism study
+//!
+//! The paper measures *GPU utilization* as "the amount of time spent by work
+//! packets actually running over a period of time, where a packet is a large
+//! collection of API calls packaged into a command stream" (§III-B). This
+//! crate provides exactly that abstraction:
+//!
+//! * [`GpuSpec`] — device descriptions with presets for the paper's
+//!   GTX 1080 Ti (high-end), GTX 680 (mid-end) and Blake et al.'s GTX 285.
+//! * [`Packet`] — a work packet with a cost in GFLOP-equivalents and a
+//!   [`PacketKind`] that interacts with the per-architecture efficiency
+//!   table (e.g. Kepler predates the cryptocurrency boom and runs Ethash
+//!   poorly — the paper's Fig. 10 observation for Windows Ethereum Miner).
+//! * [`GpuDevice`] — the execution engine: N command queues sharing the SM
+//!   pool (processor sharing), plus an optional fixed-function video encoder
+//!   (NVENC / Quick Sync-style) used by WinX HD Video Converter.
+//!
+//! The device is advanced by the `machine` event loop; it reports packet
+//! start / finish timestamps from which `etwtrace` computes utilization.
+
+pub mod device;
+pub mod packet;
+pub mod spec;
+
+pub use device::{Completion, EngineKind, GpuDevice, PacketId};
+pub use packet::{Packet, PacketKind};
+pub use spec::{presets, GpuArch, GpuSpec};

@@ -1,0 +1,98 @@
+//! Work packets: the unit of GPU execution and utilization accounting.
+
+/// What a packet computes; drives the per-architecture efficiency table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// 3D rendering (games, VR eye buffers, hardware renders).
+    Graphics3d,
+    /// General CUDA/OpenCL compute (filters, video effects).
+    Compute,
+    /// SHA-256d Bitcoin-style hashing.
+    Sha256,
+    /// Ethash memory-hard Ethereum-style hashing.
+    Ethash,
+    /// Fixed-function or shader-assisted video decode.
+    VideoDecode,
+    /// Desktop composition / presentation blits (browsers, players).
+    Present,
+}
+
+impl PacketKind {
+    /// All kinds, for table-driven tests.
+    pub const ALL: [PacketKind; 6] = [
+        PacketKind::Graphics3d,
+        PacketKind::Compute,
+        PacketKind::Sha256,
+        PacketKind::Ethash,
+        PacketKind::VideoDecode,
+        PacketKind::Present,
+    ];
+}
+
+/// A command-stream work packet: "a large collection of API calls packaged
+/// into a command stream" (paper §III-B).
+///
+/// ```
+/// use simgpu::{Packet, PacketKind};
+/// let p = Packet::new(PacketKind::Graphics3d, 95.0, 7);
+/// assert_eq!(p.owner_pid, 7);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Packet {
+    /// What the packet computes.
+    pub kind: PacketKind,
+    /// Cost in GFLOP-equivalents at efficiency 1.0.
+    pub gflop: f64,
+    /// Process that submitted the packet (for per-app utilization filtering).
+    pub owner_pid: u64,
+}
+
+impl Packet {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    /// Panics if `gflop` is not a positive finite number.
+    pub fn new(kind: PacketKind, gflop: f64, owner_pid: u64) -> Self {
+        assert!(
+            gflop.is_finite() && gflop > 0.0,
+            "packet cost must be positive and finite, got {gflop}"
+        );
+        Packet {
+            kind,
+            gflop,
+            owner_pid,
+        }
+    }
+
+    /// A render packet for a frame of `width`×`height` pixels at a given
+    /// shading cost (GFLOP per megapixel). Useful for game/VR models.
+    pub fn frame(width: u32, height: u32, gflop_per_mpx: f64, owner_pid: u64) -> Self {
+        let mpx = width as f64 * height as f64 / 1e6;
+        Self::new(PacketKind::Graphics3d, (mpx * gflop_per_mpx).max(1e-6), owner_pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_cost_scales_with_resolution() {
+        let small = Packet::frame(1280, 720, 10.0, 1);
+        let large = Packet::frame(2560, 1440, 10.0, 1);
+        assert!((large.gflop / small.gflop - 4.0).abs() < 1e-9);
+        assert_eq!(small.kind, PacketKind::Graphics3d);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_rejected() {
+        Packet::new(PacketKind::Compute, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_cost_rejected() {
+        Packet::new(PacketKind::Compute, f64::NAN, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the GPU engine: work conservation, interval
+//! sanity and FIFO ordering under arbitrary submission patterns.
+
+use proptest::prelude::*;
+use simcore::SimTime;
+use simgpu::{presets, Completion, GpuDevice, Packet, PacketKind};
+use std::collections::HashMap;
+
+fn arb_kind() -> impl Strategy<Value = PacketKind> {
+    prop_oneof![
+        Just(PacketKind::Graphics3d),
+        Just(PacketKind::Compute),
+        Just(PacketKind::Sha256),
+        Just(PacketKind::Ethash),
+        Just(PacketKind::Present),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every packet starts exactly once, finishes exactly once, start ≤
+    /// finish, and per-queue completion order is FIFO.
+    #[test]
+    fn packets_conserve_and_order(
+        subs in proptest::collection::vec((0usize..4, arb_kind(), 1.0f64..500.0), 1..40)
+    ) {
+        let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
+        let mut events = Vec::new();
+        let mut ids_by_queue: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (queue, kind, gflop) in subs {
+            let id = gpu.submit(SimTime::ZERO, queue, Packet::new(kind, gflop, 1), &mut events);
+            ids_by_queue.entry(queue).or_default().push(id.0);
+        }
+        events.extend(gpu.drain());
+        prop_assert!(gpu.is_idle());
+
+        let mut started: HashMap<u64, SimTime> = HashMap::new();
+        let mut finished: HashMap<u64, SimTime> = HashMap::new();
+        let mut finish_order: HashMap<u32, Vec<u64>> = HashMap::new();
+        for ev in &events {
+            match *ev {
+                Completion::Started { at, id, .. } => {
+                    prop_assert!(started.insert(id.0, at).is_none(), "double start");
+                }
+                Completion::Finished { at, id, engine, .. } => {
+                    prop_assert!(finished.insert(id.0, at).is_none(), "double finish");
+                    let q = match engine {
+                        simgpu::EngineKind::Queue(q) => q as u32,
+                        simgpu::EngineKind::Nvenc => u32::MAX,
+                    };
+                    finish_order.entry(q).or_default().push(id.0);
+                }
+            }
+        }
+        for (queue, ids) in &ids_by_queue {
+            for id in ids {
+                let s = started.get(id).expect("every packet starts");
+                let f = finished.get(id).expect("every packet finishes");
+                prop_assert!(s <= f);
+            }
+            // FIFO per queue: completion order equals submission order.
+            prop_assert_eq!(&finish_order[&(*queue as u32)], ids);
+        }
+    }
+
+    /// Total busy time of a single queue equals the sum of packet runtimes
+    /// at the device's effective rate (work conservation).
+    #[test]
+    fn single_queue_work_is_conserved(
+        gflops in proptest::collection::vec(1.0f64..2000.0, 1..20)
+    ) {
+        let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
+        let rate = gpu.spec().effective_gflops(PacketKind::Compute);
+        let mut events = Vec::new();
+        for &gf in &gflops {
+            gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut events);
+        }
+        events.extend(gpu.drain());
+        let last_finish = events
+            .iter()
+            .filter_map(|e| match e {
+                Completion::Finished { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .expect("finishes");
+        let expected = gflops.iter().sum::<f64>() / rate;
+        let got = last_finish.as_secs_f64();
+        prop_assert!(
+            (got - expected).abs() < 1e-6 + 1e-9 * gflops.len() as f64,
+            "expected {expected}s got {got}s"
+        );
+    }
+
+    /// Two queues never finish later than one queue with the same total work
+    /// (processor sharing can't lose throughput), and a single packet's
+    /// runtime scales inversely with architecture efficiency.
+    #[test]
+    fn sharing_and_efficiency_scale(gf in 10.0f64..5000.0) {
+        // Same work split across 2 queues finishes at the same instant as
+        // one queue running it serially (total throughput is conserved).
+        let run = |split: bool| {
+            let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
+            let mut ev = Vec::new();
+            if split {
+                gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf / 2.0, 1), &mut ev);
+                gpu.submit(SimTime::ZERO, 1, Packet::new(PacketKind::Compute, gf / 2.0, 1), &mut ev);
+            } else {
+                gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
+            }
+            ev.extend(gpu.drain());
+            ev.iter()
+                .filter_map(|e| match e {
+                    Completion::Finished { at, .. } => Some(at.as_secs_f64()),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        prop_assert!((serial - parallel).abs() < 1e-6, "{serial} vs {parallel}");
+
+        // Kepler runs the same Ethash packet slower by the efficiency ratio.
+        let time_on = |spec: simgpu::GpuSpec| {
+            let rate = spec.effective_gflops(PacketKind::Ethash);
+            let mut gpu = GpuDevice::new(spec);
+            let mut ev = Vec::new();
+            gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Ethash, gf, 1), &mut ev);
+            ev.extend(gpu.drain());
+            let finish = ev
+                .iter()
+                .filter_map(|e| match e {
+                    Completion::Finished { at, .. } => Some(at.as_secs_f64()),
+                    _ => None,
+                })
+                .next()
+                .expect("finished");
+            (finish, gf / rate)
+        };
+        let (hi_t, hi_expect) = time_on(presets::gtx_1080_ti());
+        let (mid_t, mid_expect) = time_on(presets::gtx_680());
+        prop_assert!((hi_t - hi_expect).abs() < 1e-6);
+        prop_assert!((mid_t - mid_expect).abs() < 1e-6);
+        prop_assert!(mid_t > hi_t);
+    }
+}

@@ -1,0 +1,175 @@
+//! # historical — the 2000 and 2010 comparison datasets
+//!
+//! Figures 2 and 3 of the paper compare the 2018 measurements against
+//! Flautner et al. (2000) and Blake et al. (2010). The original numbers are
+//! published only as bar charts, so this crate embeds bar heights digitized
+//! by eye from the paper's own Figures 2–3 — every entry is tagged
+//! [`Provenance::DigitizedEstimate`]. They are used exclusively to render
+//! the comparison figures, never to calibrate the simulator.
+
+/// Which metric an entry reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Thread-level parallelism.
+    Tlp,
+    /// GPU utilization in percent.
+    GpuUtilPercent,
+}
+
+/// Where a value comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Read off a published bar chart — approximate by nature.
+    DigitizedEstimate,
+}
+
+/// One historical measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Application name as labelled in the figure.
+    pub app: &'static str,
+    /// Study year (2000 = Flautner et al., 2010 = Blake et al.).
+    pub year: u16,
+    /// Figure category group.
+    pub category: &'static str,
+    /// The metric value.
+    pub value: f64,
+    /// Which metric.
+    pub metric: Metric,
+    /// Data provenance.
+    pub provenance: Provenance,
+}
+
+const fn tlp(app: &'static str, year: u16, category: &'static str, value: f64) -> Entry {
+    Entry {
+        app,
+        year,
+        category,
+        value,
+        metric: Metric::Tlp,
+        provenance: Provenance::DigitizedEstimate,
+    }
+}
+
+const fn gpu(app: &'static str, year: u16, category: &'static str, value: f64) -> Entry {
+    Entry {
+        app,
+        year,
+        category,
+        value,
+        metric: Metric::GpuUtilPercent,
+        provenance: Provenance::DigitizedEstimate,
+    }
+}
+
+/// TLP bars of Figure 2 for the 2000 study (Flautner et al.).
+pub const TLP_2000: &[Entry] = &[
+    tlp("Quake 2", 2000, "3D Gaming", 1.2),
+    tlp("Photoshop 4.0.1", 2000, "Image Authoring", 1.5),
+    tlp("AdobeReader 4.0", 2000, "Office", 1.1),
+    tlp("PowerPoint 97", 2000, "Office", 1.1),
+    tlp("Word 97", 2000, "Office", 1.2),
+    tlp("Excel 97", 2000, "Office", 1.2),
+    tlp("Quicktime 4.0.3", 2000, "Media Playback", 2.2),
+    tlp("Win Media Player", 2000, "Media Playback", 1.7),
+    tlp("Premier 4.2", 2000, "Video Authoring & Transcoding", 2.3),
+    tlp("IE 5", 2000, "Web Browsing", 1.3),
+];
+
+/// TLP bars of Figure 2 for the 2010 study (Blake et al.).
+pub const TLP_2010: &[Entry] = &[
+    tlp("Crysis", 2010, "3D Gaming", 2.0),
+    tlp("Call of Duty 4", 2010, "3D Gaming", 1.8),
+    tlp("Bioshock", 2010, "3D Gaming", 1.6),
+    tlp("Maya3D 2010", 2010, "Image Authoring", 2.3),
+    tlp("Photoshop CS4", 2010, "Image Authoring", 1.7),
+    tlp("AdobeReader 9.0", 2010, "Office", 1.5),
+    tlp("PowerPoint 2007", 2010, "Office", 1.4),
+    tlp("Word 2007", 2010, "Office", 1.4),
+    tlp("Excel 2007", 2010, "Office", 1.5),
+    tlp("Quicktime 7.6", 2010, "Media Playback", 1.9),
+    tlp("Win Media Player", 2010, "Media Playback", 2.3),
+    tlp("PowerDirector v7", 2010, "Video Authoring & Transcoding", 5.0),
+    tlp("HandBrake 0.9", 2010, "Video Authoring & Transcoding", 7.9),
+    tlp("Firefox 3.5", 2010, "Web Browsing", 1.8),
+];
+
+/// GPU-utilization bars of Figure 3 for the 2010 study.
+pub const GPU_2010: &[Entry] = &[
+    gpu("Call of Duty 4", 2010, "3D Gaming", 78.0),
+    gpu("Bioshock", 2010, "3D Gaming", 82.0),
+    gpu("Crysis", 2010, "3D Gaming", 90.0),
+    gpu("Maya3D 2010", 2010, "Image Authoring", 20.0),
+    gpu("Photoshop CS4", 2010, "Image Authoring", 10.0),
+    gpu("Street & Trips 2010", 2010, "Office", 5.0),
+    gpu("AdobeReader 9.0", 2010, "Office", 2.0),
+    gpu("PowerPoint 2007", 2010, "Office", 8.0),
+    gpu("Word 2007", 2010, "Office", 7.0),
+    gpu("Excel 2007", 2010, "Office", 5.0),
+    gpu("Quicktime 7.6", 2010, "Media Playback", 25.0),
+    gpu("Win Media Player", 2010, "Media Playback", 30.0),
+    gpu("PowerDirector v7", 2010, "Video Authoring & Transcoding", 12.0),
+    gpu("HandBrake 0.9", 2010, "Video Authoring & Transcoding", 1.0),
+    gpu("Safari 4.0", 2010, "Web Browsing", 12.0),
+    gpu("Firefox 3.5", 2010, "Web Browsing", 14.0),
+];
+
+/// All entries for a year and metric.
+pub fn entries(year: u16, metric: Metric) -> Vec<Entry> {
+    TLP_2000
+        .iter()
+        .chain(TLP_2010)
+        .chain(GPU_2010)
+        .filter(|e| e.year == year && e.metric == metric)
+        .copied()
+        .collect()
+}
+
+/// Looks up a single historical value.
+pub fn lookup(app: &str, year: u16, metric: Metric) -> Option<f64> {
+    TLP_2000
+        .iter()
+        .chain(TLP_2010)
+        .chain(GPU_2010)
+        .find(|e| e.app == app && e.year == year && e.metric == metric)
+        .map(|e| e.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_nonempty_and_tagged() {
+        for e in TLP_2000.iter().chain(TLP_2010).chain(GPU_2010) {
+            assert!(e.value > 0.0);
+            assert_eq!(e.provenance, Provenance::DigitizedEstimate);
+        }
+        assert_eq!(TLP_2000.len(), 10);
+        assert_eq!(TLP_2010.len(), 14);
+        assert_eq!(GPU_2010.len(), 16);
+    }
+
+    #[test]
+    fn headline_claims_hold_in_the_dataset() {
+        // 2000: "the average TLP observed across all benchmarks was lower
+        // than 2".
+        let avg: f64 =
+            TLP_2000.iter().map(|e| e.value).sum::<f64>() / TLP_2000.len() as f64;
+        assert!(avg < 2.0, "2000 avg {avg}");
+        // 2010: "2-3 processor cores were still more than sufficient" —
+        // most apps below 3.
+        let below3 = TLP_2010.iter().filter(|e| e.value < 3.0).count();
+        assert!(below3 as f64 / TLP_2010.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn lookup_and_filter() {
+        assert_eq!(lookup("HandBrake 0.9", 2010, Metric::Tlp), Some(7.9));
+        assert_eq!(lookup("HandBrake 0.9", 2000, Metric::Tlp), None);
+        let gpu10 = entries(2010, Metric::GpuUtilPercent);
+        assert_eq!(gpu10.len(), 16);
+        let tlp00 = entries(2000, Metric::Tlp);
+        assert!(tlp00.iter().all(|e| e.metric == Metric::Tlp && e.year == 2000));
+    }
+}

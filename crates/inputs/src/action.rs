@@ -1,0 +1,101 @@
+//! Input actions and their nominal UI-handling costs.
+
+/// One user-input action delivered to an application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InputAction {
+    /// Move the pointer (hover effects, canvas pan).
+    MouseMove,
+    /// Click a control.
+    Click,
+    /// Double-click (open, select word).
+    DoubleClick,
+    /// Drag from A to B (moving shapes, scrubbing a timeline).
+    Drag,
+    /// Type a burst of keys.
+    Keys(String),
+    /// Pick a menu/command path, e.g. `"Filter>Blur>Gaussian"`.
+    Menu(String),
+    /// Scroll/zoom wheel notches.
+    Scroll(i32),
+    /// A spoken utterance of `words` words (personal assistants).
+    Voice {
+        /// Number of words spoken.
+        words: u32,
+    },
+    /// A VR controller/head gesture sample burst.
+    VrGesture,
+}
+
+impl InputAction {
+    /// Nominal single-thread CPU time (reference milliseconds) the receiving
+    /// application spends handling the raw event — hit-testing, focus,
+    /// input routing — *before* any app-specific reaction. App models add
+    /// their own handling on top.
+    pub fn ui_cost_ms(&self) -> f64 {
+        match self {
+            InputAction::MouseMove => 0.2,
+            InputAction::Click => 1.0,
+            InputAction::DoubleClick => 1.5,
+            InputAction::Drag => 3.0,
+            InputAction::Keys(s) => 0.4 * s.chars().count().max(1) as f64,
+            InputAction::Menu(_) => 2.5,
+            InputAction::Scroll(n) => 0.5 * n.unsigned_abs().max(1) as f64,
+            InputAction::Voice { words } => 8.0 * (*words).max(1) as f64,
+            InputAction::VrGesture => 0.3,
+        }
+    }
+
+    /// Nominal time the *user* takes to perform the action (drives script
+    /// pacing when steps use [`crate::Script::then`] without explicit waits).
+    pub fn user_time_ms(&self) -> f64 {
+        match self {
+            InputAction::MouseMove => 150.0,
+            InputAction::Click => 250.0,
+            InputAction::DoubleClick => 350.0,
+            InputAction::Drag => 900.0,
+            InputAction::Keys(s) => 80.0 * s.chars().count().max(1) as f64,
+            InputAction::Menu(_) => 1200.0,
+            InputAction::Scroll(n) => 120.0 * n.unsigned_abs().max(1) as f64,
+            InputAction::Voice { words } => 400.0 * (*words).max(1) as f64,
+            InputAction::VrGesture => 50.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_cost_scales_with_length() {
+        let short = InputAction::Keys("ab".into()).ui_cost_ms();
+        let long = InputAction::Keys("abcdefgh".into()).ui_cost_ms();
+        assert!((long / short - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voice_is_expensive() {
+        let v = InputAction::Voice { words: 6 };
+        assert!(v.ui_cost_ms() > InputAction::Click.ui_cost_ms());
+        assert!(v.user_time_ms() > 1000.0);
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let actions = [
+            InputAction::MouseMove,
+            InputAction::Click,
+            InputAction::DoubleClick,
+            InputAction::Drag,
+            InputAction::Keys(String::new()),
+            InputAction::Menu("A>B".into()),
+            InputAction::Scroll(0),
+            InputAction::Voice { words: 0 },
+            InputAction::VrGesture,
+        ];
+        for a in actions {
+            assert!(a.ui_cost_ms() > 0.0, "{a:?}");
+            assert!(a.user_time_ms() > 0.0, "{a:?}");
+        }
+    }
+}

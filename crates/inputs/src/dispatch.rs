@@ -1,0 +1,185 @@
+//! The dispatcher thread: replays a script in virtual time and delivers
+//! actions to the application through a shared queue + kernel event.
+
+use crate::action::InputAction;
+use crate::script::{Automation, Script};
+use machine::{Action, EventId, Machine, ThreadCtx, ThreadProgram};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// The application side of an input connection: a queue of delivered actions
+/// plus the event the app's UI thread waits on.
+///
+/// Cloning shares the underlying queue (single-threaded simulation, so a
+/// plain `Rc<RefCell<…>>` suffices).
+#[derive(Clone, Debug)]
+pub struct InputChannel {
+    queue: Rc<RefCell<VecDeque<InputAction>>>,
+    /// Signalled once per delivered action; UI threads `WaitEvent` on it.
+    pub event: EventId,
+}
+
+impl InputChannel {
+    /// Creates a channel whose event lives in `machine`.
+    pub fn new(machine: &mut Machine) -> Self {
+        InputChannel {
+            queue: Rc::new(RefCell::new(VecDeque::new())),
+            event: machine.create_event(),
+        }
+    }
+
+    /// Takes the next delivered action, if any.
+    pub fn pop(&self) -> Option<InputAction> {
+        self.queue.borrow_mut().pop_front()
+    }
+
+    /// Number of undelivered actions.
+    pub fn len(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// True if no actions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.borrow().is_empty()
+    }
+
+    fn push(&self, action: InputAction) {
+        self.queue.borrow_mut().push_back(action);
+    }
+}
+
+struct Dispatcher {
+    script: Script,
+    mode: Automation,
+    channel: InputChannel,
+    rep: u32,
+    idx: usize,
+    /// Whether the next `next()` call should deliver (after the sleep).
+    deliver: bool,
+}
+
+impl ThreadProgram for Dispatcher {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.deliver {
+            self.deliver = false;
+            let step = &self.script.steps()[self.idx];
+            self.channel.push(step.action.clone());
+            ctx.signal(self.channel.event);
+            self.idx += 1;
+            if self.idx >= self.script.len() {
+                self.idx = 0;
+                self.rep += 1;
+            }
+        }
+        if self.rep >= self.script.repeat() || self.script.is_empty() {
+            return Action::Exit;
+        }
+        let nominal = self.script.steps()[self.idx].delay;
+        let delay = self.mode.sample_delay(nominal, ctx.rng());
+        self.deliver = true;
+        Action::Sleep(delay)
+    }
+}
+
+/// Builds the dispatcher program for a script (see [`install`] for the
+/// one-call variant).
+pub fn dispatcher(script: Script, mode: Automation, channel: InputChannel) -> Box<dyn ThreadProgram> {
+    Box::new(Dispatcher {
+        script,
+        mode,
+        channel,
+        rep: 0,
+        idx: 0,
+        deliver: false,
+    })
+}
+
+/// Creates an input channel and spawns the dispatcher in its own
+/// `autoit.exe` process (so it never counts toward any application's TLP).
+/// Returns the channel for the application's UI thread.
+pub fn install(machine: &mut Machine, script: Script, mode: Automation) -> InputChannel {
+    let channel = InputChannel::new(machine);
+    let pid = machine.add_process("autoit.exe");
+    machine.spawn(pid, "dispatcher", dispatcher(script, mode, channel.clone()));
+    channel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+    use simcore::SimDuration;
+
+    #[test]
+    fn dispatcher_delivers_all_steps() {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let script = Script::new().click().keys("hi").menu("File>Save");
+        let total = script.nominal_duration();
+        let ch = install(&mut m, script, Automation::autoit());
+        m.run_for(total * 2);
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.pop(), Some(InputAction::Click));
+        assert_eq!(ch.pop(), Some(InputAction::Keys("hi".into())));
+        assert_eq!(ch.pop(), Some(InputAction::Menu("File>Save".into())));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn repeated_scripts_loop() {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let script = Script::new().click().repeated(4);
+        let total = script.nominal_duration();
+        let ch = install(&mut m, script, Automation::autoit());
+        m.run_for(total * 2);
+        assert_eq!(ch.len(), 4);
+    }
+
+    #[test]
+    fn event_is_signalled_per_action() {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let script = Script::new().click().click();
+        let total = script.nominal_duration();
+        let ch = install(&mut m, script, Automation::autoit());
+        // A consumer thread that waits twice then exits.
+        let pid = m.add_process("app.exe");
+        let got: Rc<RefCell<Vec<InputAction>>> = Default::default();
+        let got2 = got.clone();
+        let ch2 = ch.clone();
+        let mut waits = 0;
+        m.spawn(
+            pid,
+            "ui",
+            Box::new(move |_ctx: &mut ThreadCtx<'_>| {
+                if let Some(a) = ch2.pop() {
+                    got2.borrow_mut().push(a);
+                }
+                waits += 1;
+                if waits > 2 {
+                    Action::Exit
+                } else {
+                    Action::WaitEvent(ch2.event)
+                }
+            }),
+        );
+        m.run_for(total * 2);
+        assert_eq!(got.borrow().len(), 2);
+    }
+
+    #[test]
+    fn manual_mode_stretches_wall_time_on_average() {
+        let run = |mode: Automation, seed: u64| {
+            let mut m = Machine::new(MachineConfig::study_rig(12, true).with_seed(seed));
+            let script = Script::new().wait_ms(200).click().repeated(20);
+            let ch = install(&mut m, script, mode);
+            m.run_for(SimDuration::from_secs(60));
+            ch.len()
+        };
+        // Same wall window: the manual run delivers no MORE actions than
+        // autoit on average (occasional long thinks slow it down).
+        let auto: usize = (0..5).map(|s| run(Automation::autoit(), s)).sum();
+        let manual: usize = (0..5).map(|s| run(Automation::manual(), s)).sum();
+        assert!(auto == 100, "autoit delivered {auto}");
+        assert!(manual <= auto, "manual {manual} vs auto {auto}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # autoinput — input automation for the simulated desktop
+//!
+//! The paper drives every automatable application with **AutoIt** scripts so
+//! that "the variations created by user interactions among different test
+//! iterations" are controlled (§III-D), and validates that automation does
+//! not distort results (TLP was 3.3 % smaller manual vs automated;
+//! GPU utilization 2.4 % lower with AutoIt). Applications that cannot be
+//! scripted (personal assistants, VR games) get *manual* input with strict
+//! timing (§III-E).
+//!
+//! This crate reproduces both modes:
+//!
+//! * [`Script`] — a timed sequence of [`InputAction`]s (clicks, keystrokes,
+//!   menu picks, voice utterances, VR gestures) built with a fluent API.
+//! * [`Automation`] — the timing model: [`Automation::autoit`] replays with
+//!   millisecond-level jitter; [`Automation::manual`] adds human-scale
+//!   variance and occasional long think pauses.
+//! * [`InputChannel`] + [`dispatcher`] — a dispatcher thread that walks the
+//!   script in virtual time and delivers actions to the application's UI
+//!   thread through a shared queue and a kernel event. The dispatcher lives
+//!   in its own process (`autoit.exe`) so it never counts toward the
+//!   application's TLP, just as the real tool runs out-of-process.
+//!
+//! ```
+//! use autoinput::{Automation, Script};
+//! let script = Script::new()
+//!     .wait_ms(500)
+//!     .click()
+//!     .keys("hello world")
+//!     .menu("File>Export");
+//! assert_eq!(script.len(), 3);
+//! let auto = Automation::autoit();
+//! assert!(auto.jitter_sigma() < Automation::manual().jitter_sigma());
+//! ```
+
+mod action;
+mod dispatch;
+mod script;
+
+pub use action::InputAction;
+pub use dispatch::{dispatcher, install, InputChannel};
+pub use script::{Automation, Script, ScriptStep};

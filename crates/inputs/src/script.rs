@@ -1,0 +1,272 @@
+//! Scripts (timed action sequences) and the automated/manual timing models.
+
+use crate::action::InputAction;
+use simcore::{Rng, SimDuration};
+
+/// One step of a script: wait `delay` after the previous step, then perform
+/// `action`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScriptStep {
+    /// Pause before the action (user think/travel time).
+    pub delay: SimDuration,
+    /// The action to deliver.
+    pub action: InputAction,
+}
+
+/// A replayable input script, built fluently:
+///
+/// ```
+/// use autoinput::Script;
+/// let s = Script::new().wait_ms(300).click().keys("42").menu("Data>Sort");
+/// assert_eq!(s.len(), 3);
+/// assert!(s.nominal_duration().as_millis() >= 300);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script {
+    steps: Vec<ScriptStep>,
+    pending_delay: SimDuration,
+    /// Repeat the whole sequence this many times (≥1).
+    repeat: u32,
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Self {
+        Script {
+            steps: Vec::new(),
+            pending_delay: SimDuration::ZERO,
+            repeat: 1,
+        }
+    }
+
+    /// Adds a pause before the next action.
+    pub fn wait_ms(mut self, ms: u64) -> Self {
+        self.pending_delay += SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Appends an action; its delay is any pending wait plus the action's
+    /// nominal user time.
+    pub fn then(mut self, action: InputAction) -> Self {
+        let delay = self.pending_delay
+            + SimDuration::from_millis_f64(action.user_time_ms());
+        self.pending_delay = SimDuration::ZERO;
+        self.steps.push(ScriptStep { delay, action });
+        self
+    }
+
+    /// Appends a click.
+    pub fn click(self) -> Self {
+        self.then(InputAction::Click)
+    }
+
+    /// Appends a double-click.
+    pub fn double_click(self) -> Self {
+        self.then(InputAction::DoubleClick)
+    }
+
+    /// Appends a drag.
+    pub fn drag(self) -> Self {
+        self.then(InputAction::Drag)
+    }
+
+    /// Appends typed text.
+    pub fn keys(self, text: &str) -> Self {
+        self.then(InputAction::Keys(text.to_string()))
+    }
+
+    /// Appends a menu selection.
+    pub fn menu(self, path: &str) -> Self {
+        self.then(InputAction::Menu(path.to_string()))
+    }
+
+    /// Appends a scroll of `notches`.
+    pub fn scroll(self, notches: i32) -> Self {
+        self.then(InputAction::Scroll(notches))
+    }
+
+    /// Appends a spoken utterance.
+    pub fn voice(self, words: u32) -> Self {
+        self.then(InputAction::Voice { words })
+    }
+
+    /// Repeats the whole sequence `n` times when replayed.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn repeated(mut self, n: u32) -> Self {
+        assert!(n >= 1, "repeat count must be at least 1");
+        self.repeat = n;
+        self
+    }
+
+    /// Number of steps in one repetition.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the script has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps of one repetition.
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+
+    /// Configured repetition count.
+    pub fn repeat(&self) -> u32 {
+        self.repeat
+    }
+
+    /// Total nominal (jitter-free) duration across all repetitions.
+    pub fn nominal_duration(&self) -> SimDuration {
+        let one: SimDuration = self.steps.iter().map(|s| s.delay).sum();
+        one * self.repeat as u64
+    }
+}
+
+/// Timing model for replaying a script: AutoIt-precise or human-manual.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Automation {
+    /// Relative σ applied to every step delay.
+    jitter_sigma: f64,
+    /// Probability of an extra think pause before a step (manual only).
+    think_prob: f64,
+    /// Mean of the extra think pause.
+    think_ms: f64,
+}
+
+impl Automation {
+    /// AutoIt-style scripted replay: near-exact timing (§III-D).
+    pub fn autoit() -> Self {
+        Automation {
+            jitter_sigma: 0.02,
+            think_prob: 0.0,
+            think_ms: 0.0,
+        }
+    }
+
+    /// Human manual input: large per-step variance plus occasional long
+    /// pauses (checking the screen, re-reading instructions).
+    pub fn manual() -> Self {
+        Automation {
+            jitter_sigma: 0.22,
+            think_prob: 0.15,
+            think_ms: 700.0,
+        }
+    }
+
+    /// The relative σ applied to step delays.
+    pub fn jitter_sigma(&self) -> f64 {
+        self.jitter_sigma
+    }
+
+    /// Samples the actual delay for a step.
+    pub fn sample_delay(&self, nominal: SimDuration, rng: &mut Rng) -> SimDuration {
+        let mut d = rng.jitter(nominal, self.jitter_sigma);
+        if self.think_prob > 0.0 && rng.chance(self.think_prob) {
+            d += SimDuration::from_millis_f64(rng.exponential(self.think_ms));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_steps_and_delays() {
+        let s = Script::new().wait_ms(100).click().keys("ab");
+        assert_eq!(s.len(), 2);
+        // First step delay = 100ms wait + 250ms click user time.
+        assert_eq!(s.steps()[0].delay, SimDuration::from_millis(350));
+        assert_eq!(s.steps()[1].action, InputAction::Keys("ab".into()));
+    }
+
+    #[test]
+    fn repeat_scales_nominal_duration() {
+        let s = Script::new().click().repeated(3);
+        let one = Script::new().click();
+        assert_eq!(s.nominal_duration(), one.nominal_duration() * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_repeat_rejected() {
+        let _ = Script::new().click().repeated(0);
+    }
+
+    #[test]
+    fn autoit_is_nearly_exact() {
+        let auto = Automation::autoit();
+        let mut rng = Rng::seed_from(1);
+        let nominal = SimDuration::from_millis(1000);
+        for _ in 0..100 {
+            let d = auto.sample_delay(nominal, &mut rng);
+            let rel = (d.as_secs_f64() - 1.0).abs();
+            assert!(rel < 0.1, "delay {d}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::{prop_assert, prop_assert_eq, proptest};
+
+        proptest! {
+            /// Sampled delays are never negative and AutoIt stays within a
+            /// few percent of nominal.
+            #[test]
+            fn prop_delays_are_sane(seed: u64, nominal_ms in 1u64..10_000) {
+                let nominal = SimDuration::from_millis(nominal_ms);
+                let mut rng = Rng::seed_from(seed);
+                for mode in [Automation::autoit(), Automation::manual()] {
+                    for _ in 0..8 {
+                        let d = mode.sample_delay(nominal, &mut rng);
+                        prop_assert!(d.as_nanos() < u64::MAX / 2);
+                    }
+                }
+                let mut rng = Rng::seed_from(seed);
+                let auto = Automation::autoit();
+                let mean: f64 = (0..64)
+                    .map(|_| auto.sample_delay(nominal, &mut rng).as_secs_f64())
+                    .sum::<f64>()
+                    / 64.0;
+                let rel = (mean - nominal.as_secs_f64()).abs() / nominal.as_secs_f64();
+                prop_assert!(rel < 0.05, "autoit mean drifted {rel}");
+            }
+
+            /// Script building is order-preserving and duration-additive.
+            #[test]
+            fn prop_script_duration_adds_up(waits in proptest::collection::vec(0u64..5_000, 1..20)) {
+                let mut script = Script::new();
+                for &w in &waits {
+                    script = script.wait_ms(w).click();
+                }
+                prop_assert_eq!(script.len(), waits.len());
+                let expected: u64 = waits.iter().sum::<u64>()
+                    + waits.len() as u64 * InputAction::Click.user_time_ms() as u64;
+                prop_assert_eq!(script.nominal_duration().as_millis(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn manual_varies_more_than_autoit() {
+        let mut rng_a = Rng::seed_from(2);
+        let mut rng_m = Rng::seed_from(2);
+        let nominal = SimDuration::from_millis(1000);
+        let spread = |auto: Automation, rng: &mut Rng| {
+            let xs: Vec<f64> = (0..200)
+                .map(|_| auto.sample_delay(nominal, rng).as_secs_f64())
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let sa = spread(Automation::autoit(), &mut rng_a);
+        let sm = spread(Automation::manual(), &mut rng_m);
+        assert!(sm > 5.0 * sa, "manual σ {sm} vs autoit σ {sa}");
+    }
+}

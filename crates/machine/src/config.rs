@@ -1,0 +1,123 @@
+//! Machine configuration: CPU, topology mask, GPUs, scheduler parameters.
+
+use simcore::SimDuration;
+use simcpu::{CpuSpec, FreqModel, SmtModel, Topology};
+use simgpu::GpuSpec;
+
+/// Full description of a simulated desktop.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// The processor.
+    pub cpu: CpuSpec,
+    /// Which logical CPUs are enabled (core scaling / SMT masks).
+    pub topology: Topology,
+    /// Installed discrete GPUs (index 0 is the primary).
+    pub gpus: Vec<GpuSpec>,
+    /// Scheduler time slice.
+    pub quantum: SimDuration,
+    /// SMT contention model.
+    pub smt: SmtModel,
+    /// Turbo-frequency model.
+    pub freq: FreqModel,
+    /// Seed for the machine's deterministic RNG.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// A machine from a CPU with all logical CPUs enabled and no GPU.
+    pub fn new(cpu: CpuSpec) -> Self {
+        let topology = cpu.full_topology();
+        MachineConfig {
+            cpu,
+            topology,
+            gpus: Vec::new(),
+            quantum: SimDuration::from_millis(5),
+            smt: SmtModel::default(),
+            freq: FreqModel,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The paper's benchmarking rig (Table I): i7-8700K restricted to
+    /// `logical` logical CPUs (`smt` selects the masking mode) with a
+    /// GTX 1080 Ti installed.
+    ///
+    /// # Panics
+    /// Panics if `logical` exceeds what the masking mode supports.
+    pub fn study_rig(logical: usize, smt: bool) -> Self {
+        let cpu = simcpu::presets::i7_8700k();
+        let topology = Topology::with_logical_cpus(&cpu, logical, smt);
+        MachineConfig {
+            cpu,
+            topology,
+            gpus: vec![simgpu::presets::gtx_1080_ti()],
+            quantum: SimDuration::from_millis(5),
+            smt: SmtModel::default(),
+            freq: FreqModel,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Replaces the installed GPUs (builder style).
+    pub fn with_gpus(mut self, gpus: Vec<GpuSpec>) -> Self {
+        self.gpus = gpus;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scheduler quantum (builder style).
+    ///
+    /// # Panics
+    /// Panics if the quantum is zero.
+    pub fn with_quantum(mut self, quantum: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_rig_defaults() {
+        let cfg = MachineConfig::study_rig(12, true);
+        assert_eq!(cfg.topology.logical_count(), 12);
+        assert_eq!(cfg.topology.physical_count(), 6);
+        assert_eq!(cfg.gpus.len(), 1);
+        assert_eq!(cfg.gpus[0].name, "NVIDIA GTX 1080 Ti");
+    }
+
+    #[test]
+    fn masked_rig() {
+        let cfg = MachineConfig::study_rig(4, true);
+        assert_eq!(cfg.topology.logical_count(), 4);
+        assert_eq!(cfg.topology.physical_count(), 2);
+        let cfg = MachineConfig::study_rig(4, false);
+        assert_eq!(cfg.topology.physical_count(), 4);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = MachineConfig::new(simcpu::presets::i7_8700k())
+            .with_seed(7)
+            .with_quantum(SimDuration::from_millis(10))
+            .with_gpus(vec![simgpu::presets::gtx_680()]);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.quantum, SimDuration::from_millis(10));
+        assert_eq!(cfg.gpus[0].name, "NVIDIA GTX 680");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_rejected() {
+        let _ = MachineConfig::new(simcpu::presets::i7_8700k())
+            .with_quantum(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,53 @@
+//! Identifier newtypes for the machine's kernel objects.
+
+use std::fmt;
+
+/// A process id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+/// A thread id (unique machine-wide, not per-process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid(pub u64);
+
+/// A kernel event (counting semaphore) handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// Handle to a submitted GPU packet, used with [`crate::Action::WaitGpu`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubmissionId {
+    /// Which GPU device the packet went to.
+    pub gpu: usize,
+    /// The device-local packet id.
+    pub packet: u64,
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(Tid(9).to_string(), "tid9");
+    }
+
+    #[test]
+    fn ordering_matches_inner() {
+        assert!(Tid(1) < Tid(2));
+        assert!(EventId(0) < EventId(5));
+    }
+}

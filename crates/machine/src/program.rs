@@ -1,0 +1,220 @@
+//! The thread-program API: what application models implement and the context
+//! they act through.
+
+use crate::ids::{EventId, Pid, SubmissionId, Tid};
+use crate::sched::Machine;
+use crate::work::Work;
+use simcore::{Rng, SimDuration, SimTime};
+use simgpu::{GpuSpec, Packet};
+
+/// What a thread does next, returned from [`ThreadProgram::next`].
+#[derive(Debug)]
+pub enum Action {
+    /// Occupy a logical CPU for the given amount of work.
+    Compute(Work),
+    /// Leave the CPU and wake after the duration (timers, frame pacing,
+    /// waiting for user input think-time).
+    Sleep(SimDuration),
+    /// Block until the event (counting semaphore) is signalled.
+    WaitEvent(EventId),
+    /// Block until a previously submitted GPU packet finishes.
+    WaitGpu(SubmissionId),
+    /// Go to the back of the ready queue without computing.
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// A simulated thread's behaviour, polled by the scheduler.
+///
+/// `next` is called when the thread starts and whenever its previous action
+/// completes (compute finished, sleep elapsed, event signalled, GPU packet
+/// done). Programs are state machines; long-running behaviour is expressed
+/// by returning a sequence of actions over successive calls.
+pub trait ThreadProgram {
+    /// Produces the thread's next action. Side effects (spawning, signalling,
+    /// GPU submission) go through `ctx`.
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action;
+}
+
+/// Blanket impl so simple programs can be written as closures.
+impl<F> ThreadProgram for F
+where
+    F: FnMut(&mut ThreadCtx<'_>) -> Action,
+{
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        self(ctx)
+    }
+}
+
+/// The machine services available to a running thread program.
+///
+/// Mutating calls are applied immediately when safe (GPU submission, event
+/// creation) or deferred to the current instant's event queue when they could
+/// re-enter the scheduler (signals, thread starts), preserving determinism.
+pub struct ThreadCtx<'a> {
+    pub(crate) machine: &'a mut Machine,
+    pub(crate) pid: Pid,
+    pub(crate) tid: Tid,
+    pub(crate) rng: &'a mut Rng,
+}
+
+impl ThreadCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.machine.now()
+    }
+
+    /// This thread's process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The thread's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Number of enabled logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.machine.config().topology.logical_count()
+    }
+
+    /// Creates a new process and returns its pid.
+    pub fn spawn_process(&mut self, name: &str) -> Pid {
+        self.machine.add_process(name)
+    }
+
+    /// Spawns a thread in `pid`; it starts at the current instant.
+    pub fn spawn_thread(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        program: Box<dyn ThreadProgram>,
+    ) -> Tid {
+        self.machine.spawn(pid, name, program)
+    }
+
+    /// Spawns a thread in this thread's own process.
+    pub fn spawn_sibling(&mut self, name: &str, program: Box<dyn ThreadProgram>) -> Tid {
+        let pid = self.pid;
+        self.machine.spawn(pid, name, program)
+    }
+
+    /// Creates a kernel event (counting semaphore with count 0).
+    pub fn create_event(&mut self) -> EventId {
+        self.machine.create_event()
+    }
+
+    /// Signals an event once (wakes one waiter, or banks a unit).
+    pub fn signal(&mut self, event: EventId) {
+        self.machine.queue_signal(event, 1);
+    }
+
+    /// Signals an event `n` times.
+    pub fn signal_n(&mut self, event: EventId, n: u64) {
+        if n > 0 {
+            self.machine.queue_signal(event, n);
+        }
+    }
+
+    /// Consumes one unit of the event if immediately available.
+    pub fn try_wait(&mut self, event: EventId) -> bool {
+        self.machine.try_consume(event)
+    }
+
+    /// Number of GPUs installed.
+    pub fn gpu_count(&self) -> usize {
+        self.machine.gpu_count()
+    }
+
+    /// Spec of GPU `gpu`.
+    ///
+    /// # Panics
+    /// Panics if `gpu` is out of range.
+    pub fn gpu_spec(&self, gpu: usize) -> &GpuSpec {
+        self.machine.gpu_spec(gpu)
+    }
+
+    /// Submits a packet to GPU `gpu`, hardware queue `queue`, owned by this
+    /// thread's process. Returns a handle usable with [`Action::WaitGpu`].
+    ///
+    /// # Panics
+    /// Panics if the GPU or queue index is out of range.
+    pub fn submit_gpu(&mut self, gpu: usize, queue: usize, kind: simgpu::PacketKind, gflop: f64) -> SubmissionId {
+        let pid = self.pid;
+        self.machine
+            .submit_gpu(gpu, queue, Packet::new(kind, gflop, pid.0))
+    }
+
+    /// Submits a fixed-function video-encode job (`frames_1080p`
+    /// 1080p-frame-equivalents) to GPU `gpu`.
+    ///
+    /// # Panics
+    /// Panics if the GPU has no encoder.
+    pub fn submit_encode(&mut self, gpu: usize, frames_1080p: f64) -> SubmissionId {
+        let pid = self.pid;
+        self.machine.submit_encode(gpu, frames_1080p, pid)
+    }
+
+    /// Restricts this thread to the logical CPUs whose bits are set in
+    /// `mask` (bit `i` = logical CPU `i`). Miners use this to pin one hash
+    /// thread per logical core.
+    ///
+    /// # Panics
+    /// Panics if `mask` is zero.
+    pub fn set_affinity(&mut self, mask: u64) {
+        let tid = self.tid;
+        self.machine.set_affinity(tid, mask);
+    }
+
+    /// Moves this thread to a scheduling class (see [`crate::Priority`]).
+    pub fn set_priority(&mut self, priority: crate::Priority) {
+        let tid = self.tid;
+        self.machine.set_priority(tid, priority);
+    }
+
+    /// Records a presented frame (drives FPS analysis).
+    pub fn present_frame(&mut self) {
+        let pid = self.pid;
+        self.machine.trace_frame(pid);
+    }
+
+    /// Records a free-form trace marker.
+    pub fn marker(&mut self, label: &str) {
+        self.machine.trace_marker(label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    #[test]
+    fn closures_are_programs() {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let pid = m.add_process("closure.exe");
+        let mut ticks = 0u32;
+        m.spawn(
+            pid,
+            "t",
+            Box::new(move |_ctx: &mut ThreadCtx<'_>| {
+                ticks += 1;
+                if ticks > 3 {
+                    Action::Exit
+                } else {
+                    Action::Compute(Work::busy_ms(1.0))
+                }
+            }),
+        );
+        m.run_for(SimDuration::from_millis(50));
+        // The thread computed ~3 ms then exited; machine time advanced.
+        assert_eq!(m.now(), SimTime::ZERO + SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,100 @@
+//! The unit of CPU work a thread program asks to execute.
+
+use simcpu::freq::REF_OPS_PER_SEC;
+use simcpu::ComputeKind;
+
+/// An amount of CPU work with a micro-architectural flavour.
+///
+/// Work is measured in "ops" — cycles of scalar IPC-1 execution at the study
+/// rig's 3.7 GHz reference clock — so app models can think in milliseconds
+/// of single-thread CPU time:
+///
+/// ```
+/// use machine::Work;
+/// let w = Work::busy_ms(2.0);
+/// assert!((w.ops - 7.4e6).abs() < 1.0); // 2 ms * 3.7e9 ops/s
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Work {
+    /// Remaining ops.
+    pub ops: f64,
+    /// Micro-architectural flavour (affects IPC and SMT interaction).
+    pub kind: ComputeKind,
+}
+
+impl Work {
+    /// Zero work — used to express a bare yield through the ready queue.
+    pub const NONE: Work = Work {
+        ops: 0.0,
+        kind: ComputeKind::Scalar,
+    };
+
+    /// Work from a raw op count (scalar flavour).
+    ///
+    /// # Panics
+    /// Panics if `ops` is negative or not finite.
+    pub fn from_ops(ops: f64) -> Work {
+        assert!(ops.is_finite() && ops >= 0.0, "invalid op count {ops}");
+        Work {
+            ops,
+            kind: ComputeKind::Scalar,
+        }
+    }
+
+    /// Work equal to `ms` milliseconds of single-thread reference time.
+    pub fn busy_ms(ms: f64) -> Work {
+        Self::from_ops(ms.max(0.0) * 1e-3 * REF_OPS_PER_SEC)
+    }
+
+    /// Work equal to `us` microseconds of single-thread reference time.
+    pub fn busy_us(us: f64) -> Work {
+        Self::from_ops(us.max(0.0) * 1e-6 * REF_OPS_PER_SEC)
+    }
+
+    /// Sets the micro-architectural flavour (builder style).
+    pub fn with_kind(mut self, kind: ComputeKind) -> Work {
+        self.kind = kind;
+        self
+    }
+
+    /// True if no ops remain.
+    pub fn is_done(&self) -> bool {
+        self.ops <= 1e-2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_milliseconds() {
+        let w = Work::busy_ms(1.0);
+        assert!((w.ops - 3.7e6).abs() < 1e-6);
+        assert_eq!(w.kind, ComputeKind::Scalar);
+    }
+
+    #[test]
+    fn with_kind_builder() {
+        let w = Work::busy_us(500.0).with_kind(ComputeKind::Vector);
+        assert_eq!(w.kind, ComputeKind::Vector);
+        assert!((w.ops - 1.85e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn none_is_done() {
+        assert!(Work::NONE.is_done());
+        assert!(!Work::busy_ms(1.0).is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid op count")]
+    fn negative_ops_rejected() {
+        Work::from_ops(-1.0);
+    }
+
+    #[test]
+    fn negative_ms_clamps_to_zero() {
+        assert!(Work::busy_ms(-5.0).is_done());
+    }
+}

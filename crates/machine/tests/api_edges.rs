@@ -1,0 +1,118 @@
+//! Edge-case tests of the machine's public API surface.
+
+use machine::{Action, Machine, MachineConfig, ThreadCtx, Work};
+use simcore::{SimDuration, SimTime};
+
+fn rig() -> Machine {
+    Machine::new(MachineConfig::study_rig(12, true))
+}
+
+#[test]
+#[should_panic(expected = "into the past")]
+fn run_until_the_past_panics() {
+    let mut m = rig();
+    m.run_for(SimDuration::from_millis(10));
+    m.run_until(SimTime::from_nanos(1));
+}
+
+#[test]
+#[should_panic(expected = "unknown event")]
+fn signalling_unknown_event_panics() {
+    let mut m = rig();
+    m.queue_signal(machine::EventId(99), 1);
+}
+
+#[test]
+fn zero_duration_run_is_a_noop() {
+    let mut m = rig();
+    let pid = m.add_process("noop.exe");
+    m.spawn(pid, "t", Box::new(|_: &mut ThreadCtx<'_>| Action::Exit));
+    m.run_for(SimDuration::ZERO);
+    assert_eq!(m.now(), SimTime::ZERO);
+    // Events scheduled at t=0 have NOT run yet (window excluded nothing).
+    m.run_for(SimDuration::from_nanos(1));
+    assert_eq!(m.now(), SimTime::from_nanos(1));
+}
+
+#[test]
+fn trace_window_ends_exactly_at_now() {
+    let mut m = rig();
+    let pid = m.add_process("w.exe");
+    m.spawn(
+        pid,
+        "t",
+        Box::new(|_: &mut ThreadCtx<'_>| Action::Compute(Work::busy_ms(1.0))),
+    );
+    m.run_for(SimDuration::from_millis(7));
+    let now = m.now();
+    let trace = m.into_trace();
+    assert_eq!(trace.end(), now);
+    assert_eq!(trace.start(), SimTime::ZERO);
+}
+
+#[test]
+fn machine_without_gpu_reports_zero_devices() {
+    let cfg = MachineConfig::new(simcpu::presets::i7_8700k());
+    let m = Machine::new(cfg);
+    assert_eq!(m.gpu_count(), 0);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn gpu_submit_without_device_panics() {
+    let cfg = MachineConfig::new(simcpu::presets::i7_8700k());
+    let mut m = Machine::new(cfg);
+    let pid = m.add_process("g.exe");
+    m.spawn(
+        pid,
+        "t",
+        Box::new(|ctx: &mut ThreadCtx<'_>| {
+            ctx.submit_gpu(0, 0, simgpu::PacketKind::Compute, 1.0);
+            Action::Exit
+        }),
+    );
+    m.run_for(SimDuration::from_millis(1));
+}
+
+#[test]
+fn interleaved_run_until_segments_accumulate() {
+    let mut m = rig();
+    let pid = m.add_process("acc.exe");
+    let mut segs = 0u32;
+    m.spawn(
+        pid,
+        "t",
+        Box::new(move |_: &mut ThreadCtx<'_>| {
+            segs += 1;
+            if segs > 100 {
+                Action::Exit
+            } else {
+                Action::Compute(Work::busy_ms(1.0))
+            }
+        }),
+    );
+    // Drive the machine in many small steps; behaviour must match one run.
+    for i in 1..=50 {
+        m.run_until(SimTime::ZERO + SimDuration::from_millis(i * 2));
+    }
+    let trace_a = m.into_trace();
+
+    let mut m2 = rig();
+    let pid2 = m2.add_process("acc.exe");
+    let mut segs2 = 0u32;
+    m2.spawn(
+        pid2,
+        "t",
+        Box::new(move |_: &mut ThreadCtx<'_>| {
+            segs2 += 1;
+            if segs2 > 100 {
+                Action::Exit
+            } else {
+                Action::Compute(Work::busy_ms(1.0))
+            }
+        }),
+    );
+    m2.run_for(SimDuration::from_millis(100));
+    let trace_b = m2.into_trace();
+    assert_eq!(trace_a, trace_b, "stepping granularity must not matter");
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the scheduler: for arbitrary thread programs the
+//! trace must stay physically consistent.
+
+use etwtrace::{analysis, PidSet, TraceEvent};
+use machine::{Action, Machine, MachineConfig, ThreadCtx, ThreadProgram, Work};
+use proptest::prelude::*;
+use simcore::SimDuration;
+use simcpu::ComputeKind;
+use std::collections::HashMap;
+
+/// A data-driven program: each step is (opcode, amount).
+#[derive(Clone, Debug)]
+struct ScriptedProgram {
+    steps: Vec<(u8, u16)>,
+    idx: usize,
+}
+
+impl ThreadProgram for ScriptedProgram {
+    fn next(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let Some(&(op, amount)) = self.steps.get(self.idx) else {
+            return Action::Exit;
+        };
+        self.idx += 1;
+        let amount = amount as f64;
+        match op % 4 {
+            0 => Action::Compute(Work::busy_us(amount * 10.0)),
+            1 => Action::Sleep(SimDuration::from_micros(amount as u64 * 10)),
+            2 => Action::Compute(
+                Work::busy_us(amount * 5.0).with_kind(ComputeKind::MemoryBound),
+            ),
+            _ => Action::Yield,
+        }
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<(u8, u16)>> {
+    proptest::collection::vec((any::<u8>(), 1u16..500), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the programs do, the trace replays consistently:
+    /// concurrency never exceeds the logical-CPU count, the c-fractions sum
+    /// to one, every exited thread has an end record, and per-CPU switch
+    /// chains are well-formed.
+    #[test]
+    fn trace_stays_physically_consistent(
+        programs in proptest::collection::vec(arb_program(), 1..10),
+        logical in 1usize..=12,
+        seed: u64,
+    ) {
+        let cpu = simcpu::presets::i7_8700k();
+        let topo = simcpu::Topology::with_logical_cpus(&cpu, logical, true);
+        let mut cfg = MachineConfig::new(cpu).with_seed(seed);
+        cfg.topology = topo;
+        let mut m = Machine::new(cfg);
+        let pid = m.add_process("prop.exe");
+        let n_threads = programs.len();
+        for (i, steps) in programs.into_iter().enumerate() {
+            m.spawn(
+                pid,
+                &format!("t{i}"),
+                Box::new(ScriptedProgram { steps, idx: 0 }),
+            );
+        }
+        m.run_for(SimDuration::from_millis(200));
+        let trace = m.into_trace();
+        let filter: PidSet = [pid.0].into_iter().collect();
+
+        // (1) Concurrency bounded by the enabled logical CPUs.
+        let profile = analysis::concurrency(&trace, &filter);
+        prop_assert!(profile.max_concurrency() <= logical);
+        prop_assert!(profile.max_concurrency() <= n_threads);
+
+        // (2) Fractions form a distribution.
+        let sum: f64 = profile.fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+
+        // (3) TLP bounded by [1, n] whenever any busy time exists.
+        let tlp = profile.tlp();
+        if tlp > 0.0 {
+            prop_assert!(tlp >= 1.0 - 1e-9 && tlp <= logical as f64 + 1e-9);
+        }
+
+        // (4) Per-CPU switch chains: `old` always matches the previous `new`.
+        let mut per_cpu: HashMap<usize, Option<u64>> = HashMap::new();
+        for ev in trace.events() {
+            if let TraceEvent::CSwitch { cpu, old, new, .. } = ev {
+                prop_assert!(*cpu < logical, "switch on disabled cpu {cpu}");
+                let slot = per_cpu.entry(*cpu).or_insert(None);
+                prop_assert_eq!(*slot, old.map(|k| k.tid), "broken chain on cpu {}", cpu);
+                *slot = new.map(|k| k.tid);
+            }
+        }
+
+        // (5) Threads end at most once, and never run after ending.
+        let mut ended = std::collections::HashSet::new();
+        for ev in trace.events() {
+            match ev {
+                TraceEvent::ThreadEnd { key, .. } => {
+                    prop_assert!(ended.insert(key.tid), "double end for {}", key.tid);
+                }
+                TraceEvent::CSwitch { new: Some(k), .. } => {
+                    prop_assert!(!ended.contains(&k.tid), "zombie thread {}", k.tid);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Identical (programs, seed) replay to identical traces.
+    #[test]
+    fn determinism_under_arbitrary_programs(
+        programs in proptest::collection::vec(arb_program(), 1..6),
+        seed: u64,
+    ) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::study_rig(12, true).with_seed(seed));
+            let pid = m.add_process("det.exe");
+            for (i, steps) in programs.iter().cloned().enumerate() {
+                m.spawn(pid, &format!("t{i}"), Box::new(ScriptedProgram { steps, idx: 0 }));
+            }
+            m.run_for(SimDuration::from_millis(50));
+            m.into_trace()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Total computed work is conserved: a single always-compute thread gets
+    /// the machine's full single-core speed regardless of seed or quantum.
+    #[test]
+    fn single_thread_throughput_is_exact(seed: u64, quantum_ms in 1u64..20) {
+        let cfg = MachineConfig::study_rig(12, true)
+            .with_seed(seed)
+            .with_quantum(SimDuration::from_millis(quantum_ms));
+        let mut m = Machine::new(cfg);
+        let pid = m.add_process("solo.exe");
+        // 50 reference-ms at 4.7 GHz turbo = 50 * 3.7/4.7 ≈ 39.36 wall-ms.
+        m.spawn(
+            pid,
+            "solo",
+            Box::new(ScriptedProgram { steps: vec![(0, 5000)], idx: 0 }),
+        );
+        m.run_for(SimDuration::from_millis(100));
+        let trace = m.into_trace();
+        let end = trace.events().iter().find_map(|e| match e {
+            TraceEvent::ThreadEnd { at, .. } => Some(at.as_secs_f64() * 1e3),
+            _ => None,
+        });
+        let end = end.expect("thread finishes well within the window");
+        prop_assert!((end - 50.0 * 3.7 / 4.7).abs() < 0.5, "finished at {end} ms");
+    }
+}

@@ -1,0 +1,185 @@
+//! "Ethash-lite": a scaled-down Hashimoto proof-of-work.
+//!
+//! Real Ethash derives a multi-gigabyte DAG from a keccak-seeded cache and
+//! makes 64 data-dependent 128-byte reads per hash. This substrate keeps the
+//! structure — keccak-seeded pseudo-random cache, data-dependent gather
+//! loop, FNV mixing, keccak finalization — at laptop scale, preserving the
+//! memory-bound behaviour that distinguishes Ethash from SHA-256d in the
+//! simulator's `simcpu::ComputeKind` terms.
+
+use crate::keccak::{keccak256, keccak512_lite};
+
+const FNV_PRIME: u32 = 0x0100_0193;
+
+fn fnv(a: u32, b: u32) -> u32 {
+    a.wrapping_mul(FNV_PRIME) ^ b
+}
+
+/// The light cache used by [`hashimoto_lite`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthashCache {
+    words: Vec<u32>,
+}
+
+impl EthashCache {
+    /// Generates a cache of `kib` KiB from an epoch seed.
+    ///
+    /// # Panics
+    /// Panics if `kib` is zero.
+    pub fn generate(epoch_seed: u64, kib: usize) -> Self {
+        assert!(kib > 0, "cache size must be positive");
+        let n_words = kib * 1024 / 4;
+        let mut words = Vec::with_capacity(n_words);
+        let mut block = keccak512_lite(&epoch_seed.to_le_bytes());
+        while words.len() < n_words {
+            for chunk in block.chunks_exact(4) {
+                if words.len() == n_words {
+                    break;
+                }
+                words.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+            block = keccak512_lite(&block);
+        }
+        // One RandMemoHash-style smoothing round.
+        let len = words.len();
+        for i in 0..len {
+            let v = words[(i + len - 1) % len];
+            let w = words[words[i] as usize % len];
+            words[i] = fnv(v, w);
+        }
+        EthashCache { words }
+    }
+
+    /// Number of 32-bit words in the cache.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the cache is empty (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// One ethash-lite hash: `mix_rounds` data-dependent cache reads folded with
+/// FNV, finalized with keccak-256. Returns the 32-byte digest.
+pub fn hashimoto_lite(
+    header_hash: &[u8; 32],
+    nonce: u64,
+    cache: &EthashCache,
+    mix_rounds: usize,
+) -> [u8; 32] {
+    let mut seed_input = [0u8; 40];
+    seed_input[..32].copy_from_slice(header_hash);
+    seed_input[32..].copy_from_slice(&nonce.to_le_bytes());
+    let seed = keccak256(&seed_input);
+
+    // Initialize the 8-word mix from the seed.
+    let mut mix = [0u32; 8];
+    for (i, chunk) in seed.chunks_exact(4).enumerate() {
+        mix[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    let len = cache.words.len();
+    for round in 0..mix_rounds {
+        let index = fnv(round as u32 ^ mix[round % 8], mix[(round + 1) % 8]) as usize % len;
+        for (i, m) in mix.iter_mut().enumerate() {
+            *m = fnv(*m, cache.words[(index + i) % len]);
+        }
+    }
+    // Compress and finalize.
+    let mut out_input = [0u8; 64];
+    out_input[..32].copy_from_slice(&seed);
+    for (i, m) in mix.iter().enumerate() {
+        out_input[32 + 4 * i..32 + 4 * i + 4].copy_from_slice(&m.to_le_bytes());
+    }
+    keccak256(&out_input)
+}
+
+/// Scans a nonce range for a digest with at least `target_zero_bits` leading
+/// zero bits; returns the hit (if any) and hashes performed.
+pub fn scan_ethash(
+    header_hash: &[u8; 32],
+    nonces: std::ops::Range<u64>,
+    cache: &EthashCache,
+    mix_rounds: usize,
+    target_zero_bits: u32,
+) -> (Option<(u64, [u8; 32])>, u64) {
+    let mut hashes = 0;
+    for nonce in nonces {
+        hashes += 1;
+        let digest = hashimoto_lite(header_hash, nonce, cache, mix_rounds);
+        if leading_zero_bits(&digest) >= target_zero_bits {
+            return (Some((nonce, digest)), hashes);
+        }
+    }
+    (None, hashes)
+}
+
+fn leading_zero_bits(digest: &[u8; 32]) -> u32 {
+    let mut bits = 0;
+    for &b in digest {
+        if b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_is_deterministic_per_seed() {
+        let a = EthashCache::generate(7, 16);
+        let b = EthashCache::generate(7, 16);
+        let c = EthashCache::generate(8, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16 * 1024 / 4);
+    }
+
+    #[test]
+    fn hash_depends_on_all_inputs() {
+        let cache = EthashCache::generate(1, 16);
+        let h = [0x11u8; 32];
+        let d0 = hashimoto_lite(&h, 0, &cache, 16);
+        assert_ne!(d0, hashimoto_lite(&h, 1, &cache, 16), "nonce ignored");
+        let mut h2 = h;
+        h2[0] ^= 1;
+        assert_ne!(d0, hashimoto_lite(&h2, 0, &cache, 16), "header ignored");
+        assert_ne!(d0, hashimoto_lite(&h, 0, &cache, 17), "rounds ignored");
+        let cache2 = EthashCache::generate(2, 16);
+        assert_ne!(d0, hashimoto_lite(&h, 0, &cache2, 16), "cache ignored");
+    }
+
+    #[test]
+    fn hash_is_reproducible() {
+        let cache = EthashCache::generate(3, 16);
+        let h = [0xabu8; 32];
+        assert_eq!(
+            hashimoto_lite(&h, 99, &cache, 32),
+            hashimoto_lite(&h, 99, &cache, 32)
+        );
+    }
+
+    #[test]
+    fn scan_finds_low_difficulty_share() {
+        let cache = EthashCache::generate(5, 16);
+        let h = [0x42u8; 32];
+        let (hit, hashes) = scan_ethash(&h, 0..100_000, &cache, 8, 10);
+        let (nonce, digest) = hit.expect("no share at 10 bits in 100k nonces");
+        assert!(leading_zero_bits(&digest) >= 10);
+        assert!(hashes <= 100_000);
+        assert_eq!(digest, hashimoto_lite(&h, nonce, &cache, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cache_rejected() {
+        EthashCache::generate(0, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Keccak-f\[1600\] permutation and the Ethereum-style Keccak-256 hash
+//! (original Keccak padding `0x01`, not the SHA-3 `0x06`).
+
+const RC: [u64; 24] = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+/// Applies the Keccak-f\[1600\] permutation in place.
+pub fn keccak_f1600(state: &mut [u64; 25]) {
+    for &rc in &RC {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut last = state[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = state[j];
+            state[j] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // χ
+        for y in 0..5 {
+            let row = [
+                state[5 * y],
+                state[5 * y + 1],
+                state[5 * y + 2],
+                state[5 * y + 3],
+                state[5 * y + 4],
+            ];
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ (!row[(x + 1) % 5] & row[(x + 2) % 5]);
+            }
+        }
+        // ι
+        state[0] ^= rc;
+    }
+}
+
+/// Ethereum's Keccak-256.
+///
+/// ```
+/// use cryptomine::keccak::keccak256;
+/// let d = keccak256(b"");
+/// assert_eq!(d[0], 0xc5);
+/// assert_eq!(d[31], 0x70);
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    const RATE: usize = 136; // 1088-bit rate for 256-bit output
+    let mut state = [0u64; 25];
+    let mut offset = 0;
+    // Absorb full blocks.
+    while data.len() - offset >= RATE {
+        absorb_block(&mut state, &data[offset..offset + RATE]);
+        keccak_f1600(&mut state);
+        offset += RATE;
+    }
+    // Final padded block (original Keccak pad: 0x01 … 0x80).
+    let mut block = [0u8; RATE];
+    let rem = data.len() - offset;
+    block[..rem].copy_from_slice(&data[offset..]);
+    block[rem] = 0x01;
+    block[RATE - 1] |= 0x80;
+    absorb_block(&mut state, &block);
+    keccak_f1600(&mut state);
+    // Squeeze 32 bytes.
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[8 * i..8 * i + 8].copy_from_slice(&state[i].to_le_bytes());
+    }
+    out
+}
+
+fn absorb_block(state: &mut [u64; 25], block: &[u8]) {
+    debug_assert_eq!(block.len() % 8, 0);
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        let mut lane = [0u8; 8];
+        lane.copy_from_slice(chunk);
+        state[i] ^= u64::from_le_bytes(lane);
+    }
+}
+
+/// Ethereum's Keccak-512 (original Keccak padding, 576-bit rate) — the hash
+/// that seeds the real Ethash cache, and ours.
+pub fn keccak512(data: &[u8]) -> [u8; 64] {
+    const RATE: usize = 72; // 576-bit rate for 512-bit output
+    let mut state = [0u64; 25];
+    let mut offset = 0;
+    while data.len() - offset >= RATE {
+        absorb_block(&mut state, &data[offset..offset + RATE]);
+        keccak_f1600(&mut state);
+        offset += RATE;
+    }
+    let mut block = [0u8; RATE];
+    let rem = data.len() - offset;
+    block[..rem].copy_from_slice(&data[offset..]);
+    block[rem] = 0x01;
+    block[RATE - 1] |= 0x80;
+    absorb_block(&mut state, &block);
+    keccak_f1600(&mut state);
+    let mut out = [0u8; 64];
+    for i in 0..8 {
+        out[8 * i..8 * i + 8].copy_from_slice(&state[i].to_le_bytes());
+    }
+    out
+}
+
+/// Backwards-compatible alias for the cache seeder (now the real thing).
+pub fn keccak512_lite(data: &[u8]) -> [u8; 64] {
+    keccak512(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn keccak256_empty_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn keccak256_known_strings() {
+        // Ethereum ecosystem test values.
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+        assert_eq!(
+            hex(&keccak256(b"hello")),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn multiblock_input() {
+        // > 136 bytes exercises the absorb loop.
+        let data = vec![0xabu8; 300];
+        let d1 = keccak256(&data);
+        let d2 = keccak256(&data);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, keccak256(&data[..299]));
+    }
+
+    #[test]
+    fn permutation_changes_state() {
+        let mut s = [0u64; 25];
+        keccak_f1600(&mut s);
+        // Known first lane of keccak-f applied to the zero state.
+        assert_eq!(s[0], 0xf1258f7940e1dde7);
+    }
+
+    #[test]
+    fn keccak512_empty_vector() {
+        // Original Keccak-512 (pre-SHA-3 padding) of the empty string.
+        let d = keccak512(b"");
+        assert_eq!(
+            hex(&d),
+            "0eab42de4c3ceb9235fc91acffe746b29c29a8c366b7c60e4e67c466f36a4304\
+             c00fa9caf9d87976ba469bcbe06713b435f091ef2769fb160cdab33d3670680e"
+        );
+    }
+
+    #[test]
+    fn keccak512_multiblock() {
+        // > 72 bytes exercises the absorb loop; determinism + sensitivity.
+        let data = vec![0x42u8; 200];
+        assert_eq!(keccak512(&data), keccak512(&data));
+        assert_ne!(keccak512(&data)[..], keccak512(&data[..199])[..]);
+        let d = keccak512_lite(b"seed");
+        assert_ne!(d[..32], d[32..]);
+    }
+}

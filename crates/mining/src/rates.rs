@@ -1,0 +1,69 @@
+//! Hash-rate models connecting the kernels to the simulated hardware.
+//!
+//! Absolute rates are synthetic but the *ratios* follow the published
+//! hardware specs, which is what the paper's Fig. 10 discussion relies on
+//! ("the hash rate of GTX 680 is at least 2× lower despite the assistance
+//! of the CPU").
+
+use simgpu::{GpuSpec, PacketKind};
+
+/// GFLOP-equivalents one SHA-256d hash costs on a GPU (two compression
+/// functions ≈ a few thousand simple ops).
+pub const SHA256D_GFLOP_PER_HASH: f64 = 7.0e-6;
+
+/// GFLOP-equivalents one Ethash hash costs (dominated by memory stalls the
+/// efficiency table charges to the architecture).
+pub const ETHASH_GFLOP_PER_HASH: f64 = 3.3e-4;
+
+/// Single-core CPU SHA-256d rate at the study rig's reference clock, in
+/// hashes/second (software miner without SHA extensions).
+pub const CPU_SHA256D_PER_CORE: f64 = 2.0e6;
+
+/// GPU SHA-256d hash rate in hashes/second.
+pub fn gpu_sha256d_rate(gpu: &GpuSpec) -> f64 {
+    gpu.effective_gflops(PacketKind::Sha256) / SHA256D_GFLOP_PER_HASH
+}
+
+/// GPU Ethash hash rate in hashes/second, including the dispatch-gap dead
+/// time on architectures that cannot keep the kernel fed (Kepler).
+pub fn gpu_ethash_rate(gpu: &GpuSpec) -> f64 {
+    let raw = gpu.effective_gflops(PacketKind::Ethash) / ETHASH_GFLOP_PER_HASH;
+    raw / (1.0 + gpu.dispatch_gap_frac(PacketKind::Ethash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::presets;
+
+    #[test]
+    fn gtx_680_sha_rate_at_least_2x_lower() {
+        // The paper: "the hash rate of GTX 680 is at least 2× lower".
+        let hi = gpu_sha256d_rate(&presets::gtx_1080_ti());
+        let mid = gpu_sha256d_rate(&presets::gtx_680());
+        assert!(hi / mid >= 2.0, "ratio {}", hi / mid);
+    }
+
+    #[test]
+    fn kepler_ethash_collapses() {
+        let hi = gpu_ethash_rate(&presets::gtx_1080_ti());
+        let mid = gpu_ethash_rate(&presets::gtx_680());
+        // Far worse than the raw 3.4x FLOPS gap.
+        assert!(hi / mid > 8.0, "ratio {}", hi / mid);
+    }
+
+    #[test]
+    fn plausible_magnitudes() {
+        let hi = presets::gtx_1080_ti();
+        // ~1.5 GH/s SHA-256d and ~32 MH/s ethash for a 1080 Ti-class card.
+        let sha = gpu_sha256d_rate(&hi);
+        assert!((1.0e9..3.0e9).contains(&sha), "sha {sha}");
+        let eth = gpu_ethash_rate(&hi);
+        assert!((2.0e7..5.0e7).contains(&eth), "eth {eth}");
+    }
+
+    #[test]
+    fn cpu_rate_is_orders_below_gpu() {
+        assert!(gpu_sha256d_rate(&presets::gtx_1080_ti()) / CPU_SHA256D_PER_CORE > 100.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The future-event list: a timestamp-ordered queue with FIFO tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: ordering key is `(time, seq)` so that two events at the
+/// same instant pop in the order they were scheduled (deterministic replay).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timestamped events — the discrete-event "calendar".
+///
+/// Events scheduled for the same instant are delivered in scheduling order,
+/// which makes simulations bit-for-bit reproducible.
+///
+/// ```
+/// use simcore::{EventCalendar, SimTime};
+/// let mut cal = EventCalendar::new();
+/// cal.schedule(SimTime::from_nanos(10), 'b');
+/// cal.schedule(SimTime::from_nanos(10), 'c');
+/// cal.schedule(SimTime::from_nanos(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventCalendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is allowed (the caller's event loop decides how
+    /// to treat it); entries still pop in `(time, insertion)` order.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventCalendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCalendar")
+            .field("pending", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = EventCalendar::new();
+        for &t in &[30u64, 10, 20, 5, 25] {
+            cal.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((t, e)) = cal.pop() {
+            assert_eq!(t.as_nanos(), e);
+            out.push(e);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut cal = EventCalendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime::from_nanos(7), i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut cal = EventCalendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.peek_time(), None);
+        cal.schedule(SimTime::from_nanos(9), ());
+        cal.schedule(SimTime::from_nanos(3), ());
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(3)));
+        cal.clear();
+        assert!(cal.is_empty());
+    }
+
+    proptest! {
+        /// Popping the calendar always yields a non-decreasing time sequence,
+        /// and every scheduled event comes back exactly once.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let mut cal = EventCalendar::new();
+            for (i, &t) in times.iter().enumerate() {
+                cal.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut seen = vec![false; times.len()];
+            while let Some((t, idx)) = cal.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                prop_assert!(!seen[idx]);
+                seen[idx] = true;
+                prop_assert_eq!(t.as_nanos(), times[idx]);
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// Equal-time events preserve insertion order.
+        #[test]
+        fn prop_stable_ties(n in 1usize..100) {
+            let mut cal = EventCalendar::new();
+            for i in 0..n {
+                cal.schedule(SimTime::from_nanos(42), i);
+            }
+            let popped: Vec<usize> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+            prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

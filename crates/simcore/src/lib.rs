@@ -1,0 +1,37 @@
+//! # simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the desktop-parallelism study reproduction. Everything
+//! above this crate (CPU scheduler, GPU engine, workloads) is driven by the
+//! primitives here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time as integer nanoseconds, so
+//!   simulations are exactly reproducible (no floating-point drift in the
+//!   event order).
+//! * [`EventCalendar`] — a priority queue of timestamped events with stable
+//!   FIFO tie-breaking, the classic DES "future event list".
+//! * [`Rng`] — a self-contained xoshiro256** generator so experiment
+//!   iterations are seeded and replayable without external dependencies.
+//! * [`stats`] — Welford mean/σ accumulators, time-weighted averages,
+//!   histograms and time series used by the trace analyzers.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{EventCalendar, SimDuration, SimTime};
+//!
+//! let mut cal: EventCalendar<&str> = EventCalendar::new();
+//! cal.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! cal.schedule(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, ev) = cal.pop().unwrap();
+//! assert_eq!((t.as_millis(), ev), (1, "a"));
+//! ```
+
+pub mod calendar;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::EventCalendar;
+pub use rng::Rng;
+pub use stats::{Histogram, RunningStat, Series, TimeWeighted};
+pub use time::{SimDuration, SimTime};

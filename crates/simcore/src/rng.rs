@@ -1,0 +1,251 @@
+//! Seeded pseudo-random numbers: xoshiro256** with a SplitMix64 seeder.
+//!
+//! Self-contained so that the whole simulation stack has exactly one source
+//! of nondeterminism — the experiment seed. The generator is the public
+//! xoshiro256** 1.0 algorithm (Blackman & Vigna), which passes BigCrush and
+//! is more than adequate for workload jitter.
+
+use crate::time::SimDuration;
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// ```
+/// use simcore::Rng;
+/// let mut a = Rng::seed_from(42);
+/// let mut b = Rng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child stream, e.g. one per simulated thread.
+    ///
+    /// Mixing the label through SplitMix64 keeps child streams decorrelated
+    /// even for adjacent labels.
+    pub fn fork(&mut self, label: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::seed_from(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform range inverted: {lo} > {hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Lemire-style rejection-free reduction is fine at these rates.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Normal sample via Box–Muller.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        mean + sigma * r * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = self.next_f64().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// A duration jittered around `nominal`: `nominal * max(0, N(1, rel_sigma))`.
+    ///
+    /// This is the "AutoIt vs human" knob: automated scripts use tiny
+    /// `rel_sigma`, manual input uses large.
+    pub fn jitter(&mut self, nominal: SimDuration, rel_sigma: f64) -> SimDuration {
+        let k = self.normal(1.0, rel_sigma).max(0.0);
+        nominal.mul_f64(k)
+    }
+
+    /// Picks an index according to `weights`; returns `weights.len() - 1` on
+    /// numerical fall-through.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::{prop_assert, proptest};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from(1234);
+        let mut b = Rng::seed_from(1234);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut root = Rng::seed_from(7);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Rng::seed_from(99);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from(6);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(7.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weight() {
+        let mut rng = Rng::seed_from(11);
+        for _ in 0..1000 {
+            let i = rng.weighted_index(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let mut rng = Rng::seed_from(3);
+        let d = SimDuration::from_millis(100);
+        assert_eq!(rng.jitter(d, 0.0), d);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_below_in_range(seed: u64, n in 1u64..1_000_000) {
+            let mut rng = Rng::seed_from(seed);
+            for _ in 0..32 {
+                prop_assert!(rng.below(n) < n);
+            }
+        }
+
+        #[test]
+        fn prop_uniform_in_range(seed: u64, lo in -100.0f64..100.0, width in 0.0f64..50.0) {
+            let mut rng = Rng::seed_from(seed);
+            let hi = lo + width;
+            for _ in 0..16 {
+                let x = rng.uniform(lo, hi);
+                prop_assert!(x >= lo && (x < hi || width == 0.0));
+            }
+        }
+
+        #[test]
+        fn prop_weighted_index_valid(seed: u64, weights in proptest::collection::vec(0.01f64..10.0, 1..10)) {
+            let mut rng = Rng::seed_from(seed);
+            for _ in 0..16 {
+                prop_assert!(rng.weighted_index(&weights) < weights.len());
+            }
+        }
+    }
+}

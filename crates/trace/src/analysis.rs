@@ -1,0 +1,875 @@
+//! Replay analyzers: TLP (Equation 1), concurrency heat-map rows,
+//! instantaneous timelines, GPU utilization and FPS.
+
+use crate::event::{EtlTrace, PidSet, TraceEvent};
+use simcore::{Histogram, Series, SimDuration, SimTime};
+
+/// The `c_0..c_n` execution-time distribution for one application — one row
+/// of the paper's Table II heat-map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConcurrencyProfile {
+    histogram: Histogram,
+    n_logical: usize,
+}
+
+impl ConcurrencyProfile {
+    /// Number of logical CPUs (`n` in Equation 1).
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    /// The underlying time-weighted histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Fractions `c_0..c_n` of the observation window.
+    pub fn fractions(&self) -> Vec<f64> {
+        self.histogram.fractions()
+    }
+
+    /// Thread-level parallelism per the paper's Equation 1.
+    pub fn tlp(&self) -> f64 {
+        self.histogram.tlp()
+    }
+
+    /// Highest concurrency level with non-zero time ("instantaneous TLP
+    /// reaches the maximum of 12" style statements).
+    pub fn max_concurrency(&self) -> usize {
+        (0..=self.n_logical)
+            .rev()
+            .find(|&i| !self.histogram.bin(i).is_zero())
+            .unwrap_or(0)
+    }
+
+    /// Fraction of *busy* time spent at exactly `i` concurrent threads
+    /// (the paper: "Excel spent 3.7 % of time using the maximum number of
+    /// available logical cores").
+    pub fn busy_fraction_at(&self, i: usize) -> f64 {
+        let total = self.histogram.total() - self.histogram.bin(0);
+        if total.is_zero() || i == 0 {
+            return 0.0;
+        }
+        self.histogram.bin(i) / total
+    }
+}
+
+/// Replays context switches and returns the concurrency profile for the
+/// processes in `filter`.
+///
+/// The replay maintains the running thread on each logical CPU; between
+/// consecutive events the number of CPUs running filtered threads is
+/// constant and its duration accumulates in that bin.
+pub fn concurrency(trace: &EtlTrace, filter: &PidSet) -> ConcurrencyProfile {
+    let n = trace.n_logical_cpus();
+    let mut hist = Histogram::new(n);
+    let mut per_cpu: Vec<Option<u64>> = vec![None; n];
+    let mut running = 0usize;
+    let mut cursor = trace.start();
+    for ev in trace.events() {
+        if let TraceEvent::CSwitch {
+            at, cpu, old, new, ..
+        } = ev
+        {
+            let at = (*at).max(trace.start()).min(trace.end());
+            hist.add(running, at.saturating_since(cursor));
+            cursor = at;
+            debug_assert!(*cpu < n, "CSwitch on disabled cpu {cpu}");
+            if let Some(prev) = per_cpu[*cpu] {
+                debug_assert_eq!(Some(prev), old.map(|k| k.pid), "cswitch old mismatch");
+                if filter.contains(prev) {
+                    running -= 1;
+                }
+            }
+            per_cpu[*cpu] = new.map(|k| k.pid);
+            if let Some(next) = per_cpu[*cpu] {
+                if filter.contains(next) {
+                    running += 1;
+                }
+            }
+        }
+    }
+    hist.add(running, trace.end().saturating_since(cursor));
+    ConcurrencyProfile {
+        histogram: hist,
+        n_logical: n,
+    }
+}
+
+/// Instantaneous TLP over time: for each `bin`, the busy-time-weighted mean
+/// concurrency (idle time excluded, like Equation 1 restricted to the bin);
+/// bins with no busy time report 0. This is the signal plotted in the
+/// paper's Figures 5–7.
+pub fn instantaneous_tlp(trace: &EtlTrace, filter: &PidSet, bin: SimDuration) -> Series {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let n = trace.n_logical_cpus();
+    let mut per_cpu: Vec<Option<u64>> = vec![None; n];
+    let mut running = 0usize;
+    let mut cursor = trace.start();
+    let mut bin_start = trace.start();
+    let mut busy = SimDuration::ZERO;
+    let mut weighted = 0.0f64;
+    let mut out = Series::new();
+
+    let flush_bins_until = |t: SimTime,
+                                running: usize,
+                                cursor: &mut SimTime,
+                                bin_start: &mut SimTime,
+                                busy: &mut SimDuration,
+                                weighted: &mut f64,
+                                out: &mut Series| {
+        while *cursor < t {
+            let bin_end = *bin_start + bin;
+            let seg_end = t.min(bin_end);
+            let dt = seg_end.saturating_since(*cursor);
+            if running > 0 {
+                *busy += dt;
+                *weighted += running as f64 * dt.as_secs_f64();
+            }
+            *cursor = seg_end;
+            if *cursor >= bin_end {
+                let v = if busy.is_zero() {
+                    0.0
+                } else {
+                    *weighted / busy.as_secs_f64()
+                };
+                out.push(*bin_start, v);
+                *bin_start = bin_end;
+                *busy = SimDuration::ZERO;
+                *weighted = 0.0;
+            }
+        }
+    };
+
+    for ev in trace.events() {
+        if let TraceEvent::CSwitch {
+            at, cpu, old: _, new, ..
+        } = ev
+        {
+            let at = (*at).max(trace.start()).min(trace.end());
+            flush_bins_until(
+                at, running, &mut cursor, &mut bin_start, &mut busy, &mut weighted, &mut out,
+            );
+            if let Some(prev) = per_cpu[*cpu] {
+                if filter.contains(prev) {
+                    running -= 1;
+                }
+            }
+            per_cpu[*cpu] = new.map(|k| k.pid);
+            if let Some(next) = per_cpu[*cpu] {
+                if filter.contains(next) {
+                    running += 1;
+                }
+            }
+        }
+    }
+    flush_bins_until(
+        trace.end(),
+        running,
+        &mut cursor,
+        &mut bin_start,
+        &mut busy,
+        &mut weighted,
+        &mut out,
+    );
+    // Emit the final partial bin if it saw anything.
+    if bin_start < trace.end() {
+        let v = if busy.is_zero() {
+            0.0
+        } else {
+            weighted / busy.as_secs_f64()
+        };
+        out.push(bin_start, v);
+    }
+    out
+}
+
+/// GPU utilization summary for one observation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuUtil {
+    /// Fraction of the window during which ≥1 packet was executing
+    /// (union across engines) — the headline "GPU utilization %".
+    pub busy_frac: f64,
+    /// Sum of packet execution times over the window; exceeds `busy_frac`
+    /// when engines overlap (PhoenixMiner's two concurrent packets).
+    pub sum_frac: f64,
+    /// Mean number of packets in flight while the GPU was busy.
+    pub mean_outstanding: f64,
+}
+
+impl GpuUtil {
+    /// Utilization as a percentage in `[0, 100]`.
+    pub fn percent(&self) -> f64 {
+        self.busy_frac * 100.0
+    }
+}
+
+/// Computes GPU utilization from packet start/finish records.
+///
+/// `filter` restricts to packets submitted by those processes (pass the
+/// application's [`PidSet`]); `gpu` restricts to one device (`None` = all).
+pub fn gpu_utilization(trace: &EtlTrace, filter: &PidSet, gpu: Option<usize>) -> GpuUtil {
+    let window = trace.window().as_secs_f64();
+    if window <= 0.0 {
+        return GpuUtil {
+            busy_frac: 0.0,
+            sum_frac: 0.0,
+            mean_outstanding: 0.0,
+        };
+    }
+    let mut outstanding = 0i64;
+    let mut cursor = trace.start();
+    let mut busy = 0.0f64;
+    let mut sum = 0.0f64;
+    for ev in trace.events() {
+        let (at, delta) = match ev {
+            TraceEvent::GpuStart { at, gpu: g, pid, .. }
+                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
+            {
+                (*at, 1)
+            }
+            TraceEvent::GpuEnd { at, gpu: g, pid, .. }
+                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
+            {
+                (*at, -1)
+            }
+            _ => continue,
+        };
+        let at = at.max(trace.start()).min(trace.end());
+        let dt = at.saturating_since(cursor).as_secs_f64();
+        if outstanding > 0 {
+            busy += dt;
+            sum += outstanding as f64 * dt;
+        }
+        cursor = at;
+        outstanding += delta;
+        debug_assert!(outstanding >= 0, "GpuEnd without matching GpuStart");
+    }
+    let dt = trace.end().saturating_since(cursor).as_secs_f64();
+    if outstanding > 0 {
+        busy += dt;
+        sum += outstanding as f64 * dt;
+    }
+    GpuUtil {
+        busy_frac: busy / window,
+        sum_frac: sum / window,
+        mean_outstanding: if busy > 0.0 { sum / busy } else { 0.0 },
+    }
+}
+
+/// GPU busy percentage per time bin (the GPU curves of Figures 5–7 and 9).
+pub fn gpu_util_series(
+    trace: &EtlTrace,
+    filter: &PidSet,
+    gpu: Option<usize>,
+    bin: SimDuration,
+) -> Series {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let mut outstanding = 0i64;
+    let mut cursor = trace.start();
+    let mut bin_start = trace.start();
+    let mut busy = SimDuration::ZERO;
+    let mut out = Series::new();
+
+    let advance = |t: SimTime,
+                       outstanding: i64,
+                       cursor: &mut SimTime,
+                       bin_start: &mut SimTime,
+                       busy: &mut SimDuration,
+                       out: &mut Series| {
+        while *cursor < t {
+            let bin_end = *bin_start + bin;
+            let seg_end = t.min(bin_end);
+            if outstanding > 0 {
+                *busy += seg_end.saturating_since(*cursor);
+            }
+            *cursor = seg_end;
+            if *cursor >= bin_end {
+                out.push(*bin_start, 100.0 * (*busy / bin));
+                *bin_start = bin_end;
+                *busy = SimDuration::ZERO;
+            }
+        }
+    };
+
+    for ev in trace.events() {
+        let (at, delta) = match ev {
+            TraceEvent::GpuStart { at, gpu: g, pid, .. }
+                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
+            {
+                (*at, 1)
+            }
+            TraceEvent::GpuEnd { at, gpu: g, pid, .. }
+                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
+            {
+                (*at, -1)
+            }
+            _ => continue,
+        };
+        let at = at.max(trace.start()).min(trace.end());
+        advance(at, outstanding, &mut cursor, &mut bin_start, &mut busy, &mut out);
+        outstanding += delta;
+    }
+    advance(
+        trace.end(),
+        outstanding,
+        &mut cursor,
+        &mut bin_start,
+        &mut busy,
+        &mut out,
+    );
+    if bin_start < trace.end() {
+        out.push(bin_start, 100.0 * (busy / bin));
+    }
+    out
+}
+
+/// Scheduler-behaviour statistics for one application: how long threads run
+/// between switches and how often they migrate across CPUs. (WPA exposes
+/// both from the same CSwitch table.)
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Completed on-CPU episodes observed.
+    pub episodes: u64,
+    /// Mean continuous on-CPU time per episode (ms).
+    pub mean_slice_ms: f64,
+    /// Longest continuous on-CPU episode (ms).
+    pub max_slice_ms: f64,
+    /// Times a thread resumed on a different CPU than it last ran on.
+    pub migrations: u64,
+}
+
+/// Computes run-episode lengths and cross-CPU migrations for `filter`.
+pub fn schedule_stats(trace: &EtlTrace, filter: &PidSet) -> ScheduleStats {
+    use std::collections::HashMap;
+    let mut on_cpu: HashMap<(u64, u64), (usize, SimTime)> = HashMap::new();
+    let mut last_cpu: HashMap<(u64, u64), usize> = HashMap::new();
+    let mut episodes = 0u64;
+    let mut total = 0.0f64;
+    let mut max = 0.0f64;
+    let mut migrations = 0u64;
+    for ev in trace.events() {
+        if let TraceEvent::CSwitch { at, cpu, old, new, .. } = ev {
+            if let Some(k) = old {
+                if filter.contains(k.pid) {
+                    if let Some((start_cpu, since)) = on_cpu.remove(&(k.pid, k.tid)) {
+                        debug_assert_eq!(start_cpu, *cpu);
+                        let ms = at.saturating_since(since).as_secs_f64() * 1e3;
+                        episodes += 1;
+                        total += ms;
+                        max = max.max(ms);
+                    }
+                }
+            }
+            if let Some(k) = new {
+                if filter.contains(k.pid) {
+                    if let Some(&prev) = last_cpu.get(&(k.pid, k.tid)) {
+                        if prev != *cpu {
+                            migrations += 1;
+                        }
+                    }
+                    last_cpu.insert((k.pid, k.tid), *cpu);
+                    on_cpu.insert((k.pid, k.tid), (*cpu, *at));
+                }
+            }
+        }
+    }
+    ScheduleStats {
+        episodes,
+        mean_slice_ms: if episodes > 0 { total / episodes as f64 } else { 0.0 },
+        max_slice_ms: max,
+        migrations,
+    }
+}
+
+/// Per-engine GPU busy fractions for `filter` on device `gpu` — splits
+/// utilization into 3D/compute queues vs the fixed-function encoder
+/// (`u32::MAX` engine id), the way WPA's GPU view groups by node.
+pub fn gpu_engine_breakdown(trace: &EtlTrace, filter: &PidSet, gpu: usize) -> Vec<(u32, f64)> {
+    use std::collections::BTreeMap;
+    let window = trace.window().as_secs_f64();
+    let mut outstanding: BTreeMap<u32, i64> = BTreeMap::new();
+    let mut busy: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut cursor = trace.start();
+    for ev in trace.events() {
+        let (at, engine, delta) = match ev {
+            TraceEvent::GpuStart { at, gpu: g, engine, pid, .. }
+                if *g == gpu && filter.contains(*pid) =>
+            {
+                (*at, *engine, 1)
+            }
+            TraceEvent::GpuEnd { at, gpu: g, engine, pid, .. }
+                if *g == gpu && filter.contains(*pid) =>
+            {
+                (*at, *engine, -1)
+            }
+            _ => continue,
+        };
+        let dt = at.saturating_since(cursor).as_secs_f64();
+        for (&e, &n) in &outstanding {
+            if n > 0 {
+                *busy.entry(e).or_default() += dt;
+            }
+        }
+        cursor = at;
+        *outstanding.entry(engine).or_default() += delta;
+    }
+    let dt = trace.end().saturating_since(cursor).as_secs_f64();
+    for (&e, &n) in &outstanding {
+        if n > 0 {
+            *busy.entry(e).or_default() += dt;
+        }
+    }
+    busy.into_iter()
+        .map(|(e, b)| (e, if window > 0.0 { b / window } else { 0.0 }))
+        .collect()
+}
+
+/// Per-process resource summary — a Task-Manager-style view of one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessSummary {
+    /// Process id.
+    pub pid: u64,
+    /// Image name.
+    pub name: String,
+    /// Threads the process created during the window.
+    pub threads: u64,
+    /// CPU busy time across all logical CPUs, in seconds.
+    pub cpu_seconds: f64,
+    /// Share of total machine CPU capacity, in percent.
+    pub cpu_percent: f64,
+    /// GPU busy fraction attributable to the process, in percent (union of
+    /// its packets' intervals).
+    pub gpu_percent: f64,
+}
+
+/// Summarizes every process in the trace, sorted by CPU seconds descending.
+pub fn per_process_summary(trace: &EtlTrace) -> Vec<ProcessSummary> {
+    use std::collections::HashMap;
+    let window = trace.window().as_secs_f64();
+    let mut names: HashMap<u64, String> = HashMap::new();
+    let mut threads: HashMap<u64, u64> = HashMap::new();
+    let mut cpu_seconds: HashMap<u64, f64> = HashMap::new();
+    // Replay context switches, attributing busy time per pid.
+    let n = trace.n_logical_cpus();
+    let mut per_cpu: Vec<Option<(u64, SimTime)>> = vec![None; n];
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::ProcessStart { pid, name, .. } => {
+                names.insert(*pid, name.clone());
+            }
+            TraceEvent::ThreadStart { key, .. } => {
+                *threads.entry(key.pid).or_default() += 1;
+            }
+            TraceEvent::CSwitch { at, cpu, new, .. } => {
+                if let Some((pid, since)) = per_cpu[*cpu].take() {
+                    *cpu_seconds.entry(pid).or_default() +=
+                        at.saturating_since(since).as_secs_f64();
+                }
+                per_cpu[*cpu] = new.map(|k| (k.pid, *at));
+            }
+            _ => {}
+        }
+    }
+    for slot in per_cpu.into_iter().flatten() {
+        let (pid, since) = slot;
+        *cpu_seconds.entry(pid).or_default() +=
+            trace.end().saturating_since(since).as_secs_f64();
+    }
+    let mut out: Vec<ProcessSummary> = names
+        .into_iter()
+        .map(|(pid, name)| {
+            let cpu = cpu_seconds.get(&pid).copied().unwrap_or(0.0);
+            let filter: PidSet = [pid].into_iter().collect();
+            let gpu = gpu_utilization(trace, &filter, None).percent();
+            ProcessSummary {
+                pid,
+                name,
+                threads: threads.get(&pid).copied().unwrap_or(0),
+                cpu_seconds: cpu,
+                cpu_percent: if window > 0.0 {
+                    100.0 * cpu / (window * n as f64)
+                } else {
+                    0.0
+                },
+                gpu_percent: gpu,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.cpu_seconds.total_cmp(&a.cpu_seconds).then(a.pid.cmp(&b.pid)));
+    out
+}
+
+/// Scheduling-latency (responsiveness) summary: ready-time → switch-in
+/// delays of an application's threads.
+///
+/// Flautner et al.'s original motivation for a second processor was that it
+/// "improved the responsiveness of interactive applications" (§II): with
+/// more logical CPUs, a woken thread waits less before running. This
+/// analyzer quantifies that from the CSwitch `ready_since` column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Number of scheduling events observed.
+    pub count: u64,
+    /// Mean ready→run delay in microseconds.
+    pub mean_us: f64,
+    /// 95th-percentile delay in microseconds.
+    pub p95_us: f64,
+    /// Worst delay in microseconds.
+    pub max_us: f64,
+}
+
+/// Computes ready→switch-in latency over the filtered processes.
+pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
+    let mut delays: Vec<f64> = Vec::new();
+    for ev in trace.events() {
+        if let TraceEvent::CSwitch {
+            at,
+            new: Some(key),
+            ready_since: Some(ready),
+            ..
+        } = ev
+        {
+            if filter.contains(key.pid) {
+                delays.push(at.saturating_since(*ready).as_nanos() as f64 / 1e3);
+            }
+        }
+    }
+    if delays.is_empty() {
+        return LatencyStats {
+            count: 0,
+            mean_us: 0.0,
+            p95_us: 0.0,
+            max_us: 0.0,
+        };
+    }
+    delays.sort_by(|a, b| a.total_cmp(b));
+    let count = delays.len() as u64;
+    let mean_us = delays.iter().sum::<f64>() / delays.len() as f64;
+    let p95_us = delays[((delays.len() - 1) as f64 * 0.95).round() as usize];
+    let max_us = *delays.last().expect("non-empty");
+    LatencyStats {
+        count,
+        mean_us,
+        p95_us,
+        max_us,
+    }
+}
+
+/// Frames per second over time from [`TraceEvent::Frame`] records
+/// (the paper's Figure 13). `pid` of `None` counts all processes.
+pub fn fps_series(trace: &EtlTrace, pid: Option<u64>, bin: SimDuration) -> Series {
+    assert!(!bin.is_zero(), "bin width must be positive");
+    let mut out = Series::new();
+    let mut bin_start = trace.start();
+    let mut count = 0u64;
+    for ev in trace.events() {
+        if let TraceEvent::Frame { at, pid: p } = ev {
+            if pid.map_or(false, |want| want != *p) {
+                continue;
+            }
+            while *at >= bin_start + bin {
+                out.push(bin_start, count as f64 / bin.as_secs_f64());
+                bin_start = bin_start + bin;
+                count = 0;
+            }
+            count += 1;
+        }
+    }
+    while bin_start + bin <= trace.end() {
+        out.push(bin_start, count as f64 / bin.as_secs_f64());
+        bin_start = bin_start + bin;
+        count = 0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ThreadKey, TraceBuilder};
+
+    fn key(pid: u64, tid: u64) -> ThreadKey {
+        ThreadKey { pid, tid }
+    }
+
+    fn sw(
+        at_ms: u64,
+        cpu: usize,
+        old: Option<ThreadKey>,
+        new: Option<ThreadKey>,
+    ) -> TraceEvent {
+        TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            cpu,
+            old,
+            new,
+            ready_since: None,
+        }
+    }
+
+    /// 2 CPUs, 10 ms window. App pid=1 runs: cpu0 [0,10), cpu1 [2,6).
+    /// c2 = 4ms, c1 = 6ms, c0 = 0 → TLP = (0.6*1 + 0.4*2)/1.0 = 1.4.
+    #[test]
+    fn tlp_equation_one_on_synthetic_trace() {
+        let mut b = TraceBuilder::new(2);
+        b.push(sw(0, 0, None, Some(key(1, 100))));
+        b.push(sw(2, 1, None, Some(key(1, 101))));
+        b.push(sw(6, 1, Some(key(1, 101)), None));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let prof = concurrency(&t, &filter);
+        assert!((prof.tlp() - 1.4).abs() < 1e-9, "tlp {}", prof.tlp());
+        assert_eq!(prof.max_concurrency(), 2);
+        let c = prof.fractions();
+        assert!((c[0] - 0.0).abs() < 1e-9);
+        assert!((c[1] - 0.6).abs() < 1e-9);
+        assert!((c[2] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_excludes_other_processes() {
+        let mut b = TraceBuilder::new(2);
+        b.push(sw(0, 0, None, Some(key(1, 100))));
+        b.push(sw(0, 1, None, Some(key(2, 200)))); // other app
+        b.push(sw(5, 0, Some(key(1, 100)), None));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let prof = concurrency(&t, &filter);
+        // pid 1 runs alone 5 of 10 ms → c0=0.5, c1=0.5 → TLP = 1.
+        assert!((prof.tlp() - 1.0).abs() < 1e-9);
+        let c = prof.fractions();
+        assert!((c[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_fraction_at_max() {
+        let mut b = TraceBuilder::new(2);
+        b.push(sw(0, 0, None, Some(key(1, 100))));
+        b.push(sw(8, 1, None, Some(key(1, 101))));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let prof = concurrency(&t, &filter);
+        // busy 10ms, 2 of them at concurrency 2 → 20% of busy time at max.
+        assert!((prof.busy_fraction_at(2) - 0.2).abs() < 1e-9);
+        assert_eq!(prof.busy_fraction_at(0), 0.0);
+    }
+
+    #[test]
+    fn instantaneous_tlp_bins() {
+        let mut b = TraceBuilder::new(2);
+        // Bin 1 (0-10ms): one thread. Bin 2 (10-20ms): two threads.
+        b.push(sw(0, 0, None, Some(key(1, 100))));
+        b.push(sw(10, 1, None, Some(key(1, 101))));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(20));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let s = instantaneous_tlp(&t, &filter, SimDuration::from_millis(10));
+        assert_eq!(s.len(), 2);
+        assert!((s.points()[0].1 - 1.0).abs() < 1e-9);
+        assert!((s.points()[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_bins_report_zero() {
+        let mut b = TraceBuilder::new(1);
+        b.push(sw(15, 0, None, Some(key(1, 100))));
+        b.push(sw(20, 0, Some(key(1, 100)), None));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(30));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let s = instantaneous_tlp(&t, &filter, SimDuration::from_millis(10));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.points()[0].1, 0.0); // 0-10: idle
+        assert!((s.points()[1].1 - 1.0).abs() < 1e-9); // 10-20: busy half, conc 1
+        assert_eq!(s.points()[2].1, 0.0); // 20-30: idle
+    }
+
+    fn gpu_ev(at_ms: u64, start: bool, engine: u32, packet: u64, pid: u64) -> TraceEvent {
+        let at = SimTime::ZERO + SimDuration::from_millis(at_ms);
+        if start {
+            TraceEvent::GpuStart {
+                at,
+                gpu: 0,
+                engine,
+                packet,
+                pid,
+            }
+        } else {
+            TraceEvent::GpuEnd {
+                at,
+                gpu: 0,
+                engine,
+                packet,
+                pid,
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_util_union_and_sum() {
+        let mut b = TraceBuilder::new(1);
+        // Engine 0 busy [0,6); engine 1 busy [4,8) → union 8ms of 10ms.
+        b.push(gpu_ev(0, true, 0, 1, 1));
+        b.push(gpu_ev(4, true, 1, 2, 1));
+        b.push(gpu_ev(6, false, 0, 1, 1));
+        b.push(gpu_ev(8, false, 1, 2, 1));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let u = gpu_utilization(&t, &filter, None);
+        assert!((u.busy_frac - 0.8).abs() < 1e-9, "{u:?}");
+        assert!((u.sum_frac - 1.0).abs() < 1e-9, "{u:?}");
+        assert!((u.mean_outstanding - 1.25).abs() < 1e-9, "{u:?}");
+        assert!((u.percent() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_util_filters_by_pid() {
+        let mut b = TraceBuilder::new(1);
+        b.push(gpu_ev(0, true, 0, 1, 42));
+        b.push(gpu_ev(10, false, 0, 1, 42));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let other: PidSet = [7u64].into_iter().collect();
+        assert_eq!(gpu_utilization(&t, &other, None).busy_frac, 0.0);
+        let mine: PidSet = [42u64].into_iter().collect();
+        assert!((gpu_utilization(&t, &mine, None).busy_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_series_bins() {
+        let mut b = TraceBuilder::new(1);
+        b.push(gpu_ev(0, true, 0, 1, 1));
+        b.push(gpu_ev(5, false, 0, 1, 1));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(20));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let s = gpu_util_series(&t, &filter, None, SimDuration::from_millis(10));
+        assert_eq!(s.len(), 2);
+        assert!((s.points()[0].1 - 50.0).abs() < 1e-9);
+        assert!((s.points()[1].1 - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_counts_frames_per_bin() {
+        let mut b = TraceBuilder::new(1);
+        for i in 0..90 {
+            b.push(TraceEvent::Frame {
+                at: SimTime::ZERO + SimDuration::from_millis(i * 11),
+                pid: 5,
+            });
+        }
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
+        let s = fps_series(&t, Some(5), SimDuration::from_millis(500));
+        assert_eq!(s.len(), 2);
+        // ~91 fps cadence → ≈45 frames per 500 ms bin → ≈90 fps.
+        for (_, v) in s.iter() {
+            assert!((v - 90.0).abs() < 4.0, "fps {v}");
+        }
+        // Filtering by a different pid yields zeros.
+        let s0 = fps_series(&t, Some(9), SimDuration::from_millis(500));
+        assert!(s0.iter().all(|(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn schedule_stats_measure_slices_and_migrations() {
+        let mut b = TraceBuilder::new(2);
+        // Episode 1: tid 10 on cpu 0 for 4 ms; episode 2: same thread
+        // resumes on cpu 1 (a migration) for 2 ms.
+        b.push(sw(0, 0, None, Some(key(1, 10))));
+        b.push(sw(4, 0, Some(key(1, 10)), None));
+        b.push(sw(6, 1, None, Some(key(1, 10))));
+        b.push(sw(8, 1, Some(key(1, 10)), None));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let s = schedule_stats(&t, &filter);
+        assert_eq!(s.episodes, 2);
+        assert!((s.mean_slice_ms - 3.0).abs() < 1e-9);
+        assert!((s.max_slice_ms - 4.0).abs() < 1e-9);
+        assert_eq!(s.migrations, 1);
+    }
+
+    #[test]
+    fn engine_breakdown_splits_queues() {
+        let mut b = TraceBuilder::new(1);
+        // Engine 0 busy [0,6); NVENC (u32::MAX) busy [2,4).
+        b.push(gpu_ev(0, true, 0, 1, 1));
+        b.push(gpu_ev(2, true, u32::MAX, 2, 1));
+        b.push(gpu_ev(4, false, u32::MAX, 2, 1));
+        b.push(gpu_ev(6, false, 0, 1, 1));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let breakdown = gpu_engine_breakdown(&t, &filter, 0);
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0].0, 0);
+        assert!((breakdown[0].1 - 0.6).abs() < 1e-9);
+        assert_eq!(breakdown[1].0, u32::MAX);
+        assert!((breakdown[1].1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_process_summary_attributes_cpu_and_gpu() {
+        let mut b = TraceBuilder::new(2);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 1,
+            name: "busy.exe".into(),
+        });
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 2,
+            name: "idle.exe".into(),
+        });
+        b.push(TraceEvent::ThreadStart {
+            at: SimTime::ZERO,
+            key: key(1, 10),
+            name: "t".into(),
+        });
+        // pid 1 runs on cpu 0 for 8 of 10 ms; pid 2 never runs.
+        b.push(sw(0, 0, None, Some(key(1, 10))));
+        b.push(gpu_ev(2, true, 0, 1, 1));
+        b.push(gpu_ev(7, false, 0, 1, 1));
+        b.push(sw(8, 0, Some(key(1, 10)), None));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let summary = per_process_summary(&t);
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].name, "busy.exe");
+        assert_eq!(summary[0].threads, 1);
+        assert!((summary[0].cpu_seconds - 0.008).abs() < 1e-9);
+        // 8 ms of one CPU over a 2-CPU 10 ms window = 40 %.
+        assert!((summary[0].cpu_percent - 40.0).abs() < 1e-9);
+        assert!((summary[0].gpu_percent - 50.0).abs() < 1e-9);
+        assert_eq!(summary[1].name, "idle.exe");
+        assert_eq!(summary[1].cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn scheduling_latency_percentiles() {
+        let mut b = TraceBuilder::new(2);
+        // Three wakeups with 1, 2 and 10 ms ready→run delays.
+        for (i, (ready_ms, run_ms)) in [(0u64, 1u64), (5, 7), (20, 30)].iter().enumerate() {
+            b.push(TraceEvent::CSwitch {
+                at: SimTime::ZERO + SimDuration::from_millis(*run_ms),
+                cpu: 0,
+                old: Some(key(1, i as u64)),
+                new: Some(key(1, i as u64 + 10)),
+                ready_since: Some(SimTime::ZERO + SimDuration::from_millis(*ready_ms)),
+            });
+        }
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(40));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let lat = scheduling_latency(&t, &filter);
+        assert_eq!(lat.count, 3);
+        assert!((lat.mean_us - (1000.0 + 2000.0 + 10_000.0) / 3.0).abs() < 1e-6);
+        assert_eq!(lat.max_us, 10_000.0);
+        assert_eq!(lat.p95_us, 10_000.0);
+        // Other pids are excluded.
+        let other: PidSet = [9u64].into_iter().collect();
+        assert_eq!(scheduling_latency(&t, &other).count, 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let b = TraceBuilder::new(4);
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        assert_eq!(concurrency(&t, &filter).tlp(), 0.0);
+        assert_eq!(gpu_utilization(&t, &filter, None).busy_frac, 0.0);
+    }
+}

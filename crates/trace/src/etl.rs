@@ -1,0 +1,366 @@
+//! Binary trace files — the simulated equivalent of the paper's `.etl`
+//! logs: save a recorded [`EtlTrace`] to disk and load it back for offline
+//! analysis, bit-exactly.
+//!
+//! The format is a simple little-endian tagged stream:
+//! `b"SETL"`, format version, CPU count, window, event count, then one
+//! tagged record per event. It is self-contained and versioned; no external
+//! serialization crate is needed.
+//!
+//! Generic functions take `R: Read` / `W: Write` by value; pass `&mut r`
+//! for a reader you want to keep using.
+
+use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent};
+use simcore::SimTime;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"SETL";
+const VERSION: u32 = 1;
+
+/// Writes a trace in the binary `.etl`-style format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_etl<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    put_u32(&mut w, trace.n_logical_cpus() as u32)?;
+    put_u64(&mut w, trace.start().as_nanos())?;
+    put_u64(&mut w, trace.end().as_nanos())?;
+    put_u64(&mut w, trace.events().len() as u64)?;
+    for ev in trace.events() {
+        write_event(&mut w, ev)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_etl`].
+///
+/// # Errors
+/// Returns `InvalidData` for a bad magic/version or malformed records, and
+/// propagates I/O errors from the reader.
+pub fn read_etl<R: Read>(mut r: R) -> io::Result<EtlTrace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a SETL trace file"));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad("unsupported SETL version"));
+    }
+    let n_logical = get_u32(&mut r)? as usize;
+    let start = SimTime::from_nanos(get_u64(&mut r)?);
+    let end = SimTime::from_nanos(get_u64(&mut r)?);
+    if end < start {
+        return Err(bad("inverted trace window"));
+    }
+    let count = get_u64(&mut r)?;
+    let mut builder = TraceBuilder::new(n_logical);
+    for _ in 0..count {
+        builder.push(read_event(&mut r)?);
+    }
+    Ok(builder.finish(start, end))
+}
+
+fn write_event<W: Write>(w: &mut W, ev: &TraceEvent) -> io::Result<()> {
+    match ev {
+        TraceEvent::ProcessStart { at, pid, name } => {
+            w.write_all(&[0])?;
+            put_u64(w, at.as_nanos())?;
+            put_u64(w, *pid)?;
+            put_str(w, name)?;
+        }
+        TraceEvent::ThreadStart { at, key, name } => {
+            w.write_all(&[1])?;
+            put_u64(w, at.as_nanos())?;
+            put_key(w, *key)?;
+            put_str(w, name)?;
+        }
+        TraceEvent::ThreadEnd { at, key } => {
+            w.write_all(&[2])?;
+            put_u64(w, at.as_nanos())?;
+            put_key(w, *key)?;
+        }
+        TraceEvent::CSwitch {
+            at,
+            cpu,
+            old,
+            new,
+            ready_since,
+        } => {
+            w.write_all(&[3])?;
+            put_u64(w, at.as_nanos())?;
+            put_u32(w, *cpu as u32)?;
+            put_opt_key(w, *old)?;
+            put_opt_key(w, *new)?;
+            match ready_since {
+                Some(t) => {
+                    w.write_all(&[1])?;
+                    put_u64(w, t.as_nanos())?;
+                }
+                None => w.write_all(&[0])?,
+            }
+        }
+        TraceEvent::GpuStart {
+            at,
+            gpu,
+            engine,
+            packet,
+            pid,
+        } => {
+            w.write_all(&[4])?;
+            put_u64(w, at.as_nanos())?;
+            put_u32(w, *gpu as u32)?;
+            put_u32(w, *engine)?;
+            put_u64(w, *packet)?;
+            put_u64(w, *pid)?;
+        }
+        TraceEvent::GpuEnd {
+            at,
+            gpu,
+            engine,
+            packet,
+            pid,
+        } => {
+            w.write_all(&[5])?;
+            put_u64(w, at.as_nanos())?;
+            put_u32(w, *gpu as u32)?;
+            put_u32(w, *engine)?;
+            put_u64(w, *packet)?;
+            put_u64(w, *pid)?;
+        }
+        TraceEvent::Frame { at, pid } => {
+            w.write_all(&[6])?;
+            put_u64(w, at.as_nanos())?;
+            put_u64(w, *pid)?;
+        }
+        TraceEvent::Marker { at, label } => {
+            w.write_all(&[7])?;
+            put_u64(w, at.as_nanos())?;
+            put_str(w, label)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let at = SimTime::from_nanos(get_u64(r)?);
+    Ok(match tag[0] {
+        0 => TraceEvent::ProcessStart {
+            at,
+            pid: get_u64(r)?,
+            name: get_str(r)?,
+        },
+        1 => TraceEvent::ThreadStart {
+            at,
+            key: get_key(r)?,
+            name: get_str(r)?,
+        },
+        2 => TraceEvent::ThreadEnd { at, key: get_key(r)? },
+        3 => TraceEvent::CSwitch {
+            at,
+            cpu: get_u32(r)? as usize,
+            old: get_opt_key(r)?,
+            new: get_opt_key(r)?,
+            ready_since: {
+                let mut flag = [0u8; 1];
+                r.read_exact(&mut flag)?;
+                match flag[0] {
+                    0 => None,
+                    1 => Some(SimTime::from_nanos(get_u64(r)?)),
+                    _ => return Err(bad("bad option tag")),
+                }
+            },
+        },
+        4 => TraceEvent::GpuStart {
+            at,
+            gpu: get_u32(r)? as usize,
+            engine: get_u32(r)?,
+            packet: get_u64(r)?,
+            pid: get_u64(r)?,
+        },
+        5 => TraceEvent::GpuEnd {
+            at,
+            gpu: get_u32(r)? as usize,
+            engine: get_u32(r)?,
+            packet: get_u64(r)?,
+            pid: get_u64(r)?,
+        },
+        6 => TraceEvent::Frame { at, pid: get_u64(r)? },
+        7 => TraceEvent::Marker { at, label: get_str(r)? },
+        _ => return Err(bad("unknown event tag")),
+    })
+}
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn put_key<W: Write>(w: &mut W, key: ThreadKey) -> io::Result<()> {
+    put_u64(w, key.pid)?;
+    put_u64(w, key.tid)
+}
+
+fn put_opt_key<W: Write>(w: &mut W, key: Option<ThreadKey>) -> io::Result<()> {
+    match key {
+        Some(k) => {
+            w.write_all(&[1])?;
+            put_key(w, k)
+        }
+        None => w.write_all(&[0]),
+    }
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn get_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = get_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(bad("string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("invalid utf-8 string"))
+}
+
+fn get_key<R: Read>(r: &mut R) -> io::Result<ThreadKey> {
+    Ok(ThreadKey {
+        pid: get_u64(r)?,
+        tid: get_u64(r)?,
+    })
+}
+
+fn get_opt_key<R: Read>(r: &mut R) -> io::Result<Option<ThreadKey>> {
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    match flag[0] {
+        0 => Ok(None),
+        1 => Ok(Some(get_key(r)?)),
+        _ => Err(bad("bad option tag")),
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn demo_trace() -> EtlTrace {
+        let mut b = TraceBuilder::new(4);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 1,
+            name: "app.exe".into(),
+        });
+        b.push(TraceEvent::ThreadStart {
+            at: SimTime::ZERO,
+            key: ThreadKey { pid: 1, tid: 10 },
+            name: "main".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(1),
+            cpu: 2,
+            old: None,
+            new: Some(ThreadKey { pid: 1, tid: 10 }),
+            ready_since: Some(SimTime::ZERO),
+        });
+        b.push(TraceEvent::GpuStart {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 9,
+            pid: 1,
+        });
+        b.push(TraceEvent::GpuEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(3),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 9,
+            pid: 1,
+        });
+        b.push(TraceEvent::Frame {
+            at: SimTime::ZERO + SimDuration::from_millis(4),
+            pid: 1,
+        });
+        b.push(TraceEvent::Marker {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            label: "phase: export 🚀".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(6),
+            cpu: 2,
+            old: Some(ThreadKey { pid: 1, tid: 10 }),
+            new: None,
+            ready_since: None,
+        });
+        b.push(TraceEvent::ThreadEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(6),
+            key: ThreadKey { pid: 1, tid: 10 },
+        });
+        b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let trace = demo_trace();
+        let mut buf = Vec::new();
+        write_etl(&trace, &mut buf).unwrap();
+        let back = read_etl(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_etl(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        write_etl(&demo_trace(), &mut buf).unwrap();
+        buf[4] = 99; // corrupt the version
+        assert!(read_etl(buf.as_slice()).is_err());
+        // Truncation is an error, not a partial trace.
+        let mut buf2 = Vec::new();
+        write_etl(&demo_trace(), &mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 3);
+        assert!(read_etl(buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn analysis_survives_the_roundtrip() {
+        let trace = demo_trace();
+        let mut buf = Vec::new();
+        write_etl(&trace, &mut buf).unwrap();
+        let back = read_etl(buf.as_slice()).unwrap();
+        let filter: crate::PidSet = [1u64].into_iter().collect();
+        let a = crate::analysis::concurrency(&trace, &filter);
+        let b = crate::analysis::concurrency(&back, &filter);
+        assert_eq!(a.fractions(), b.fractions());
+        let ua = crate::analysis::gpu_utilization(&trace, &filter, None);
+        let ub = crate::analysis::gpu_utilization(&back, &filter, None);
+        assert_eq!(ua, ub);
+    }
+}

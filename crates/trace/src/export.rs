@@ -1,0 +1,189 @@
+//! `wpaexporter`-style CSV dumps.
+//!
+//! The paper extracts two tables from Windows Performance Analyzer (Fig. 1):
+//!
+//! * `CPU Usage (Precise) Timeline by CPU` → columns `Process`, `CPU`,
+//!   `Ready Time`, `Switch-In Time` (for TLP);
+//! * `GPU Utilization (FM)` → columns `Process`, `Start Execution`,
+//!   `Finished` (for GPU utilization).
+//!
+//! These exporters emit the same columns so downstream scripts (or a
+//! spreadsheet) can re-derive every metric from the raw trace.
+
+use crate::event::{EtlTrace, TraceEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn time_us(t: simcore::SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e3
+}
+
+/// CSV of context-switch records: `Process,CPU,ReadyTime(us),SwitchInTime(us)`.
+///
+/// Idle transitions (switch to no thread) are emitted with the pseudo-process
+/// name `Idle`, matching WPA's presentation.
+pub fn cpu_usage_precise(trace: &EtlTrace) -> String {
+    let names = process_names(trace);
+    let mut out = String::from("Process,CPU,ReadyTime(us),SwitchInTime(us)\n");
+    for ev in trace.events() {
+        if let TraceEvent::CSwitch {
+            at,
+            cpu,
+            new,
+            ready_since,
+            ..
+        } = ev
+        {
+            let process = match new {
+                Some(k) => names
+                    .get(&k.pid)
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>"),
+                None => "Idle",
+            };
+            let ready = ready_since.map(time_us).unwrap_or_else(|| time_us(*at));
+            let _ = writeln!(out, "{process},{cpu},{ready:.3},{:.3}", time_us(*at));
+        }
+    }
+    out
+}
+
+/// CSV of GPU packet records: `Process,StartExecution(us),Finished(us)`.
+///
+/// Packets still in flight at the end of the window are reported with the
+/// window end as their finish time, as WPA clips to the visible range.
+pub fn gpu_utilization_fm(trace: &EtlTrace) -> String {
+    let names = process_names(trace);
+    let mut started: HashMap<(usize, u32, u64), (simcore::SimTime, u64)> = HashMap::new();
+    let mut rows: Vec<(simcore::SimTime, simcore::SimTime, u64)> = Vec::new();
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::GpuStart {
+                at,
+                gpu,
+                engine,
+                packet,
+                pid,
+            } => {
+                started.insert((*gpu, *engine, *packet), (*at, *pid));
+            }
+            TraceEvent::GpuEnd {
+                at,
+                gpu,
+                engine,
+                packet,
+                ..
+            } => {
+                if let Some((start, pid)) = started.remove(&(*gpu, *engine, *packet)) {
+                    rows.push((start, *at, pid));
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((_, _, _), (start, pid)) in started {
+        rows.push((start, trace.end(), pid));
+    }
+    rows.sort_by_key(|&(start, ..)| start);
+    let mut out = String::from("Process,StartExecution(us),Finished(us)\n");
+    for (start, end, pid) in rows {
+        let process = names.get(&pid).map(String::as_str).unwrap_or("<unknown>");
+        let _ = writeln!(out, "{process},{:.3},{:.3}", time_us(start), time_us(end));
+    }
+    out
+}
+
+fn process_names(trace: &EtlTrace) -> HashMap<u64, String> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ProcessStart { pid, name, .. } => Some((*pid, name.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ThreadKey, TraceBuilder};
+    use simcore::{SimDuration, SimTime};
+
+    fn demo_trace() -> EtlTrace {
+        let mut b = TraceBuilder::new(2);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 1,
+            name: "vlc.exe".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(1),
+            cpu: 0,
+            old: None,
+            new: Some(ThreadKey { pid: 1, tid: 10 }),
+            ready_since: Some(SimTime::ZERO),
+        });
+        b.push(TraceEvent::GpuStart {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            gpu: 0,
+            engine: 0,
+            packet: 7,
+            pid: 1,
+        });
+        b.push(TraceEvent::GpuEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(4),
+            gpu: 0,
+            engine: 0,
+            packet: 7,
+            pid: 1,
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            cpu: 0,
+            old: Some(ThreadKey { pid: 1, tid: 10 }),
+            new: None,
+            ready_since: None,
+        });
+        b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn cpu_csv_has_expected_rows() {
+        let csv = cpu_usage_precise(&demo_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Process,CPU,ReadyTime(us),SwitchInTime(us)");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("vlc.exe,0,0.000,1000.000"), "{}", lines[1]);
+        assert!(lines[2].starts_with("Idle,0,"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn gpu_csv_has_expected_rows() {
+        let csv = gpu_utilization_fm(&demo_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Process,StartExecution(us),Finished(us)");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "vlc.exe,2000.000,4000.000");
+    }
+
+    #[test]
+    fn unfinished_packets_clip_to_window_end() {
+        let mut b = TraceBuilder::new(1);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 2,
+            name: "miner.exe".into(),
+        });
+        b.push(TraceEvent::GpuStart {
+            at: SimTime::ZERO + SimDuration::from_millis(3),
+            gpu: 0,
+            engine: 0,
+            packet: 1,
+            pid: 2,
+        });
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let csv = gpu_utilization_fm(&t);
+        assert!(csv.contains("miner.exe,3000.000,10000.000"), "{csv}");
+    }
+}

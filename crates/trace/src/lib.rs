@@ -1,0 +1,33 @@
+//! # etwtrace — ETW-style trace collection and analysis
+//!
+//! The paper's measurement pipeline (§III-C, Fig. 1) is:
+//! UIforETW collects an **Event Trace Log** → Windows Performance Analyzer
+//! exposes the `CPU Usage (Precise)` and `GPU Utilization (FM)` tables →
+//! `wpaexporter` dumps the relevant columns → custom scripts compute TLP
+//! (Equation 1) and GPU utilization.
+//!
+//! This crate is that pipeline for the simulated machine:
+//!
+//! * [`EtlTrace`] — the event log: context switches with ready/switch-in
+//!   times, GPU packet start/finish records, frame-present markers, process
+//!   and thread lifecycle events.
+//! * [`analysis`] — replay analyzers: the concurrency profile (`c_0..c_n`
+//!   heat-map row), TLP per Equation 1, instantaneous-TLP time series, GPU
+//!   utilization (union of packet busy intervals + mean outstanding packets)
+//!   and FPS series.
+//! * [`export`] — `wpaexporter`-style CSV dumps with the same columns the
+//!   paper extracts.
+//! * [`etl`] — binary trace files (the `.etl` of the paper's Fig. 1):
+//!   save a recorded trace and reload it bit-exactly for offline analysis.
+//!
+//! TLP here is **application-level**: analyzers take a [`PidSet`] filter and
+//! only count threads of those processes, exactly as the paper distinguishes
+//! its methodology from the system-wide TLP of the 2000/2010 studies.
+
+pub mod analysis;
+pub mod etl;
+pub mod event;
+pub mod export;
+
+pub use analysis::{ConcurrencyProfile, GpuUtil, LatencyStats, ProcessSummary, ScheduleStats};
+pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent};

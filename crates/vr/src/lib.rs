@@ -1,0 +1,320 @@
+//! # vrsys — VR headsets and frame-pacing policies
+//!
+//! The paper's VR analysis (§V-F, Figures 7, 12, 13) hinges on two
+//! compositor policies:
+//!
+//! * **Asynchronous Spacewarp (ASW)** — Oculus Rift: when the system cannot
+//!   sustain 90 FPS, the game is *clamped to 45 FPS* and the compositor
+//!   extrapolates every other frame. With 4 logical cores the paper observes
+//!   the Rift frame rate pinned at 45, with correspondingly lower TLP and
+//!   GPU utilization (Fig. 7).
+//! * **Asynchronous Reprojection** — HTC Vive / Vive Pro: the GPU is pushed
+//!   to render at 90 FPS and a re-projected frame is inserted whenever the
+//!   real frame misses the deadline, so the rate *oscillates between 90 and
+//!   45* instead of clamping (Fig. 13).
+//!
+//! [`HeadsetSpec`] describes the three headsets (per-eye resolution,
+//! refresh, policy); [`Pacer`] is the policy state machine a VR game model
+//! drives once per vsync; [`render_cost_gflop`] converts scene complexity
+//! and headset resolution into a GPU packet cost.
+
+use simcore::SimDuration;
+
+/// Reprojection policy of a headset runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacingPolicy {
+    /// Oculus ASW: sustained misses clamp the game to half rate.
+    Spacewarp,
+    /// SteamVR asynchronous reprojection: insert adjusted frames on miss.
+    Reprojection,
+}
+
+/// A VR headset as seen by the application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeadsetSpec {
+    /// Product name.
+    pub name: &'static str,
+    /// Horizontal pixels per eye.
+    pub eye_width: u32,
+    /// Vertical pixels per eye.
+    pub eye_height: u32,
+    /// Display refresh in Hz (all three study headsets: 90).
+    pub refresh_hz: f64,
+    /// The runtime's frame-pacing policy.
+    pub policy: PacingPolicy,
+}
+
+impl HeadsetSpec {
+    /// The vsync interval.
+    pub fn frame_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.refresh_hz)
+    }
+
+    /// Total pixels across both eyes.
+    pub fn total_pixels(&self) -> u64 {
+        2 * self.eye_width as u64 * self.eye_height as u64
+    }
+
+    /// Render-cost scale relative to the Rift/Vive panel (1080×1200/eye).
+    ///
+    /// Sub-linear exponent: engines lower supersampling on denser panels,
+    /// so the Vive Pro costs ~1.4× rather than its raw 1.78× pixel ratio.
+    pub fn render_cost_factor(&self) -> f64 {
+        let base = 2.0 * 1080.0 * 1200.0;
+        (self.total_pixels() as f64 / base).powf(0.6)
+    }
+}
+
+/// Headset presets used in the study.
+pub mod presets {
+    use super::*;
+
+    /// Oculus Rift (2016): 1080×1200 per eye, 90 Hz, ASW.
+    pub fn rift() -> HeadsetSpec {
+        HeadsetSpec {
+            name: "Oculus Rift",
+            eye_width: 1080,
+            eye_height: 1200,
+            refresh_hz: 90.0,
+            policy: PacingPolicy::Spacewarp,
+        }
+    }
+
+    /// HTC Vive (2016): 1080×1200 per eye, 90 Hz, async reprojection.
+    pub fn vive() -> HeadsetSpec {
+        HeadsetSpec {
+            name: "HTC Vive",
+            eye_width: 1080,
+            eye_height: 1200,
+            refresh_hz: 90.0,
+            policy: PacingPolicy::Reprojection,
+        }
+    }
+
+    /// HTC Vive Pro (2018): 1440×1600 per eye, 90 Hz, async reprojection.
+    pub fn vive_pro() -> HeadsetSpec {
+        HeadsetSpec {
+            name: "HTC Vive Pro",
+            eye_width: 1440,
+            eye_height: 1600,
+            refresh_hz: 90.0,
+            policy: PacingPolicy::Reprojection,
+        }
+    }
+
+    /// All three, in the order of the paper's Fig. 12.
+    pub fn all() -> Vec<HeadsetSpec> {
+        vec![rift(), vive(), vive_pro()]
+    }
+}
+
+/// What the compositor did with a frame slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// The game's rendered frame was shown on time.
+    Presented,
+    /// ASW synthesized this slot (game is clamped; renders every other slot).
+    Synthesized,
+    /// Reprojection inserted an adjusted previous frame (missed deadline).
+    Reprojected,
+}
+
+/// Frame-pacing state machine. Drive it once per vsync with whether the real
+/// frame made the deadline; it reports what was displayed and whether the
+/// game should currently run at half rate.
+///
+/// ```
+/// use vrsys::{presets, Pacer};
+/// let mut pacer = Pacer::new(presets::rift());
+/// // Sustained misses engage ASW → game clamped to 45 FPS.
+/// for _ in 0..8 {
+///     pacer.on_vsync(false);
+/// }
+/// assert!(pacer.clamped());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pacer {
+    spec: HeadsetSpec,
+    clamped: bool,
+    miss_streak: u32,
+    hit_streak: u32,
+    /// Reprojection throttle: after a miss, SteamVR-style interleaved
+    /// reprojection holds the app to half rate for a few frames, producing
+    /// the 90 ↔ 45 FPS oscillation of Fig. 13.
+    throttle_frames: u32,
+}
+
+/// Frames interleaved reprojection holds the app at half rate after a miss.
+const REPROJECTION_HOLD: u32 = 6;
+
+/// Consecutive misses before ASW clamps.
+const ASW_ENGAGE_MISSES: u32 = 4;
+/// Consecutive on-time frames (at half rate) before ASW releases.
+const ASW_RELEASE_HITS: u32 = 90;
+
+impl Pacer {
+    /// A pacer for the given headset, starting unclamped.
+    pub fn new(spec: HeadsetSpec) -> Self {
+        Pacer {
+            spec,
+            clamped: false,
+            miss_streak: 0,
+            hit_streak: 0,
+            throttle_frames: 0,
+        }
+    }
+
+    /// The headset this pacer serves.
+    pub fn spec(&self) -> &HeadsetSpec {
+        &self.spec
+    }
+
+    /// Whether ASW currently clamps the game to half rate.
+    pub fn clamped(&self) -> bool {
+        self.clamped
+    }
+
+    /// The interval the *game* should target for its next frame: the vsync
+    /// interval, doubled under an ASW clamp or for the frame following a
+    /// reprojection miss.
+    pub fn game_interval(&self) -> SimDuration {
+        if self.clamped || self.throttle_frames > 0 {
+            self.spec.frame_interval() * 2
+        } else {
+            self.spec.frame_interval()
+        }
+    }
+
+    /// Reports one vsync: `made_deadline` says whether the game's frame was
+    /// ready. Returns what the compositor displayed.
+    pub fn on_vsync(&mut self, made_deadline: bool) -> FrameOutcome {
+        match self.spec.policy {
+            PacingPolicy::Spacewarp => {
+                if self.clamped {
+                    if made_deadline {
+                        self.hit_streak += 1;
+                        if self.hit_streak >= ASW_RELEASE_HITS {
+                            self.clamped = false;
+                            self.hit_streak = 0;
+                            self.miss_streak = 0;
+                        }
+                    } else {
+                        self.hit_streak = 0;
+                    }
+                    // Under the clamp the game's 45 FPS frames are shown;
+                    // ASW extrapolates the in-between vsyncs implicitly.
+                    FrameOutcome::Presented
+                } else if made_deadline {
+                    self.miss_streak = 0;
+                    FrameOutcome::Presented
+                } else {
+                    self.miss_streak += 1;
+                    if self.miss_streak >= ASW_ENGAGE_MISSES {
+                        self.clamped = true;
+                        self.hit_streak = 0;
+                    }
+                    FrameOutcome::Synthesized
+                }
+            }
+            PacingPolicy::Reprojection => {
+                if made_deadline {
+                    self.throttle_frames = self.throttle_frames.saturating_sub(1);
+                    FrameOutcome::Presented
+                } else {
+                    self.throttle_frames = REPROJECTION_HOLD;
+                    FrameOutcome::Reprojected
+                }
+            }
+        }
+    }
+}
+
+/// GPU cost of rendering one stereo frame: `scene_gflop` is the workload's
+/// per-frame shading cost on the Rift panel; the headset factor scales it.
+pub fn render_cost_gflop(scene_gflop: f64, headset: &HeadsetSpec) -> f64 {
+    scene_gflop * headset.render_cost_factor()
+}
+
+/// GPU cost of one reprojection/synthesis pass (cheap warp of the last
+/// frame — a few percent of a real render).
+pub fn reprojection_cost_gflop(scene_gflop: f64, headset: &HeadsetSpec) -> f64 {
+    0.06 * render_cost_gflop(scene_gflop, headset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headset_geometry() {
+        let rift = presets::rift();
+        let pro = presets::vive_pro();
+        assert_eq!(rift.total_pixels(), 2 * 1080 * 1200);
+        assert!((rift.render_cost_factor() - 1.0).abs() < 1e-12);
+        let ratio = pro.render_cost_factor();
+        assert!((1.3..1.5).contains(&ratio), "vive pro factor {ratio}");
+        assert_eq!(rift.frame_interval(), SimDuration::from_secs_f64(1.0 / 90.0));
+    }
+
+    #[test]
+    fn asw_engages_after_sustained_misses() {
+        let mut p = Pacer::new(presets::rift());
+        for i in 0..ASW_ENGAGE_MISSES {
+            assert!(!p.clamped(), "clamped too early at miss {i}");
+            assert_eq!(p.on_vsync(false), FrameOutcome::Synthesized);
+        }
+        assert!(p.clamped());
+        assert_eq!(p.game_interval(), presets::rift().frame_interval() * 2);
+        // Clamped game frames display at 45 FPS.
+        assert_eq!(p.on_vsync(true), FrameOutcome::Presented);
+    }
+
+    #[test]
+    fn asw_releases_after_sustained_hits() {
+        let mut p = Pacer::new(presets::rift());
+        for _ in 0..ASW_ENGAGE_MISSES {
+            p.on_vsync(false);
+        }
+        assert!(p.clamped());
+        for _ in 0..ASW_RELEASE_HITS {
+            p.on_vsync(true);
+        }
+        assert!(!p.clamped());
+    }
+
+    #[test]
+    fn single_miss_does_not_clamp() {
+        let mut p = Pacer::new(presets::rift());
+        p.on_vsync(false);
+        p.on_vsync(true);
+        p.on_vsync(false);
+        p.on_vsync(true);
+        assert!(!p.clamped());
+    }
+
+    #[test]
+    fn reprojection_never_clamps_but_throttles() {
+        let mut p = Pacer::new(presets::vive());
+        for _ in 0..100 {
+            let out = p.on_vsync(false);
+            assert_eq!(out, FrameOutcome::Reprojected);
+            // Interleaved reprojection holds the app at half rate…
+            assert_eq!(p.game_interval(), presets::vive().frame_interval() * 2);
+        }
+        assert!(!p.clamped());
+        // …and releases it after a run of on-time frames.
+        for _ in 0..10 {
+            p.on_vsync(true);
+        }
+        assert_eq!(p.game_interval(), presets::vive().frame_interval());
+    }
+
+    #[test]
+    fn costs_scale_with_headset() {
+        let scene = 90.0;
+        let rift = render_cost_gflop(scene, &presets::rift());
+        let pro = render_cost_gflop(scene, &presets::vive_pro());
+        assert!(pro > rift);
+        assert!(reprojection_cost_gflop(scene, &presets::rift()) < 0.1 * rift);
+    }
+}

@@ -1,0 +1,141 @@
+//! Personal-assistant models: Cortana and Braina (paper §IV-H).
+//!
+//! "The tested queries cover requests for daily news, weather forecast,
+//! alarm/reminder management and questions about general knowledge, word
+//! definitions and simple math problems." Voice input cannot be automated,
+//! so the paper applies "a fixed sequence of requests and questions with
+//! strict timing constraints" (§III-E) — our scripts use
+//! [`autoinput::Automation::manual`] semantics when configured so.
+//!
+//! The assistants "rely heavily on datacenters to offload the complex part
+//! of the workload" (§II): each query does local audio + NLP work, then
+//! sleeps through a cloud round-trip before rendering the answer.
+
+use crate::blocks::{spawn_burst, Service, UiThread};
+use crate::image::fill;
+use crate::params::assistant as p;
+use crate::WorkloadOpts;
+use autoinput::{install, InputAction, Script};
+use machine::{Action, Machine, Pid, Work};
+use simcore::SimDuration;
+use simcpu::ComputeKind;
+use simgpu::PacketKind;
+
+fn query_script(opts: &WorkloadOpts) -> Script {
+    let cycle = Script::new()
+        .wait_ms(p::QUERY_PERIOD_S * 1000 - 3000)
+        .voice(6); // "what's the weather like tomorrow"
+    fill(cycle, opts.duration)
+}
+
+/// Microsoft Cortana (Table II: TLP 1.4, GPU 2.7 %): an always-on keyword
+/// spotter plus a parallel local ASR/NLP front-end and a GPU-composited
+/// answer card.
+pub fn cortana(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("cortana.exe");
+    let channel = install(m, query_script(opts), opts.automation);
+    let ui = UiThread::new(channel).with_handler(move |action, ctx| {
+        if !matches!(action, InputAction::Voice { .. }) {
+            return vec![Action::Compute(Work::busy_ms(3.0))];
+        }
+        // Local ASR front-end: the audio thread and an NLP burst.
+        let mut j = spawn_burst(ctx, p::NLP_WIDTH, p::NLP_MS, 10.0, ComputeKind::Mixed, "nlp");
+        let mut actions = vec![Action::Compute(Work::busy_ms(p::AUDIO_BURST_MS))];
+        while let Some(w) = j.next_wait() {
+            actions.push(w);
+        }
+        // Cloud round-trip, then render the answer card on the GPU.
+        actions.push(Action::Sleep(SimDuration::from_millis_f64(p::CLOUD_WAIT_MS)));
+        ctx.submit_gpu(0, 0, PacketKind::Present, p::CORTANA_GPU_GFLOP);
+        actions.push(Action::Compute(Work::busy_ms(p::RENDER_MS)));
+        actions
+    });
+    m.spawn(pid, "ui", Box::new(ui));
+    m.spawn(
+        pid,
+        "keyword-spotter",
+        Box::new(Service::new(p::LISTEN_PERIOD_MS, p::LISTEN_TICK_MS, ComputeKind::Scalar)),
+    );
+    pid
+}
+
+/// Braina 1.43 (Table II: TLP 1.1, GPU 0.0 %): a serial local pipeline with
+/// no GPU use at all.
+pub fn braina(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("braina.exe");
+    let channel = install(m, query_script(opts), opts.automation);
+    let ui = UiThread::new(channel).with_handler(move |action, ctx| {
+        if !matches!(action, InputAction::Voice { .. }) {
+            return vec![Action::Compute(Work::busy_ms(2.0))];
+        }
+        // Audio capture runs briefly alongside the serial NLP pipeline.
+        let mut j = spawn_burst(
+            ctx,
+            1,
+            p::BRAINA_SERIAL_MS * 0.15,
+            8.0,
+            ComputeKind::Scalar,
+            "capture",
+        );
+        let mut actions = vec![Action::Compute(Work::busy_ms(p::BRAINA_SERIAL_MS))];
+        while let Some(w) = j.next_wait() {
+            actions.push(w);
+        }
+        actions.push(Action::Sleep(SimDuration::from_millis_f64(
+            p::CLOUD_WAIT_MS * 1.2,
+        )));
+        actions.push(Action::Compute(Work::busy_ms(p::RENDER_MS * 0.7)));
+        actions
+    });
+    m.spawn(pid, "ui", Box::new(ui));
+    m.spawn(
+        pid,
+        "listener",
+        Box::new(Service::new(p::LISTEN_PERIOD_MS * 2.0, p::LISTEN_TICK_MS * 0.5, ComputeKind::Scalar)),
+    );
+    pid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etwtrace::analysis;
+    use machine::MachineConfig;
+
+    fn run(build: fn(&mut Machine, &WorkloadOpts) -> Pid) -> (f64, f64) {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let opts = WorkloadOpts {
+            duration: SimDuration::from_secs(40),
+            ..WorkloadOpts::default()
+        };
+        let pid = build(&mut m, &opts);
+        m.run_for(SimDuration::from_secs(40));
+        let trace = m.into_trace();
+        let filter: etwtrace::PidSet = [pid.0].into_iter().collect();
+        (
+            analysis::concurrency(&trace, &filter).tlp(),
+            analysis::gpu_utilization(&trace, &filter, Some(0)).percent(),
+        )
+    }
+
+    #[test]
+    fn cortana_exploits_a_little_parallelism() {
+        let (tlp, gpu) = run(cortana);
+        assert!((1.1..2.2).contains(&tlp), "tlp {tlp}");
+        assert!(gpu > 0.3, "gpu {gpu}%");
+    }
+
+    #[test]
+    fn braina_is_serial_and_gpu_free() {
+        let (tlp, gpu) = run(braina);
+        assert!(tlp < 1.4, "tlp {tlp}");
+        assert_eq!(gpu, 0.0);
+    }
+
+    #[test]
+    fn cortana_has_higher_tlp_than_braina() {
+        let (c, _) = run(cortana);
+        let (b, _) = run(braina);
+        assert!(c > b, "cortana {c} vs braina {b}");
+    }
+}

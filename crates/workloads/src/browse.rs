@@ -1,0 +1,455 @@
+//! Web-browsing models: Chrome, Firefox, Edge (paper §IV-E, §V-E).
+//!
+//! "Current web browsers use multi-process models to separate websites from
+//! each other and the browser itself … Inactive tabs run as background
+//! processes … browsers constantly throttle inactive tabs"; "Chrome
+//! generates the most number of processes"; "Firefox uses much more
+//! resources in GPU"; Chrome's GC runs in idle time (§V-E).
+
+use crate::blocks::{FiniteWorker, Service, UiThread};
+use crate::image::fill;
+use crate::params::browse as p;
+use crate::WorkloadOpts;
+use autoinput::{install, InputAction, Script};
+use machine::{Action, Machine, Pid, ThreadCtx, ThreadProgram, Work};
+use simcore::SimDuration;
+use simcpu::ComputeKind;
+use simgpu::PacketKind;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The four browsing tests of §V-E / Fig. 11.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BrowseScenario {
+    /// YouTube + ESPN + CNN + BestBuy + flash game, one tab per site.
+    MultiTab,
+    /// The same sites visited in a single tab.
+    SingleTab,
+    /// ESPN only — "plenty of active content (ads, videos, etc.)".
+    Espn,
+    /// Wikipedia only — "little active content".
+    Wiki,
+}
+
+impl BrowseScenario {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BrowseScenario::MultiTab => "Multi-tab",
+            BrowseScenario::SingleTab => "Single-tab",
+            BrowseScenario::Espn => "ESPN",
+            BrowseScenario::Wiki => "Wikipedia",
+        }
+    }
+}
+
+/// Per-browser modelling traits.
+struct Traits {
+    process: &'static str,
+    /// Maximum content (renderer) processes; Chrome is per-tab.
+    content_processes: u32,
+    /// GPU composite scale ("Firefox uses much more resources in GPU").
+    gpu_scale: f64,
+    /// CPU scale on page activity (Edge trades work for power, §V-E).
+    activity_scale: f64,
+    /// Chrome schedules GC during idle time → near-free navigation GC.
+    idle_gc: bool,
+}
+
+const CHROME: Traits = Traits {
+    process: "chrome.exe",
+    content_processes: u32::MAX,
+    gpu_scale: 1.0,
+    activity_scale: 1.0,
+    idle_gc: true,
+};
+const FIREFOX: Traits = Traits {
+    process: "firefox.exe",
+    content_processes: 2,
+    gpu_scale: p::FIREFOX_GPU_SCALE,
+    activity_scale: 1.0,
+    idle_gc: false,
+};
+const EDGE: Traits = Traits {
+    process: "microsoftedge.exe",
+    content_processes: 2,
+    gpu_scale: p::EDGE_GPU_SCALE,
+    activity_scale: 0.8,
+    idle_gc: false,
+};
+
+/// Lifecycle of a tab's active content.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TabMode {
+    Active,
+    Throttled,
+    Dead,
+}
+
+/// One animating page component: ticks while active, throttles in the
+/// background, exits when its tab is replaced.
+struct PageComponent {
+    mode: Rc<Cell<TabMode>>,
+    period_ms: f64,
+    tick_ms: f64,
+    gpu_gflop: f64,
+    computing: bool,
+    /// Backgrounded tabs keep running at full rate until this instant —
+    /// "browsers constantly throttle inactive tabs after a certain amount
+    /// of time" (§V-E).
+    throttle_after: Option<simcore::SimTime>,
+}
+
+/// How long a backgrounded tab runs at full rate before throttling kicks in.
+const THROTTLE_GRACE: SimDuration = SimDuration::from_secs(15);
+
+impl ThreadProgram for PageComponent {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        let effective = match self.mode.get() {
+            TabMode::Dead => return Action::Exit,
+            TabMode::Active => {
+                self.throttle_after = None;
+                TabMode::Active
+            }
+            TabMode::Throttled => {
+                let now = ctx.now();
+                let gate = *self
+                    .throttle_after
+                    .get_or_insert(now + THROTTLE_GRACE);
+                if now < gate {
+                    TabMode::Active
+                } else {
+                    TabMode::Throttled
+                }
+            }
+        };
+        match effective {
+            TabMode::Dead => Action::Exit,
+            TabMode::Active => {
+                if self.computing {
+                    self.computing = false;
+                    if self.gpu_gflop > 0.0 {
+                        ctx.submit_gpu(0, 0, PacketKind::Present, self.gpu_gflop);
+                    }
+                    let ms = ctx.rng().normal(self.tick_ms, self.tick_ms * 0.15).max(0.05);
+                    Action::Compute(Work::busy_ms(ms).with_kind(ComputeKind::Mixed))
+                } else {
+                    self.computing = true;
+                    Action::Sleep(
+                        ctx.rng()
+                            .jitter(SimDuration::from_millis_f64(self.period_ms), 0.1),
+                    )
+                }
+            }
+            TabMode::Throttled => {
+                if self.computing {
+                    self.computing = false;
+                    Action::Compute(Work::busy_ms(p::THROTTLED_TICK_MS))
+                } else {
+                    self.computing = true;
+                    Action::Sleep(SimDuration::from_millis_f64(p::THROTTLED_PERIOD_MS))
+                }
+            }
+        }
+    }
+}
+
+/// The sites of the first two tests, in visit order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Site {
+    YouTube,
+    Espn,
+    Cnn,
+    BestBuy,
+    FlashGame,
+    Wiki,
+}
+
+impl Site {
+    /// `(period_ms, tick_ms, gpu_scale)` per animating component.
+    fn components(&self) -> Vec<(f64, f64, f64)> {
+        match self {
+            // Video playback: decode tick + progress UI.
+            Site::YouTube => vec![(33.0, 18.0, 1.2), (33.0, 7.0, 0.5)],
+            Site::Espn => vec![(p::ACTIVE_PERIOD_MS, p::ACTIVE_TICK_MS, 1.0); p::ESPN_COMPONENTS as usize],
+            Site::Cnn => vec![(50.0, 13.0, 0.8), (66.0, 11.0, 0.6)],
+            Site::BestBuy => vec![(80.0, 13.0, 0.6)],
+            Site::FlashGame => vec![(16.0, 12.0, 1.5)],
+            Site::Wiki => vec![(p::WIKI_PERIOD_MS, p::WIKI_TICK_MS, 0.3)],
+        }
+    }
+}
+
+fn browser(m: &mut Machine, opts: &WorkloadOpts, traits: Traits) -> Pid {
+    let pid = m.add_process(traits.process);
+    let scenario = opts.browse;
+
+    let cycle = Script::new()
+        .wait_ms(p::NAV_PERIOD_S * 1000 - 4000)
+        .menu("nav") // navigate / switch tab
+        .scroll(3)
+        .click();
+    let channel = install(m, fill(cycle, opts.duration), opts.automation);
+
+    // Navigation state lives in the UI handler closure.
+    let mut nav_idx: u32 = 0;
+    let mut renderers: Vec<Pid> = Vec::new();
+    let mut tab_modes: Vec<Rc<Cell<TabMode>>> = Vec::new();
+    let mut tab_renderers: Vec<Pid> = Vec::new();
+    let process_name = traits.process;
+    let content_processes = traits.content_processes;
+    let gpu_scale = traits.gpu_scale;
+    let activity_scale = traits.activity_scale;
+    let idle_gc = traits.idle_gc;
+
+    let ui = UiThread::new(channel).with_handler(move |action, ctx| {
+        match action {
+            InputAction::Menu(_) => {
+                let sites = [
+                    Site::YouTube,
+                    Site::Espn,
+                    Site::Cnn,
+                    Site::BestBuy,
+                    Site::FlashGame,
+                ];
+                let single_site = match scenario {
+                    BrowseScenario::Espn => Some(Site::Espn),
+                    BrowseScenario::Wiki => Some(Site::Wiki),
+                    _ => None,
+                };
+                if let Some(site) = single_site {
+                    // One navigation total; later menu events are re-reads.
+                    if nav_idx > 0 {
+                        nav_idx += 1;
+                        return vec![Action::Compute(Work::busy_ms(6.0))];
+                    }
+                    nav_idx += 1;
+                    let renderer = ctx.spawn_process(process_name);
+                    renderers.push(renderer);
+                    let mode = Rc::new(Cell::new(TabMode::Active));
+                    tab_modes.push(mode.clone());
+                    tab_renderers.push(renderer);
+                    spawn_tab(ctx, renderer, site, mode, gpu_scale, activity_scale);
+                    return vec![Action::Compute(Work::busy_ms(15.0))];
+                }
+
+                // Both tests visit the same five sites once (§IV-E); later
+                // menu events are in-page interactions.
+                let site = sites[(nav_idx as usize) % sites.len()];
+                let new_tab = scenario == BrowseScenario::MultiTab && nav_idx < p::TABS;
+                let revisit = nav_idx >= p::TABS;
+                nav_idx += 1;
+
+                if revisit {
+                    // Switch between existing tabs: throttle all, wake one,
+                    // and re-raster the woken tab's layer tree.
+                    for mode in tab_modes.iter() {
+                        mode.set(TabMode::Throttled);
+                    }
+                    let idx = (nav_idx as usize) % tab_modes.len();
+                    tab_modes[idx].set(TabMode::Active);
+                    let renderer = tab_renderers[idx];
+                    for i in 0..2 {
+                        ctx.spawn_thread(
+                            renderer,
+                            &format!("raster-{i}"),
+                            Box::new(FiniteWorker::new(140.0, 10.0, ComputeKind::Mixed, None)),
+                        );
+                    }
+                    ctx.submit_gpu(0, 0, PacketKind::Present, p::COMPOSITE_GFLOP * gpu_scale);
+                    return vec![Action::Compute(Work::busy_ms(8.0))];
+                }
+
+                let mut extra = Vec::new();
+                let renderer = if new_tab {
+                    for mode in tab_modes.iter() {
+                        mode.set(TabMode::Throttled);
+                    }
+                    if renderers.len() < content_processes.min(p::TABS) as usize {
+                        let r = ctx.spawn_process(process_name);
+                        renderers.push(r);
+                        r
+                    } else {
+                        renderers[(nav_idx as usize) % renderers.len()]
+                    }
+                } else {
+                    // Single tab: tear down the old page, GC, reuse.
+                    for mode in tab_modes.drain(..) {
+                        mode.set(TabMode::Dead);
+                    }
+                    tab_renderers.clear();
+                    let r = if let Some(&first) = renderers.first() {
+                        first
+                    } else {
+                        let fresh = ctx.spawn_process(process_name);
+                        renderers.push(fresh);
+                        fresh
+                    };
+                    let gc_ms = if idle_gc {
+                        // "Garbage collection … scheduled during idle time".
+                        p::GC_BURST_MS * 0.12
+                    } else {
+                        p::GC_BURST_MS
+                    };
+                    ctx.spawn_thread(r, "gc", Box::new(FiniteWorker::new(
+                        gc_ms,
+                        8.0,
+                        ComputeKind::MemoryBound,
+                        None,
+                    )));
+                    r
+                };
+                let mode = Rc::new(Cell::new(TabMode::Active));
+                tab_modes.push(mode.clone());
+                tab_renderers.push(renderer);
+                spawn_tab(ctx, renderer, site, mode, gpu_scale, activity_scale);
+                extra.push(Action::Compute(Work::busy_ms(15.0)));
+                extra
+            }
+            InputAction::Scroll(_) | InputAction::Click => {
+                ctx.submit_gpu(0, 0, PacketKind::Present, p::COMPOSITE_GFLOP * gpu_scale);
+                vec![Action::Compute(Work::busy_ms(6.0))]
+            }
+            _ => vec![Action::Compute(Work::busy_ms(3.0))],
+        }
+    });
+    m.spawn(pid, "ui", Box::new(ui));
+    // Browser-main network and compositor services.
+    m.spawn(pid, "network", Box::new(Service::new(60.0, 2.5, ComputeKind::Scalar)));
+    m.spawn(pid, "compositor", Box::new(Service::new(33.0, 1.2, ComputeKind::Mixed)));
+    pid
+}
+
+/// Spawns the load burst and page components of a freshly navigated tab.
+fn spawn_tab(
+    ctx: &mut ThreadCtx<'_>,
+    renderer: Pid,
+    site: Site,
+    mode: Rc<Cell<TabMode>>,
+    gpu_scale: f64,
+    activity_scale: f64,
+) {
+    // Parse/layout/script load burst (fire-and-forget).
+    for i in 0..p::LOAD_WIDTH {
+        ctx.spawn_thread(
+            renderer,
+            &format!("load-{i}"),
+            Box::new(FiniteWorker::new(p::LOAD_MS, 10.0, ComputeKind::Mixed, None)),
+        );
+    }
+    for (i, (period, tick, gscale)) in site.components().into_iter().enumerate() {
+        ctx.spawn_thread(
+            renderer,
+            &format!("component-{i}"),
+            Box::new(PageComponent {
+                mode: mode.clone(),
+                period_ms: period,
+                tick_ms: tick * activity_scale,
+                gpu_gflop: p::COMPOSITE_GFLOP * gpu_scale * gscale,
+                computing: false,
+                throttle_after: None,
+            }),
+        );
+    }
+}
+
+/// Google Chrome v66 (Table II: TLP 2.2, GPU 5.1 %) — process per tab,
+/// idle-time GC.
+pub fn chrome(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    browser(m, opts, CHROME)
+}
+
+/// Mozilla Firefox v60 (Table II: TLP 2.2, GPU 8.6 %) — few content
+/// processes, heavier GPU compositing.
+pub fn firefox(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    browser(m, opts, FIREFOX)
+}
+
+/// Microsoft Edge 42 (Table II: TLP 2.0, GPU 4.0 %) — the power-efficient
+/// baseline.
+pub fn edge(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    browser(m, opts, EDGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etwtrace::analysis;
+    use machine::MachineConfig;
+
+    fn run(
+        build: fn(&mut Machine, &WorkloadOpts) -> Pid,
+        scenario: BrowseScenario,
+    ) -> (f64, f64, usize) {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let opts = WorkloadOpts {
+            duration: SimDuration::from_secs(45),
+            browse: scenario,
+            ..WorkloadOpts::default()
+        };
+        let pid = build(&mut m, &opts);
+        m.run_for(SimDuration::from_secs(45));
+        let trace = m.into_trace();
+        // Resolve the primary process's image name, then filter by prefix so
+        // child processes are included.
+        let name = trace
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                etwtrace::TraceEvent::ProcessStart { pid: p, name, .. } if *p == pid.0 => {
+                    Some(name.clone())
+                }
+                _ => None,
+            })
+            .expect("primary process in trace");
+        let filter = trace.pids_by_name(&name);
+        let processes = filter.len();
+        let tlp = analysis::concurrency(&trace, &filter).tlp();
+        let gpu = analysis::gpu_utilization(&trace, &filter, Some(0)).percent();
+        (tlp, gpu, processes)
+    }
+
+    #[test]
+    fn chrome_spawns_most_processes() {
+        let (_, _, chrome_procs) = run(chrome, BrowseScenario::MultiTab);
+        let (_, _, firefox_procs) = run(firefox, BrowseScenario::MultiTab);
+        assert!(
+            chrome_procs > firefox_procs,
+            "chrome {chrome_procs} vs firefox {firefox_procs}"
+        );
+    }
+
+    #[test]
+    fn multi_tab_tlp_not_lower_than_single_tab() {
+        // §V-E: "tests using multiple tabs have similar or higher TLP".
+        for build in [chrome, firefox, edge] {
+            let (multi, _, _) = run(build, BrowseScenario::MultiTab);
+            let (single, _, _) = run(build, BrowseScenario::SingleTab);
+            assert!(multi >= single - 0.1, "multi {multi} vs single {single}");
+        }
+    }
+
+    #[test]
+    fn espn_beats_wiki_on_gpu() {
+        for build in [chrome, firefox, edge] {
+            let (_, espn_gpu, _) = run(build, BrowseScenario::Espn);
+            let (_, wiki_gpu, _) = run(build, BrowseScenario::Wiki);
+            assert!(espn_gpu > wiki_gpu, "espn {espn_gpu}% vs wiki {wiki_gpu}%");
+        }
+    }
+
+    #[test]
+    fn firefox_uses_more_gpu_than_edge() {
+        let (_, ff, _) = run(firefox, BrowseScenario::MultiTab);
+        let (_, ed, _) = run(edge, BrowseScenario::MultiTab);
+        assert!(ff > ed, "firefox {ff}% vs edge {ed}%");
+    }
+
+    #[test]
+    fn browser_tlp_is_moderate() {
+        for build in [chrome, firefox, edge] {
+            let (tlp, _, _) = run(build, BrowseScenario::MultiTab);
+            assert!((1.3..3.5).contains(&tlp), "tlp {tlp}");
+        }
+    }
+}

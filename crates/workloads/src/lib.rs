@@ -1,0 +1,432 @@
+//! # workloads — behavioural models of the ISPASS'19 application suite
+//!
+//! Thirty applications across nine categories (paper §IV, Table II), each
+//! modelled as a set of processes and [`machine::ThreadProgram`] state
+//! machines built from the reusable blocks in [`blocks`]. The models encode
+//! the thread structure the paper describes — "filter rendering scales
+//! linearly with the number of active cores, whereas user-interaction
+//! processing does not", "EasyMiner assigns independent threads to each of
+//! the logical cores", "current web browsers use multi-process models" — and
+//! their free constants live in [`params`], calibrated so the simulated
+//! study rig reproduces Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use machine::{Machine, MachineConfig};
+//! use workloads::{build, AppId, WorkloadOpts};
+//! use simcore::SimDuration;
+//!
+//! let mut m = Machine::new(MachineConfig::study_rig(12, true));
+//! let opts = WorkloadOpts::default();
+//! let pid = build(AppId::Handbrake, &mut m, &opts);
+//! m.run_for(SimDuration::from_secs(5));
+//! let trace = m.into_trace();
+//! let filter = trace.pids_by_name("handbrake");
+//! assert!(etwtrace::analysis::concurrency(&trace, &filter).tlp() > 5.0);
+//! # let _ = pid;
+//! ```
+
+pub mod assistant;
+pub mod blocks;
+pub mod browse;
+pub mod image;
+pub mod media;
+pub mod mining;
+pub mod office;
+pub mod params;
+pub mod video;
+pub mod vrgames;
+
+use autoinput::Automation;
+use machine::{Machine, Pid};
+use simcore::SimDuration;
+use vrsys::HeadsetSpec;
+
+/// The nine categories of the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Photoshop, Maya, AutoCAD.
+    ImageAuthoring,
+    /// Acrobat, Excel, PowerPoint, Word, Outlook.
+    Office,
+    /// QuickTime, Windows Media Player, VLC.
+    MultimediaPlayback,
+    /// PowerDirector, Premiere Pro.
+    VideoAuthoring,
+    /// HandBrake, WinX HD Video Converter.
+    VideoTranscoding,
+    /// Firefox, Chrome, Edge.
+    WebBrowsing,
+    /// The six VR games.
+    VrGaming,
+    /// The four miners.
+    CryptocurrencyMining,
+    /// Cortana, Braina.
+    PersonalAssistant,
+}
+
+impl Category {
+    /// All categories in Table II order.
+    pub const ALL: [Category; 9] = [
+        Category::ImageAuthoring,
+        Category::Office,
+        Category::MultimediaPlayback,
+        Category::VideoAuthoring,
+        Category::VideoTranscoding,
+        Category::WebBrowsing,
+        Category::VrGaming,
+        Category::CryptocurrencyMining,
+        Category::PersonalAssistant,
+    ];
+
+    /// Human-readable name as in Table II.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::ImageAuthoring => "Image Authoring",
+            Category::Office => "Office",
+            Category::MultimediaPlayback => "Multimedia Playback",
+            Category::VideoAuthoring => "Video Authoring",
+            Category::VideoTranscoding => "Video Transcoding",
+            Category::WebBrowsing => "Web Browsing",
+            Category::VrGaming => "VR Gaming",
+            Category::CryptocurrencyMining => "Cryptocurrency Mining",
+            Category::PersonalAssistant => "Personal Assistant",
+        }
+    }
+}
+
+/// The thirty applications of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum AppId {
+    Photoshop,
+    Maya3d,
+    Autocad,
+    AcrobatPro,
+    Excel,
+    PowerPoint,
+    Word,
+    Outlook,
+    QuickTime,
+    WindowsMediaPlayer,
+    VlcMediaPlayer,
+    PowerDirector,
+    PremierePro,
+    Handbrake,
+    WinxHdConverter,
+    Firefox,
+    Chrome,
+    Edge,
+    ArizonaSunshine,
+    Fallout4Vr,
+    RawData,
+    SeriousSamVr,
+    SpacePirateTrainer,
+    ProjectCars2,
+    BitcoinMiner,
+    EasyMiner,
+    PhoenixMiner,
+    WinEthMiner,
+    Cortana,
+    Braina,
+}
+
+impl AppId {
+    /// All thirty applications in Table II order.
+    pub const ALL: [AppId; 30] = [
+        AppId::Photoshop,
+        AppId::Maya3d,
+        AppId::Autocad,
+        AppId::AcrobatPro,
+        AppId::Excel,
+        AppId::PowerPoint,
+        AppId::Word,
+        AppId::Outlook,
+        AppId::QuickTime,
+        AppId::WindowsMediaPlayer,
+        AppId::VlcMediaPlayer,
+        AppId::PowerDirector,
+        AppId::PremierePro,
+        AppId::Handbrake,
+        AppId::WinxHdConverter,
+        AppId::Firefox,
+        AppId::Chrome,
+        AppId::Edge,
+        AppId::ArizonaSunshine,
+        AppId::Fallout4Vr,
+        AppId::RawData,
+        AppId::SeriousSamVr,
+        AppId::SpacePirateTrainer,
+        AppId::ProjectCars2,
+        AppId::BitcoinMiner,
+        AppId::EasyMiner,
+        AppId::PhoenixMiner,
+        AppId::WinEthMiner,
+        AppId::Cortana,
+        AppId::Braina,
+    ];
+
+    /// Display name with the version tested in the paper (Table II).
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            AppId::Photoshop => "Adobe Photoshop CC",
+            AppId::Maya3d => "Autodesk Maya 3D 2019",
+            AppId::Autocad => "Autodesk AutoCAD LT",
+            AppId::AcrobatPro => "Adobe Acrobat Pro DC",
+            AppId::Excel => "Microsoft Excel 2016",
+            AppId::PowerPoint => "Microsoft PowerPoint 2016",
+            AppId::Word => "Microsoft Word 2016",
+            AppId::Outlook => "Microsoft Outlook 2016",
+            AppId::QuickTime => "QuickTime Player 7.7.9",
+            AppId::WindowsMediaPlayer => "Windows Media Player 12.0",
+            AppId::VlcMediaPlayer => "VLC Media Player 3.0.3",
+            AppId::PowerDirector => "CyberLink PowerDirector v16",
+            AppId::PremierePro => "Adobe Premiere Pro CC",
+            AppId::Handbrake => "HandBrake 1.1.0",
+            AppId::WinxHdConverter => "WinX HD Video Converter 5.12.1",
+            AppId::Firefox => "Firefox v60",
+            AppId::Chrome => "Chrome v66",
+            AppId::Edge => "Edge 42.17134.1.0",
+            AppId::ArizonaSunshine => "Arizona Sunshine 1.5.11046",
+            AppId::Fallout4Vr => "Fallout 4 VR 1.2",
+            AppId::RawData => "RAW Data 1.1.0",
+            AppId::SeriousSamVr => "Serious Sam VR BFE 341433",
+            AppId::SpacePirateTrainer => "Space Pirate Trainer 1.01",
+            AppId::ProjectCars2 => "Project CARS 2 1.7.1.0",
+            AppId::BitcoinMiner => "Bitcoin Miner 1.54.0",
+            AppId::EasyMiner => "EasyMiner v.0.87",
+            AppId::PhoenixMiner => "PhoenixMiner 3.0c",
+            AppId::WinEthMiner => "Windows Ethereum Miner 1.5.27",
+            AppId::Cortana => "Cortana",
+            AppId::Braina => "Braina 1.43",
+        }
+    }
+
+    /// Process image-name prefix (used for trace pid filtering; browser
+    /// child processes share the prefix).
+    pub fn process_name(&self) -> &'static str {
+        match self {
+            AppId::Photoshop => "photoshop.exe",
+            AppId::Maya3d => "maya.exe",
+            AppId::Autocad => "acad.exe",
+            AppId::AcrobatPro => "acrobat.exe",
+            AppId::Excel => "excel.exe",
+            AppId::PowerPoint => "powerpnt.exe",
+            AppId::Word => "winword.exe",
+            AppId::Outlook => "outlook.exe",
+            AppId::QuickTime => "quicktimeplayer.exe",
+            AppId::WindowsMediaPlayer => "wmplayer.exe",
+            AppId::VlcMediaPlayer => "vlc.exe",
+            AppId::PowerDirector => "pdr.exe",
+            AppId::PremierePro => "premiere.exe",
+            AppId::Handbrake => "handbrake.exe",
+            AppId::WinxHdConverter => "winx.exe",
+            AppId::Firefox => "firefox.exe",
+            AppId::Chrome => "chrome.exe",
+            AppId::Edge => "microsoftedge.exe",
+            AppId::ArizonaSunshine => "arizona.exe",
+            AppId::Fallout4Vr => "fallout4vr.exe",
+            AppId::RawData => "rawdata.exe",
+            AppId::SeriousSamVr => "samvr.exe",
+            AppId::SpacePirateTrainer => "spacepirate.exe",
+            AppId::ProjectCars2 => "pcars2.exe",
+            AppId::BitcoinMiner => "bitcoinminer.exe",
+            AppId::EasyMiner => "easyminer.exe",
+            AppId::PhoenixMiner => "phoenixminer.exe",
+            AppId::WinEthMiner => "wineth.exe",
+            AppId::Cortana => "cortana.exe",
+            AppId::Braina => "braina.exe",
+        }
+    }
+
+    /// Whether the paper could drive the application with AutoIt (§III-D);
+    /// personal assistants need voice and VR games need motion input, so
+    /// they were tested manually (§III-E).
+    pub fn automatable(&self) -> bool {
+        !matches!(
+            self.category(),
+            Category::VrGaming | Category::PersonalAssistant
+        )
+    }
+
+    /// The paper's §IV testbench description for this application.
+    pub fn testbench(&self) -> &'static str {
+        use AppId::*;
+        match self {
+            Photoshop => "5 custom filters are applied serially on a 100 mega-pixel photograph",
+            Maya3d => "open a complex model, smooth, software render with raytracing, hardware render with fog/motion blur/anti-aliasing, rotate, pan and zoom the camera",
+            Autocad => "import a floorplan, pan, zoom, draw, fillet the edges, mirror and enter text",
+            AcrobatPro => "scan documents, combine files into one PDF, manipulate pages, insert links, watermarks and signatures, export to slides",
+            Excel => "open a spreadsheet containing 1 million rows, copy columns, zoom, pan, change layout, compute means, sort and filter rows, plot a histogram",
+            PowerPoint => "open a complex template, add and format bullet points, add and animate shapes, scale and rotate a picture, create and populate a table",
+            Word => "create a document, add and delete text, change formatting, insert, delete, scale and move images",
+            Outlook => "compose, save and delete a draft, search and reply, delete and recover mail, move mail through the junk folder, categorize and filter",
+            QuickTime | WindowsMediaPlayer | VlcMediaPlayer => {
+                "a 480p and a 1080p version of the same video are played in succession"
+            }
+            PowerDirector => "import three clips, add transitions, titles, color correction and render with and without CUDA support",
+            PremierePro => "the same operations as PowerDirector with slight differences in filters and transitions",
+            Handbrake => "transcode part of a 3840x2160 50 FPS video to a 1920x1080 MP4 at 30 FPS",
+            WinxHdConverter => "the same test sequences that were used for HandBrake, with GPU acceleration",
+            Firefox | Chrome | Edge => "watch a YouTube video, browse ESPN, CNN and BestBuy, play a flash game — multi-tab, single-tab, ESPN-only and Wikipedia-only variants",
+            ArizonaSunshine => "single-player Horde mode, surviving multiple waves of zombies",
+            Fallout4Vr => "continue from a saved checkpoint after escaping the nuclear fallout shelter",
+            RawData => "campaign mode, surviving waves of attacking humanoid robots",
+            SeriousSamVr => "survival mode, playing through after being killed and respawned",
+            SpacePirateTrainer => "'old school' mode, surviving multiple waves of pirate bots",
+            ProjectCars2 => "a quick race with the default car and track, 1-2 laps with multiple drivers",
+            BitcoinMiner | EasyMiner => "Bitcoin mining for a predefined amount of time",
+            PhoenixMiner | WinEthMiner => "Ethereum mining for a predefined amount of time",
+            Cortana | Braina => "a fixed sequence of requests: daily news, weather, alarms, general knowledge, definitions and simple math",
+        }
+    }
+
+    /// The application's Table II category.
+    pub fn category(&self) -> Category {
+        use AppId::*;
+        match self {
+            Photoshop | Maya3d | Autocad => Category::ImageAuthoring,
+            AcrobatPro | Excel | PowerPoint | Word | Outlook => Category::Office,
+            QuickTime | WindowsMediaPlayer | VlcMediaPlayer => Category::MultimediaPlayback,
+            PowerDirector | PremierePro => Category::VideoAuthoring,
+            Handbrake | WinxHdConverter => Category::VideoTranscoding,
+            Firefox | Chrome | Edge => Category::WebBrowsing,
+            ArizonaSunshine | Fallout4Vr | RawData | SeriousSamVr | SpacePirateTrainer
+            | ProjectCars2 => Category::VrGaming,
+            BitcoinMiner | EasyMiner | PhoenixMiner | WinEthMiner => {
+                Category::CryptocurrencyMining
+            }
+            Cortana | Braina => Category::PersonalAssistant,
+        }
+    }
+}
+
+/// Options controlling how an application is driven for one experiment run.
+#[derive(Clone, Debug)]
+pub struct WorkloadOpts {
+    /// Input timing model (AutoIt vs manual, §III-D/E).
+    pub automation: Automation,
+    /// Intended observation window (scripts are sized to fill it).
+    pub duration: SimDuration,
+    /// GPU acceleration toggle for video apps (CUDA/NVENC, §V-D1).
+    pub cuda: bool,
+    /// Headset used by VR games (§V-F).
+    pub headset: HeadsetSpec,
+    /// Web-browsing scenario (§V-E).
+    pub browse: browse::BrowseScenario,
+    /// Run real hash kernels inside miner threads (slower; examples only).
+    pub real_kernels: bool,
+    /// Bounded transcode job length in frames (`None` = transcode for the
+    /// whole window). Fig. 5 uses a finite clip so the runtime shrinks with
+    /// the core count.
+    pub transcode_frames: Option<u64>,
+    /// Run transcoder worker pools in the background scheduling class —
+    /// the §VII co-scheduling scenario.
+    pub background: bool,
+}
+
+impl Default for WorkloadOpts {
+    /// The paper's defaults: AutoIt automation, one-minute window, CUDA on,
+    /// Oculus Rift, the multi-tab browsing test, synthetic hashing.
+    fn default() -> Self {
+        WorkloadOpts {
+            automation: Automation::autoit(),
+            duration: SimDuration::from_secs(60),
+            cuda: true,
+            headset: vrsys::presets::rift(),
+            browse: browse::BrowseScenario::MultiTab,
+            real_kernels: false,
+            transcode_frames: None,
+            background: false,
+        }
+    }
+}
+
+/// Instantiates `app` on `machine` and returns its primary pid.
+///
+/// Use `etwtrace::EtlTrace::pids_by_name` with [`AppId::process_name`]
+/// to build the analysis filter (multi-process apps register several
+/// processes under the same name prefix).
+pub fn build(app: AppId, machine: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    use AppId::*;
+    match app {
+        Photoshop => image::photoshop(machine, opts),
+        Maya3d => image::maya(machine, opts),
+        Autocad => image::autocad(machine, opts),
+        AcrobatPro => office::acrobat(machine, opts),
+        Excel => office::excel(machine, opts),
+        PowerPoint => office::powerpoint(machine, opts),
+        Word => office::word(machine, opts),
+        Outlook => office::outlook(machine, opts),
+        QuickTime => media::quicktime(machine, opts),
+        WindowsMediaPlayer => media::wmp(machine, opts),
+        VlcMediaPlayer => media::vlc(machine, opts),
+        PowerDirector => video::powerdirector(machine, opts),
+        PremierePro => video::premiere(machine, opts),
+        Handbrake => video::handbrake(machine, opts),
+        WinxHdConverter => video::winx(machine, opts),
+        Firefox => browse::firefox(machine, opts),
+        Chrome => browse::chrome(machine, opts),
+        Edge => browse::edge(machine, opts),
+        ArizonaSunshine => vrgames::arizona_sunshine(machine, opts),
+        Fallout4Vr => vrgames::fallout4(machine, opts),
+        RawData => vrgames::raw_data(machine, opts),
+        SeriousSamVr => vrgames::serious_sam(machine, opts),
+        SpacePirateTrainer => vrgames::space_pirate(machine, opts),
+        ProjectCars2 => vrgames::project_cars2(machine, opts),
+        BitcoinMiner => mining::bitcoin_miner(machine, opts),
+        EasyMiner => mining::easy_miner(machine, opts),
+        PhoenixMiner => mining::phoenix_miner(machine, opts),
+        WinEthMiner => mining::wineth_miner(machine, opts),
+        Cortana => assistant::cortana(machine, opts),
+        Braina => assistant::braina(machine, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_apps_nine_categories() {
+        assert_eq!(AppId::ALL.len(), 30);
+        assert_eq!(Category::ALL.len(), 9);
+        for cat in Category::ALL {
+            let n = AppId::ALL.iter().filter(|a| a.category() == cat).count();
+            assert!(n >= 2, "{cat:?} has {n} apps");
+        }
+    }
+
+    #[test]
+    fn process_names_are_unique() {
+        let mut names: Vec<&str> = AppId::ALL.iter().map(|a| a.process_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn display_names_carry_versions() {
+        assert!(AppId::Handbrake.display_name().contains("1.1.0"));
+        assert!(AppId::Chrome.display_name().contains("66"));
+    }
+
+    #[test]
+    fn every_app_has_a_testbench_description() {
+        for app in AppId::ALL {
+            assert!(app.testbench().len() > 20, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn manual_testing_matches_the_paper() {
+        // §III-E: voice and VR inputs "cannot be precisely reproduced by
+        // automation tools".
+        assert!(!AppId::Cortana.automatable());
+        assert!(!AppId::ProjectCars2.automatable());
+        assert!(AppId::Excel.automatable());
+        let manual = AppId::ALL.iter().filter(|a| !a.automatable()).count();
+        assert_eq!(manual, 8); // 6 VR games + 2 assistants
+    }
+}

@@ -1,0 +1,216 @@
+//! Cryptocurrency-miner models (paper §IV-G): Bitcoin Miner, EasyMiner,
+//! PhoenixMiner, Windows Ethereum Miner.
+//!
+//! GPU packets are sized in wall-time on the *installed* card (miners tune
+//! their batch size per device), so swapping a GTX 680 in changes hash rate
+//! and — for Ethash on Kepler — utilization (Fig. 10). CPU mining threads
+//! optionally run the real kernels from [`cryptomine`].
+
+use crate::blocks::{GpuPump, Service};
+use crate::params::mining as p;
+use crate::WorkloadOpts;
+use cryptomine::{scan_nonces, BlockHeader};
+use machine::{Action, Machine, Pid, ThreadCtx, ThreadProgram, Work};
+use simcpu::ComputeKind;
+use simgpu::PacketKind;
+
+/// A CPU hash thread: scans nonces in fixed batches forever. With
+/// `real_kernels` it executes genuine double-SHA-256 scans and emits a
+/// `share` trace marker per share found.
+struct CpuMiner {
+    batch_ms: f64,
+    kind: ComputeKind,
+    real: Option<(BlockHeader, u32)>,
+    /// Pin to this logical CPU on first run ("EasyMiner assigns independent
+    /// threads to each of the logical cores").
+    pin: Option<u32>,
+}
+
+impl ThreadProgram for CpuMiner {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if let Some(cpu) = self.pin.take() {
+            if (cpu as usize) < ctx.logical_cpus() {
+                ctx.set_affinity(1u64 << cpu);
+            }
+        }
+        if let Some((header, cursor)) = &mut self.real {
+            let (hit, _) = scan_nonces(header, *cursor..*cursor + p::REAL_SCAN_NONCES);
+            *cursor = cursor.wrapping_add(p::REAL_SCAN_NONCES);
+            if hit.is_some() {
+                ctx.marker("share");
+            }
+        }
+        let ms = ctx
+            .rng()
+            .normal(self.batch_ms, self.batch_ms * 0.05)
+            .max(0.5);
+        Action::Compute(Work::busy_ms(ms).with_kind(self.kind))
+    }
+}
+
+/// Packet cost for `ms` of wall-time on the installed card.
+fn packet_gflop(m: &Machine, kind: PacketKind, ms: f64) -> f64 {
+    m.gpu_spec(0).effective_gflops(kind) * ms / 1e3
+}
+
+fn cpu_threads(m: &mut Machine, pid: Pid, n: u32, opts: &WorkloadOpts, seed: u64, pin: bool) {
+    for i in 0..n {
+        let real = opts
+            .real_kernels
+            .then(|| (BlockHeader::synthetic(seed + i as u64, 18), i * 1_000_000));
+        m.spawn(
+            pid,
+            &format!("hash-{i}"),
+            Box::new(CpuMiner {
+                batch_ms: p::CPU_BATCH_MS,
+                kind: ComputeKind::Vector,
+                real,
+                pin: pin.then_some(i),
+            }),
+        );
+    }
+}
+
+/// Bitcoin Miner 1.54.0 (Table II: TLP 5.4, GPU 98.9 %): five CPU hash
+/// threads plus a single-buffered GPU feeder with a short per-packet CPU
+/// gap — the GPU idles only during job handoff.
+pub fn bitcoin_miner(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("bitcoinminer.exe");
+    let gf = packet_gflop(m, PacketKind::Sha256, p::PACKET_MS);
+    m.spawn(
+        pid,
+        "gpu-feeder",
+        Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(p::BITCOIN_FEED_MS, ComputeKind::Scalar)),
+    );
+    // Share validator / stratum thread keeps a sixth core partially busy.
+    m.spawn(pid, "validator", Box::new(Service::new(18.0, 8.0, ComputeKind::Scalar)));
+    cpu_threads(m, pid, p::BITCOIN_CPU_THREADS, opts, 0xB17C, false);
+    pid
+}
+
+/// EasyMiner v0.87 (Table II: TLP 11.9, GPU 96.1 %): "assigns independent
+/// threads to each of the logical cores" — the feeder then contends with
+/// them for CPU time, so the GPU sees longer refill gaps.
+pub fn easy_miner(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("easyminer.exe");
+    let gf = packet_gflop(m, PacketKind::Sha256, p::PACKET_MS);
+    m.spawn(
+        pid,
+        "gpu-feeder",
+        Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(p::EASYMINER_FEED_MS, ComputeKind::Scalar)),
+    );
+    let n = m.config().topology.logical_count() as u32;
+    cpu_threads(m, pid, n, opts, 0xEA57, true);
+    pid
+}
+
+/// PhoenixMiner 3.0c (Table II: TLP 1.0, GPU *100.0 %): GPU-only Ethash
+/// with two hardware queues kept full — "two packets were simultaneously
+/// executing on the GPU throughout the experiment".
+pub fn phoenix_miner(m: &mut Machine, _opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("phoenixminer.exe");
+    let gf = packet_gflop(m, PacketKind::Ethash, p::PACKET_MS);
+    for queue in 0..2 {
+        m.spawn(
+            pid,
+            &format!("pump-{queue}"),
+            Box::new(GpuPump::new(queue, PacketKind::Ethash, gf, 2)),
+        );
+    }
+    // Stats/stratum thread ticking once a second.
+    m.spawn(pid, "stats", Box::new(Service::new(1000.0, 2.0, ComputeKind::Scalar)));
+    pid
+}
+
+/// Windows Ethereum Miner 1.5.27 (Table II: TLP 1.0, GPU 99.7 %): one
+/// double-buffered Ethash queue. On the GTX 680 the Kepler dispatch gaps
+/// surface as *lower* utilization (Fig. 10's outlier).
+pub fn wineth_miner(m: &mut Machine, _opts: &WorkloadOpts) -> Pid {
+    let pid = m.add_process("wineth.exe");
+    let gf = packet_gflop(m, PacketKind::Ethash, p::PACKET_MS);
+    m.spawn(pid, "pump", Box::new(GpuPump::new(0, PacketKind::Ethash, gf, 2)));
+    m.spawn(pid, "stats", Box::new(Service::new(1000.0, 1.5, ComputeKind::Scalar)));
+    pid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etwtrace::analysis;
+    use machine::MachineConfig;
+    use simcore::SimDuration;
+
+    fn run_on(
+        build: fn(&mut Machine, &WorkloadOpts) -> Pid,
+        gpu: simgpu::GpuSpec,
+        real: bool,
+    ) -> (f64, f64, f64) {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true).with_gpus(vec![gpu]));
+        let opts = WorkloadOpts {
+            real_kernels: real,
+            ..WorkloadOpts::default()
+        };
+        let pid = build(&mut m, &opts);
+        m.run_for(SimDuration::from_secs(10));
+        let trace = m.into_trace();
+        let filter: etwtrace::PidSet = [pid.0].into_iter().collect();
+        let tlp = analysis::concurrency(&trace, &filter).tlp();
+        let util = analysis::gpu_utilization(&trace, &filter, Some(0));
+        (tlp, util.percent(), util.mean_outstanding)
+    }
+
+    #[test]
+    fn easyminer_scales_linearly_with_cores() {
+        let (tlp, gpu, _) = run_on(easy_miner, simgpu::presets::gtx_1080_ti(), false);
+        assert!(tlp > 11.0, "tlp {tlp}");
+        assert!((90.0..99.5).contains(&gpu), "gpu {gpu}%");
+    }
+
+    #[test]
+    fn bitcoin_miner_uses_some_cores_and_all_gpu() {
+        let (tlp, gpu, _) = run_on(bitcoin_miner, simgpu::presets::gtx_1080_ti(), false);
+        assert!((4.5..6.5).contains(&tlp), "tlp {tlp}");
+        assert!(gpu > 97.0, "gpu {gpu}%");
+    }
+
+    #[test]
+    fn phoenix_keeps_two_packets_in_flight() {
+        let (tlp, gpu, outstanding) = run_on(phoenix_miner, simgpu::presets::gtx_1080_ti(), false);
+        assert!(tlp < 1.3, "tlp {tlp}");
+        assert!(gpu > 99.5, "gpu {gpu}%");
+        assert!(outstanding > 1.9, "outstanding {outstanding}");
+    }
+
+    #[test]
+    fn wineth_utilization_drops_on_kepler() {
+        // Fig. 10: "Windows Ethereum Miner has a higher GPU utilization
+        // with the superior GPU" — i.e. the 680 runs it *less* utilized.
+        let (_, hi, _) = run_on(wineth_miner, simgpu::presets::gtx_1080_ti(), false);
+        let (_, mid, _) = run_on(wineth_miner, simgpu::presets::gtx_680(), false);
+        assert!(hi > 99.0, "1080 Ti {hi}%");
+        assert!(mid < hi - 8.0, "680 {mid}% vs 1080 Ti {hi}%");
+    }
+
+    #[test]
+    fn real_kernels_find_shares() {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let opts = WorkloadOpts {
+            real_kernels: true,
+            ..WorkloadOpts::default()
+        };
+        let pid = easy_miner(&mut m, &opts);
+        m.run_for(SimDuration::from_secs(5));
+        let trace = m.into_trace();
+        let shares = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, etwtrace::TraceEvent::Marker { label, .. } if label == "share"))
+            .count();
+        // 18 leading zero bits ≈ 1 share per 262k hashes; 12 threads × 5 s
+        // × ~20 batches/s × 48 nonces ≈ 58k hashes — shares are possible
+        // but not guaranteed; just assert the machinery ran.
+        let _ = shares;
+        let filter: etwtrace::PidSet = [pid.0].into_iter().collect();
+        assert!(analysis::concurrency(&trace, &filter).tlp() > 10.0);
+    }
+}

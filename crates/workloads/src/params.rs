@@ -1,0 +1,350 @@
+//! Calibration constants for the application models.
+//!
+//! Every constant is tied to a statement in the paper (quoted in the doc
+//! comment) or to a Table II target it was calibrated against. The unit
+//! "ref-ms" is milliseconds of single-thread scalar work on the study rig's
+//! 3.7 GHz reference clock (see [`machine::Work`]); GPU packet costs are in
+//! GFLOP on the GTX 1080 Ti scale (peak ≈ 10 616 GFLOP/s, so ~106 GFLOP ≈
+//! 10 ms of GPU time).
+
+/// Peak GFLOP/s of the primary study GPU, used to express utilization
+/// targets as packet costs. (`0.16 * GTX1080TI_GFLOPS / 30` = the per-frame
+/// cost that produces 16 % utilization at 30 FPS.)
+pub const GTX1080TI_GFLOPS: f64 = 10_615.8;
+
+/// Photoshop (Table II: TLP 8.6 ± 0.10, GPU 1.6 %): "5 custom filters are
+/// applied serially on a 100 mega-pixel photograph"; "the TLP of filter
+/// rendering scales linearly with the number of active cores and can reach
+/// a maximum of 12 when all cores are enabled" (§V-C1).
+pub mod photoshop {
+    /// Per-worker filter-render work (ref-ms); 12 workers per filter.
+    pub const FILTER_WORKER_MS: f64 = 930.0;
+    /// Render work chunk size (preemption granularity).
+    pub const FILTER_SEG_MS: f64 = 8.0;
+    /// Serial pre/post-processing around each filter (ref-ms).
+    pub const FILTER_SERIAL_MS: f64 = 150.0;
+    /// UI handling per non-filter interaction (ref-ms).
+    pub const INTERACT_MS: f64 = 30.0;
+    /// GPU canvas composite per filter (GFLOP) → ≈1.6 % utilization.
+    pub const FILTER_GPU_GFLOP: f64 = 1250.0;
+    /// Seconds between filter applications in the script.
+    pub const FILTER_PERIOD_S: u64 = 10;
+}
+
+/// Maya 3D (Table II: TLP 2.7 ± 0.08, GPU 9.9 %): "software render with
+/// raytracing followed by a hardware render with fog, motion blur and
+/// anti-aliasing" (§IV-A).
+pub mod maya {
+    /// Software-raytrace fork-join width (Maya's renderer scales modestly).
+    pub const RAYTRACE_THREADS: u32 = 4;
+    /// Per-thread raytrace work per render (ref-ms).
+    pub const RAYTRACE_WORKER_MS: f64 = 2100.0;
+    /// Hardware-render GPU packet (GFLOP) — fog/motion blur/AA passes.
+    pub const HW_RENDER_GFLOP: f64 = 10200.0;
+    /// Serial scene prep before each render (ref-ms).
+    pub const PREP_MS: f64 = 500.0;
+    /// Viewport orbit/pan/zoom handling (ref-ms) + GPU redraw.
+    pub const VIEWPORT_MS: f64 = 22.0;
+    /// Viewport redraw packet (GFLOP).
+    pub const VIEWPORT_GFLOP: f64 = 80.0;
+    /// Seconds between renders in the script.
+    pub const RENDER_PERIOD_S: u64 = 12;
+}
+
+/// AutoCAD LT (Table II: TLP 1.2 ± 0.02, GPU 9.0 %): "import a floorplan,
+/// pan, zoom, draw, fillet the edges, mirror and enter text" (§IV-A).
+pub mod autocad {
+    /// Serial geometry work per command (ref-ms).
+    pub const COMMAND_MS: f64 = 55.0;
+    /// Occasional regen helper-thread work (ref-ms, width 2).
+    pub const REGEN_MS: f64 = 40.0;
+    /// Viewport redraw packet per interaction (GFLOP).
+    pub const REDRAW_GFLOP: f64 = 730.0;
+}
+
+/// Office category (Table II: Acrobat 1.3/0.0, Excel 2.1/2.1, PowerPoint
+/// 1.2/4.0, Word 1.3/1.7, Outlook 1.3/2.5). "Excel spent 3.7 % of time
+/// using the maximum number of available logical cores" (§VIII).
+pub mod office {
+    /// Acrobat per-action document work (ref-ms, serial).
+    pub const ACROBAT_ACTION_MS: f64 = 90.0;
+    /// Excel recalc burst: width 2, per-thread ref-ms.
+    pub const EXCEL_RECALC_MS: f64 = 75.0;
+    /// Excel wide burst (sort/filter/histogram over 1M rows): width = all
+    /// logical CPUs, per-thread ref-ms.
+    pub const EXCEL_WIDE_MS: f64 = 10.0;
+    /// Every Nth Excel action triggers the wide burst.
+    pub const EXCEL_WIDE_EVERY: u32 = 6;
+    /// PowerPoint per-action work (ref-ms).
+    pub const PPT_ACTION_MS: f64 = 35.0;
+    /// PowerPoint animation GPU packet (GFLOP).
+    pub const PPT_ANIM_GFLOP: f64 = 1300.0;
+    /// Word per-action work (ref-ms).
+    pub const WORD_ACTION_MS: f64 = 30.0;
+    /// Word render/display packet (GFLOP).
+    pub const WORD_GPU_GFLOP: f64 = 480.0;
+    /// Outlook per-action work (ref-ms).
+    pub const OUTLOOK_ACTION_MS: f64 = 45.0;
+    /// Outlook list-render packet (GFLOP).
+    pub const OUTLOOK_GPU_GFLOP: f64 = 330.0;
+    /// Background helper width-2 share: spell-check / sync services tick
+    /// period (ms) and work (ref-ms).
+    pub const SERVICE_PERIOD_MS: f64 = 120.0;
+    /// See [`SERVICE_PERIOD_MS`].
+    pub const SERVICE_TICK_MS: f64 = 14.0;
+}
+
+/// Multimedia playback (Table II: QuickTime 1.1/16.4, WMP 1.3/16.1,
+/// VLC 1.8/15.7): "a 480p and a 1080p version of the same video are played
+/// in succession" (§IV-C). GPU ≈16 % at 30 FPS ⇒ ~56 GFLOP/frame composite.
+pub mod media {
+    /// Playback frame rate.
+    pub const FPS: f64 = 30.0;
+    /// Decode cost for the 480p half (ref-ms/frame).
+    pub const DECODE_480P_MS: f64 = 1.1;
+    /// Decode cost for the 1080p half (ref-ms/frame).
+    pub const DECODE_1080P_MS: f64 = 3.2;
+    /// Render/compose CPU cost (ref-ms/frame).
+    pub const RENDER_MS: f64 = 0.9;
+    /// GPU present+decode-assist packet (GFLOP/frame) → ≈16 % util.
+    pub const FRAME_GPU_GFLOP: f64 = 80.0;
+    /// Extra demux thread work for VLC (ref-ms/frame) — VLC splits demux,
+    /// audio and video into more threads, hence its higher TLP (1.8).
+    pub const VLC_DEMUX_MS: f64 = 9.0;
+    /// VLC audio-pipeline work (ref-ms/frame).
+    pub const VLC_AUDIO_MS: f64 = 8.0;
+    /// WMP audio/housekeeping service tick (ref-ms).
+    pub const WMP_SERVICE_MS: f64 = 3.0;
+}
+
+/// Video authoring (Table II: PowerDirector 4.3/6.3, Premiere 1.8/0.6).
+/// "We import three clips…, add transitions, titles, color correction and
+/// render it with and without CUDA support" (§IV-D); "the assistance of GPU
+/// does not cause a significant change in runtime, but slightly lowers the
+/// instantaneous TLP" (Fig. 9).
+pub mod authoring {
+    /// PowerDirector export encoder pool width.
+    pub const PDR_WORKERS: u32 = 6;
+    /// PowerDirector per-frame encode work (ref-ms).
+    pub const PDR_FRAME_MS: f64 = 210.0;
+    /// Frames per export batch between serial muxer phases.
+    pub const PDR_BATCH: u32 = 18;
+    /// Serial muxer work per batch (ref-ms).
+    pub const PDR_SERIAL_MS: f64 = 95.0;
+    /// PowerDirector GPU effect packet per frame (GFLOP).
+    pub const PDR_FRAME_GFLOP: f64 = 21.0;
+    /// Editing-phase interaction work (ref-ms).
+    pub const PDR_EDIT_MS: f64 = 40.0;
+    /// Premiere export pipeline: effectively 2-wide (decode + encode).
+    pub const PREM_FRAME_MS: f64 = 120.0;
+    /// Premiere serial assembly per frame (ref-ms).
+    pub const PREM_SERIAL_MS: f64 = 115.0;
+    /// Premiere CUDA effect packet per frame when CUDA is on (GFLOP).
+    pub const PREM_CUDA_GFLOP: f64 = 95.0;
+    /// Premiere non-CUDA tiny display packet per frame (GFLOP).
+    pub const PREM_SW_GFLOP: f64 = 3.5;
+    /// Fraction of per-frame CPU work CUDA offloads.
+    pub const PREM_CUDA_CPU_SCALE: f64 = 0.82;
+}
+
+/// Video transcoding (Table II: HandBrake 9.4/0.4, WinX 9.2/13.6; Table
+/// III; Fig. 8). "HandBrake does not offload tasks to the GPU, so the
+/// utilization stays below 1 %"; "with CUDA/NVENC enabled, the transcode
+/// rate of WinX improves by 143 % on average and TLP decreases by up to
+/// 22 %" (§V-D1).
+pub mod transcode {
+    /// Encoder worker pool width (HandBrake spawns one per logical CPU).
+    pub const WORKERS: u32 = 12;
+    /// Per-frame software-encode work (ref-ms, vector).
+    pub const FRAME_MS: f64 = 550.0;
+    /// Relative jitter on frame cost (I/B/P frames differ).
+    pub const FRAME_JITTER: f64 = 0.25;
+    /// Frames per GOP between rate-control serialization points.
+    pub const GOP: u32 = 24;
+    /// Serial rate-control/muxing work per GOP (ref-ms).
+    pub const SERIAL_MS: f64 = 70.0;
+    /// HandBrake preview present packet per frame (GFLOP) — ≈0.4 % util.
+    pub const HB_PREVIEW_GFLOP: f64 = 1.4;
+    /// WinX CUDA filter packet per frame (GFLOP) → ≈14 % util at ~37 FPS.
+    pub const WINX_CUDA_GFLOP: f64 = 23.0;
+    /// WinX NVENC frame-equivalents per transcoded frame.
+    pub const WINX_NVENC_FRAMES: f64 = 1.0;
+    /// CPU scale with CUDA on (offload shrinks the software share).
+    pub const WINX_CUDA_CPU_SCALE: f64 = 0.65;
+    /// Worker pool width when CUDA is enabled (driver limits the pool).
+    pub const WINX_CUDA_WORKERS: u32 = 12;
+}
+
+/// Web browsing (Table II: Firefox 2.2/8.6, Chrome 2.2/5.1, Edge 2.0/4.0;
+/// Fig. 11). "The number of processes created by Chrome is 10× larger than
+/// that by Firefox"; "Firefox uses much more resources in GPU"; "browsers
+/// constantly throttle inactive tabs"; Chrome's GC "is scheduled … during
+/// idle time" (§V-E).
+pub mod browse {
+    /// Page-load burst: parser/layout width.
+    pub const LOAD_WIDTH: u32 = 4;
+    /// Per-thread page-load work (ref-ms).
+    pub const LOAD_MS: f64 = 380.0;
+    /// Active-content tick period (ms) — ads/video on ESPN-like pages.
+    pub const ACTIVE_PERIOD_MS: f64 = 33.0;
+    /// Active-content tick work (ref-ms).
+    pub const ACTIVE_TICK_MS: f64 = 15.0;
+    /// Number of concurrently animating page components on ESPN.
+    pub const ESPN_COMPONENTS: u32 = 4;
+    /// Wikipedia has little active content: one slow component.
+    pub const WIKI_PERIOD_MS: f64 = 250.0;
+    /// See [`WIKI_PERIOD_MS`].
+    pub const WIKI_TICK_MS: f64 = 4.0;
+    /// Background-tab throttled tick period (ms) — "browsers constantly
+    /// throttle inactive tabs after a certain amount of time", but the tabs
+    /// still run as background processes.
+    pub const THROTTLED_PERIOD_MS: f64 = 220.0;
+    /// Throttled tick work (ref-ms).
+    pub const THROTTLED_TICK_MS: f64 = 2.5;
+    /// GPU composite packet per active tick (GFLOP), Chrome baseline.
+    pub const COMPOSITE_GFLOP: f64 = 5.5;
+    /// Firefox GPU multiplier ("uses much more resources in GPU").
+    pub const FIREFOX_GPU_SCALE: f64 = 1.7;
+    /// Edge GPU multiplier (lowest utilization, best power).
+    pub const EDGE_GPU_SCALE: f64 = 0.8;
+    /// Single-tab navigation GC burst (ref-ms) for non-Chrome browsers;
+    /// Chrome schedules GC in idle time, so its burst is near-free.
+    pub const GC_BURST_MS: f64 = 120.0;
+    /// Number of tabs in the multi-tab test.
+    pub const TABS: u32 = 5;
+    /// Seconds between navigations in the scripts.
+    pub const NAV_PERIOD_S: u64 = 8;
+}
+
+/// VR gaming (Table II; Figs. 7, 12, 13). Scene GFLOP targets come from
+/// `util ≈ scene_gflop · 90 / 10 615.8`; CPU loads are split between the
+/// main logic thread and a physics worker pool per the TLP targets.
+pub mod vr {
+    /// Per-game tuning: `(logic_ms, physics_threads, physics_ms,
+    /// scene_gflop, dynamic_resolution)`.
+    pub struct Game {
+        /// Main-thread game logic per frame (ref-ms).
+        pub logic_ms: f64,
+        /// Physics/job worker count.
+        pub physics_threads: u32,
+        /// Per-worker physics work per frame (ref-ms).
+        pub physics_ms: f64,
+        /// Render cost on the Rift panel (GFLOP/frame).
+        pub scene_gflop: f64,
+        /// Whether the engine scales resolution to fit the GPU budget
+        /// (Fallout 4 VR notoriously does not — §V-F's outlier).
+        pub dynamic_resolution: bool,
+    }
+
+    /// Arizona Sunshine: TLP 3.4, GPU 68.2 %.
+    pub const ARIZONA: Game = Game {
+        logic_ms: 2.6,
+        physics_threads: 4,
+        physics_ms: 3.8,
+        scene_gflop: 80.0,
+        dynamic_resolution: true,
+    };
+    /// Fallout 4 VR: TLP 4.0, GPU 84.9 % — no dynamic resolution.
+    pub const FALLOUT4: Game = Game {
+        logic_ms: 3.0,
+        physics_threads: 5,
+        physics_ms: 4.6,
+        scene_gflop: 100.0,
+        dynamic_resolution: false,
+    };
+    /// RAW Data: TLP 2.6, GPU 90.9 %.
+    pub const RAW_DATA: Game = Game {
+        logic_ms: 2.4,
+        physics_threads: 2,
+        physics_ms: 6.0,
+        scene_gflop: 107.0,
+        dynamic_resolution: true,
+    };
+    /// Serious Sam VR: TLP 2.4, GPU 72.2 %.
+    pub const SERIOUS_SAM: Game = Game {
+        logic_ms: 2.2,
+        physics_threads: 2,
+        physics_ms: 4.2,
+        scene_gflop: 85.0,
+        dynamic_resolution: true,
+    };
+    /// Space Pirate Trainer: TLP 2.7, GPU 61.6 %.
+    pub const SPACE_PIRATE: Game = Game {
+        logic_ms: 2.0,
+        physics_threads: 2,
+        physics_ms: 6.2,
+        scene_gflop: 72.5,
+        dynamic_resolution: true,
+    };
+    /// Project CARS 2: TLP 3.8, GPU 80.2 % — heavy CPU load so 4 logical
+    /// cores miss the deadline and ASW clamps to 45 FPS (Fig. 7).
+    pub const PROJECT_CARS2: Game = Game {
+        logic_ms: 4.0,
+        physics_threads: 5,
+        physics_ms: 4.6,
+        scene_gflop: 94.5,
+        dynamic_resolution: true,
+    };
+
+    /// Sensor-fusion tracking thread: period (ms) and work (ref-ms).
+    pub const TRACKING_PERIOD_MS: f64 = 2.0;
+    /// See [`TRACKING_PERIOD_MS`].
+    pub const TRACKING_TICK_MS: f64 = 0.35;
+    /// Audio service period / work (ref-ms).
+    pub const AUDIO_PERIOD_MS: f64 = 11.0;
+    /// See [`AUDIO_PERIOD_MS`].
+    pub const AUDIO_TICK_MS: f64 = 1.0;
+    /// Dynamic-resolution GPU budget as a fraction of the frame interval.
+    ///
+    /// (Rift's TLP edge in Fig. 12a comes from one extra in-process OVR job
+    /// thread in the physics pool — see `vrgames` — not from a tunable.)
+    pub const DYNRES_BUDGET: f64 = 0.92;
+}
+
+/// Cryptocurrency mining (Table II: Bitcoin Miner 5.4/98.9, EasyMiner
+/// 11.9/96.1, PhoenixMiner 1.0/100.0†, WinEth 1.0/99.7). "EasyMiner assigns
+/// independent threads to each of the logical cores, leading to the TLP
+/// scaling linearly" (§V-C1); "for PhoenixMiner, two packets were
+/// simultaneously executing on the GPU throughout" (Table II footnote).
+pub mod mining {
+    /// GPU hash packet length (ms of GPU time at efficiency 1).
+    pub const PACKET_MS: f64 = 25.0;
+    /// CPU hash-batch segment for CPU miner threads (ref-ms).
+    pub const CPU_BATCH_MS: f64 = 12.0;
+    /// Bitcoin Miner CPU hash threads (plus the GPU feeder).
+    pub const BITCOIN_CPU_THREADS: u32 = 5;
+    /// Bitcoin Miner feeder CPU work per packet (ref-ms) → ≈99 % util.
+    pub const BITCOIN_FEED_MS: f64 = 0.25;
+    /// EasyMiner feeder CPU work per packet — contended by 12 hash threads,
+    /// producing its lower 96.1 % utilization.
+    pub const EASYMINER_FEED_MS: f64 = 0.45;
+    /// Nonces per real-kernel scan when `real_kernels` is on.
+    pub const REAL_SCAN_NONCES: u32 = 48;
+}
+
+/// Personal assistants (Table II: Cortana 1.4/2.7, Braina 1.1/0.0).
+/// "Personal assistant applications rely heavily on datacenters to offload
+/// the complex part of the workload" (§II) — hence the cloud-wait sleeps.
+pub mod assistant {
+    /// Always-on keyword-spotting service: period / work (ref-ms).
+    pub const LISTEN_PERIOD_MS: f64 = 30.0;
+    /// See [`LISTEN_PERIOD_MS`].
+    pub const LISTEN_TICK_MS: f64 = 0.6;
+    /// Local audio front-end burst width and per-thread work (ref-ms).
+    pub const AUDIO_BURST_MS: f64 = 110.0;
+    /// Local NLP burst width (Cortana).
+    pub const NLP_WIDTH: u32 = 2;
+    /// Per-thread NLP work (ref-ms).
+    pub const NLP_MS: f64 = 80.0;
+    /// Cloud round-trip wait (ms).
+    pub const CLOUD_WAIT_MS: f64 = 650.0;
+    /// Answer-card render work (ref-ms).
+    pub const RENDER_MS: f64 = 45.0;
+    /// Cortana answer-card + listening-animation GPU work per query
+    /// (GFLOP) — ≈2.7 % utilization at one query per 9 s.
+    pub const CORTANA_GPU_GFLOP: f64 = 2800.0;
+    /// Braina handles everything serially (TLP 1.1, no GPU).
+    pub const BRAINA_SERIAL_MS: f64 = 260.0;
+    /// Seconds between queries in the voice script.
+    pub const QUERY_PERIOD_S: u64 = 9;
+}

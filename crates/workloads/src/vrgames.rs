@@ -1,0 +1,327 @@
+//! VR-gaming models (paper §IV-F, §V-F): six titles running a pipelined
+//! frame loop against a [`vrsys::Pacer`].
+//!
+//! Per frame the main thread simulates game logic, fans physics out to a
+//! worker pool, submits the stereo render packet, and waits for the
+//! *previous* frame's packet (CPU/GPU pipelining). Frame starts align to
+//! vsync slots, so a GPU over budget produces the 90↔45 FPS oscillation of
+//! asynchronous reprojection (Fig. 13), while a sustained CPU shortfall on
+//! the Rift engages Asynchronous Spacewarp and clamps the game to 45 FPS
+//! (Fig. 7 with 4 logical cores).
+
+use crate::blocks::{Service, Stage};
+use crate::params::vr as p;
+use crate::WorkloadOpts;
+use machine::{Action, EventId, Machine, Pid, SubmissionId, ThreadCtx, ThreadProgram, Work};
+use simcore::SimTime;
+use simcpu::ComputeKind;
+use simgpu::PacketKind;
+use vrsys::{FrameOutcome, HeadsetSpec, Pacer, PacingPolicy};
+
+/// The per-frame main loop of a VR title.
+struct VrMain {
+    game: &'static p::Game,
+    headset: HeadsetSpec,
+    pacer: Pacer,
+    frame_sem: EventId,
+    done_sem: EventId,
+    workers: u32,
+    /// The previous frame's render packet and its display deadline.
+    inflight: Option<(SubmissionId, SimTime)>,
+    /// Deadline of the packet currently being waited on (previous frame).
+    pending_deadline: Option<SimTime>,
+    /// When the current frame started simulating.
+    frame_start: SimTime,
+    join_left: u32,
+    phase: Phase,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Logic,
+    Fan,
+    Submit,
+    Paced,
+}
+
+impl VrMain {
+    /// GPU cost of this frame, honouring dynamic-resolution budgets.
+    fn render_gflop(&self, ctx: &ThreadCtx<'_>) -> f64 {
+        let base = vrsys::render_cost_gflop(self.game.scene_gflop, &self.headset);
+        if !self.game.dynamic_resolution {
+            return base;
+        }
+        let budget = p::DYNRES_BUDGET
+            * self.headset.frame_interval().as_secs_f64()
+            * ctx.gpu_spec(0).effective_gflops(PacketKind::Graphics3d);
+        base.min(budget)
+    }
+
+    /// The next vsync slot at or after `t`.
+    fn vsync_after(&self, t: SimTime) -> SimTime {
+        let interval = self.headset.frame_interval().as_nanos();
+        let n = t.as_nanos().div_ceil(interval);
+        SimTime::from_nanos(n * interval)
+    }
+}
+
+impl ThreadProgram for VrMain {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        loop {
+            match self.phase {
+                Phase::Logic => {
+                    self.frame_start = ctx.now();
+                    self.phase = Phase::Fan;
+                    self.join_left = self.workers;
+                    let ms = ctx
+                        .rng()
+                        .normal(self.game.logic_ms, self.game.logic_ms * 0.1)
+                        .max(0.1);
+                    // Game logic is serial; the physics fan-out follows it.
+                    return Action::Compute(Work::busy_ms(ms).with_kind(ComputeKind::Scalar));
+                }
+                Phase::Fan => {
+                    if self.join_left == self.workers {
+                        ctx.signal_n(self.frame_sem, self.workers as u64);
+                    }
+                    if self.join_left > 0 {
+                        self.join_left -= 1;
+                        return Action::WaitEvent(self.done_sem);
+                    }
+                    self.phase = Phase::Submit;
+                }
+                Phase::Submit => {
+                    let gflop = self.render_gflop(ctx);
+                    let sub = ctx.submit_gpu(0, 0, PacketKind::Graphics3d, gflop);
+                    // One vsync of render-ahead latency is standard: a frame
+                    // simulated in slot N displays at vsync N+2.
+                    let deadline = self.frame_start
+                        + self.pacer.game_interval()
+                        + self.headset.frame_interval();
+                    let prev = self.inflight.replace((sub, deadline));
+                    self.phase = Phase::Paced;
+                    if let Some((prev_sub, prev_deadline)) = prev {
+                        self.pending_deadline = Some(prev_deadline);
+                        return Action::WaitGpu(prev_sub);
+                    }
+                    self.pending_deadline = None;
+                    // First frame: nothing to pace against yet.
+                }
+                Phase::Paced => {
+                    // The previous frame's packet just completed (or this is
+                    // the first frame). Judge its deadline, present, pace.
+                    let now = ctx.now();
+                    if let Some(prev_deadline) = self.pending_deadline.take() {
+                        let made = now <= prev_deadline;
+                        if std::env::var_os("VR_DEBUG").is_some() {
+                            ctx.marker(&format!(
+                                "vr made={made} now={now} deadline={prev_deadline} clamped={}",
+                                self.pacer.clamped()
+                            ));
+                        }
+                        let outcome = self.pacer.on_vsync(made);
+                        match outcome {
+                            FrameOutcome::Presented => ctx.present_frame(),
+                            FrameOutcome::Reprojected => {
+                                // The runtime warps the last image in, and
+                                // the real frame displays one vsync late.
+                                ctx.submit_gpu(
+                                    0,
+                                    1,
+                                    PacketKind::Graphics3d,
+                                    vrsys::reprojection_cost_gflop(
+                                        self.game.scene_gflop,
+                                        &self.headset,
+                                    ),
+                                );
+                                ctx.present_frame();
+                            }
+                            FrameOutcome::Synthesized => {}
+                        }
+                    }
+                    // Next frame starts at the next vsync slot that honours
+                    // the (possibly clamped) game cadence.
+                    let earliest = self.frame_start + self.pacer.game_interval();
+                    let target = self.vsync_after(earliest.max(now));
+                    self.phase = Phase::Logic;
+                    let wait = target.saturating_since(now);
+                    if wait.is_zero() {
+                        continue;
+                    }
+                    return Action::Sleep(wait);
+                }
+            }
+        }
+    }
+}
+
+fn vr_game(
+    m: &mut Machine,
+    opts: &WorkloadOpts,
+    process: &'static str,
+    game: &'static p::Game,
+) -> Pid {
+    let pid = m.add_process(process);
+    let frame_sem = m.create_event();
+    let done_sem = m.create_event();
+    // The Oculus runtime contributes an extra in-process job thread per
+    // frame, giving Rift its TLP edge in Fig. 12a.
+    let workers = game.physics_threads
+        + u32::from(opts.headset.policy == PacingPolicy::Spacewarp);
+    for i in 0..workers {
+        let mut stage =
+            Stage::new(frame_sem, Some(done_sem), game.physics_ms, ComputeKind::Mixed);
+        stage.jitter = 0.04; // per-frame physics cost is nearly constant
+        m.spawn(pid, &format!("physics-{i}"), Box::new(stage));
+    }
+    // Sensor-fusion tracking and audio keep low-level threads warm.
+    m.spawn(
+        pid,
+        "tracking",
+        Box::new(Service::new(p::TRACKING_PERIOD_MS, p::TRACKING_TICK_MS, ComputeKind::Scalar)),
+    );
+    m.spawn(
+        pid,
+        "audio",
+        Box::new(Service::new(p::AUDIO_PERIOD_MS, p::AUDIO_TICK_MS, ComputeKind::Mixed)),
+    );
+    m.spawn(
+        pid,
+        "main",
+        Box::new(VrMain {
+            game,
+            headset: opts.headset.clone(),
+            pacer: Pacer::new(opts.headset.clone()),
+            frame_sem,
+            done_sem,
+            workers,
+            inflight: None,
+            pending_deadline: None,
+            frame_start: SimTime::ZERO,
+            join_left: 0,
+            phase: Phase::Logic,
+        }),
+    );
+    pid
+}
+
+/// Arizona Sunshine — Horde mode (Table II: TLP 3.4, GPU 68.2 %).
+pub fn arizona_sunshine(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "arizona.exe", &p::ARIZONA)
+}
+
+/// Fallout 4 VR — post-shelter checkpoint (Table II: TLP 4.0, GPU 84.9 %).
+pub fn fallout4(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "fallout4vr.exe", &p::FALLOUT4)
+}
+
+/// RAW Data — campaign defence (Table II: TLP 2.6, GPU 90.9 %).
+pub fn raw_data(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "rawdata.exe", &p::RAW_DATA)
+}
+
+/// Serious Sam VR BFE — survival mode (Table II: TLP 2.4, GPU 72.2 %).
+pub fn serious_sam(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "samvr.exe", &p::SERIOUS_SAM)
+}
+
+/// Space Pirate Trainer — old-school mode (Table II: TLP 2.7, GPU 61.6 %).
+pub fn space_pirate(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "spacepirate.exe", &p::SPACE_PIRATE)
+}
+
+/// Project CARS 2 — quick race (Table II: TLP 3.8, GPU 80.2 %); the
+/// CPU-heaviest title, used for the core-scaling study of Fig. 7.
+pub fn project_cars2(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
+    vr_game(m, opts, "pcars2.exe", &p::PROJECT_CARS2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+    use etwtrace::analysis;
+    use machine::MachineConfig;
+
+    fn run(
+        build: fn(&mut Machine, &WorkloadOpts) -> Pid,
+        logical: usize,
+        headset: HeadsetSpec,
+        secs: u64,
+    ) -> (f64, f64, f64) {
+        let mut m = Machine::new(MachineConfig::study_rig(logical, true));
+        let opts = WorkloadOpts {
+            duration: SimDuration::from_secs(secs),
+            headset,
+            ..WorkloadOpts::default()
+        };
+        let pid = build(&mut m, &opts);
+        m.run_for(SimDuration::from_secs(secs));
+        let trace = m.into_trace();
+        let filter: etwtrace::PidSet = [pid.0].into_iter().collect();
+        let tlp = analysis::concurrency(&trace, &filter).tlp();
+        let gpu = analysis::gpu_utilization(&trace, &filter, Some(0)).percent();
+        // Skip the first seconds of FPS warm-up.
+        let fps_pts = analysis::fps_series(&trace, Some(pid.0), SimDuration::from_secs(1));
+        let fps = fps_pts
+            .points()
+            .iter()
+            .skip(2)
+            .map(|&(_, v)| v)
+            .sum::<f64>()
+            / fps_pts.points().len().saturating_sub(2).max(1) as f64;
+        (tlp, gpu, fps)
+    }
+
+    #[test]
+    fn games_hold_90fps_on_full_rig() {
+        for build in [arizona_sunshine, raw_data, project_cars2] {
+            let (_, _, fps) = run(build, 12, vrsys::presets::rift(), 10);
+            assert!((fps - 90.0).abs() < 6.0, "fps {fps}");
+        }
+    }
+
+    #[test]
+    fn gpu_utilization_is_high() {
+        let (_, gpu, _) = run(raw_data, 12, vrsys::presets::rift(), 10);
+        assert!(gpu > 70.0, "raw data gpu {gpu}%");
+        let (_, gpu_spt, _) = run(space_pirate, 12, vrsys::presets::rift(), 10);
+        assert!(gpu_spt < gpu, "space pirate {gpu_spt}% vs raw data {gpu}%");
+    }
+
+    #[test]
+    fn cars_clamps_to_45fps_on_four_logical_cores() {
+        // Fig. 7: "if only 4 logical cores are available, the actual frame
+        // rate of Rift is clamped to 45 FPS due to asynchronous spacewarp".
+        let (_, _, fps12) = run(project_cars2, 12, vrsys::presets::rift(), 10);
+        let (_, gpu4, fps4) = run(project_cars2, 4, vrsys::presets::rift(), 10);
+        assert!(fps12 > 80.0, "12-core fps {fps12}");
+        assert!((fps4 - 45.0).abs() < 8.0, "4-core fps {fps4}");
+        let (_, gpu12, _) = run(project_cars2, 12, vrsys::presets::rift(), 10);
+        assert!(gpu4 < gpu12, "gpu should drop with the clamp: {gpu4} vs {gpu12}");
+    }
+
+    #[test]
+    fn fallout_underperforms_on_vive_pro() {
+        // §V-F: "Fallout 4 exhibits a different trend … the GPU utilization
+        // for Vive Pro is the lowest, and a lower frame rate is observed".
+        let (_, gpu_vive, fps_vive) = run(fallout4, 12, vrsys::presets::vive(), 10);
+        let (_, gpu_pro, fps_pro) = run(fallout4, 12, vrsys::presets::vive_pro(), 10);
+        assert!(fps_pro < fps_vive - 20.0, "fps {fps_pro} vs {fps_vive}");
+        assert!(gpu_pro < gpu_vive, "gpu {gpu_pro}% vs {gpu_vive}%");
+    }
+
+    #[test]
+    fn vive_pro_costs_more_gpu_for_dynamic_res_games() {
+        let (_, gpu_rift, _) = run(project_cars2, 12, vrsys::presets::rift(), 10);
+        let (_, gpu_pro, _) = run(project_cars2, 12, vrsys::presets::vive_pro(), 10);
+        assert!(gpu_pro > gpu_rift, "vive pro {gpu_pro}% vs rift {gpu_rift}%");
+    }
+
+    #[test]
+    fn rift_has_tlp_edge() {
+        let (tlp_rift, _, _) = run(project_cars2, 12, vrsys::presets::rift(), 10);
+        let (tlp_vive, _, _) = run(project_cars2, 12, vrsys::presets::vive(), 10);
+        assert!(tlp_rift > tlp_vive, "rift {tlp_rift} vs vive {tlp_vive}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Browser shoot-out: Chrome vs Firefox vs Edge across the paper's four
+//! §V-E browsing tests (Fig. 11 flavour), including process counts.
+//!
+//! ```text
+//! cargo run --release --example browser_shootout
+//! ```
+
+use desktop_parallelism::parastat::{Budget, Experiment};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::workloads::browse::BrowseScenario;
+use desktop_parallelism::workloads::AppId;
+
+fn main() {
+    let budget = Budget {
+        duration: SimDuration::from_secs(30),
+        iterations: 1,
+    };
+    let scenarios = [
+        BrowseScenario::MultiTab,
+        BrowseScenario::SingleTab,
+        BrowseScenario::Espn,
+        BrowseScenario::Wiki,
+    ];
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>14}",
+        "browser (TLP/GPU%)", "multi-tab", "single-tab", "ESPN", "Wikipedia"
+    );
+    for app in [AppId::Chrome, AppId::Firefox, AppId::Edge] {
+        print!("{:<22}", app.display_name());
+        let mut processes = 0;
+        for scenario in scenarios {
+            let run = Experiment::new(app)
+                .budget(budget)
+                .browse(scenario)
+                .run_once(9);
+            if scenario == BrowseScenario::MultiTab {
+                processes = run.filter.len();
+            }
+            print!(
+                " {:>6.2}/{:>5.1}%",
+                run.tlp(),
+                run.gpu_util().percent()
+            );
+        }
+        println!("   ({processes} processes in the multi-tab test)");
+    }
+    println!();
+    println!("Paper findings to look for: multi-tab TLP ≥ single-tab (multi-process");
+    println!("models), ESPN busier than Wikipedia everywhere, Chrome spawning the most");
+    println!("processes, Firefox leaning hardest on the GPU.");
+}

@@ -1,0 +1,134 @@
+//! Build your OWN application model against the public API: a toy
+//! ray-tracer with a serial camera phase and a fork-join tile render, plus
+//! a GPU denoise pass — then measure it like any Table II row.
+//!
+//! Shows the three layers a user touches: `machine` (thread programs),
+//! `etwtrace` (analysis), and `simcore` (time/stats).
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use desktop_parallelism::etwtrace::analysis;
+use desktop_parallelism::machine::{
+    Action, EventId, Machine, MachineConfig, ThreadCtx, ThreadProgram, Work,
+};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::simcpu::ComputeKind;
+use desktop_parallelism::simgpu::PacketKind;
+
+/// A tile-rendering worker: pulls tiles from the shared semaphore until the
+/// frame is done.
+struct TileWorker {
+    tiles: EventId,
+    done: EventId,
+    waiting: bool,
+}
+
+impl ThreadProgram for TileWorker {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.waiting {
+            self.waiting = false;
+            // Got a tile: trace 4 ms worth of rays, then report it.
+            ctx.signal(self.done);
+            let ms = ctx.rng().uniform(3.0, 5.0);
+            return Action::Compute(Work::busy_ms(ms).with_kind(ComputeKind::Vector));
+        }
+        self.waiting = true;
+        Action::WaitEvent(self.tiles)
+    }
+}
+
+/// The render orchestrator: per frame, a serial camera/BVH phase, a tile
+/// fan-out, then a GPU denoise pass it blocks on.
+struct Orchestrator {
+    tiles: EventId,
+    done: EventId,
+    tiles_per_frame: u64,
+    phase: u32,
+    joined: u64,
+}
+
+impl ThreadProgram for Orchestrator {
+    fn next(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                // Serial camera update + BVH refit.
+                Action::Compute(Work::busy_ms(6.0))
+            }
+            1 => {
+                ctx.signal_n(self.tiles, self.tiles_per_frame);
+                self.joined = 0;
+                self.phase = 2;
+                Action::WaitEvent(self.done)
+            }
+            2 => {
+                self.joined += 1;
+                if self.joined < self.tiles_per_frame {
+                    return Action::WaitEvent(self.done);
+                }
+                self.phase = 3;
+                // GPU denoise: ~40 GFLOP, block until finished.
+                let sub = ctx.submit_gpu(0, 0, PacketKind::Compute, 40.0);
+                Action::WaitGpu(sub)
+            }
+            _ => {
+                self.phase = 0;
+                ctx.present_frame();
+                Action::Sleep(SimDuration::from_millis(5)) // pacing
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let pid = m.add_process("toytracer.exe");
+    let tiles = m.create_event();
+    let done = m.create_event();
+    for i in 0..8 {
+        m.spawn(
+            pid,
+            &format!("tile-{i}"),
+            Box::new(TileWorker {
+                tiles,
+                done,
+                waiting: false,
+            }),
+        );
+    }
+    m.spawn(
+        pid,
+        "orchestrator",
+        Box::new(Orchestrator {
+            tiles,
+            done,
+            tiles_per_frame: 24,
+            phase: 0,
+            joined: 0,
+        }),
+    );
+    m.run_for(SimDuration::from_secs(10));
+    let trace = m.into_trace();
+    let filter = trace.pids_by_name("toytracer");
+    let profile = analysis::concurrency(&trace, &filter);
+    let util = analysis::gpu_utilization(&trace, &filter, Some(0));
+    let fps = analysis::fps_series(&trace, Some(pid.0), SimDuration::from_secs(1));
+
+    println!("toytracer.exe on the study rig:");
+    println!("  TLP              : {:.2}", profile.tlp());
+    println!("  max concurrency  : {} / 12", profile.max_concurrency());
+    println!("  GPU utilization  : {:.1} %", util.percent());
+    println!("  frame rate       : {:.1} FPS", fps.mean());
+    println!(
+        "  c0..c12          : {}",
+        profile
+            .fractions()
+            .iter()
+            .map(|f| format!("{:.0}", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    assert!(profile.tlp() > 4.0, "the tile pool should parallelize well");
+}

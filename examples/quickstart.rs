@@ -1,0 +1,66 @@
+//! Quickstart: measure one application's TLP and GPU utilization on the
+//! paper's rig, exactly like one Table II cell.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app-substring]
+//! ```
+
+use desktop_parallelism::parastat::{Budget, Experiment};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::workloads::AppId;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "handbrake".into());
+    let app = AppId::ALL
+        .iter()
+        .copied()
+        .find(|a| {
+            a.display_name()
+                .to_ascii_lowercase()
+                .contains(&wanted.to_ascii_lowercase())
+        })
+        .unwrap_or_else(|| {
+            eprintln!("no app matches `{wanted}`; available:");
+            for a in AppId::ALL {
+                eprintln!("  {}", a.display_name());
+            }
+            std::process::exit(2);
+        });
+
+    println!("Measuring {} on the i7-8700K + GTX 1080 Ti rig…", app.display_name());
+    println!("testbench (§IV): {}", app.testbench());
+    println!(
+        "input: {}",
+        if app.automatable() { "AutoIt script" } else { "manual (strict timing)" }
+    );
+    let budget = Budget {
+        duration: SimDuration::from_secs(30),
+        iterations: 3,
+    };
+    let m = Experiment::new(app).budget(budget).run();
+
+    println!(
+        "TLP            : {:.2} ± {:.2} (paper: {:.1})",
+        m.tlp.mean(),
+        m.tlp.population_std_dev(),
+        desktop_parallelism::parastat::paper::table2_row(app).tlp
+    );
+    println!(
+        "GPU utilization: {:.1} % ± {:.2} (paper: {:.1} %)",
+        m.gpu_percent.mean(),
+        m.gpu_percent.population_std_dev(),
+        desktop_parallelism::parastat::paper::table2_row(app).gpu
+    );
+    println!("max concurrency: {} of {} logical CPUs", m.max_concurrency, m.n_logical);
+    let fractions = m.fractions();
+    print!("C0..C12 heat-map: ");
+    for f in &fractions {
+        print!("{}", desktop_parallelism::parastat::report::heat_shade(*f));
+    }
+    println!();
+    println!(
+        "busy time at max width: {:.1} % (the paper notes Excel spends 3.7 % at 12)",
+        100.0 * fractions.last().copied().unwrap_or(0.0)
+            / fractions.iter().skip(1).sum::<f64>().max(1e-12)
+    );
+}

@@ -1,0 +1,49 @@
+//! A Task-Manager-style view: run several applications on one simulated
+//! machine and print per-process CPU/GPU shares from the recorded trace.
+//!
+//! ```text
+//! cargo run --release --example task_manager
+//! ```
+
+use desktop_parallelism::etwtrace::analysis;
+use desktop_parallelism::machine::{Machine, MachineConfig};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::workloads::{build, AppId, WorkloadOpts};
+
+fn main() {
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let opts = WorkloadOpts {
+        duration: SimDuration::from_secs(20),
+        ..WorkloadOpts::default()
+    };
+    // A desktop under mixed load: transcode + browser + music + miner.
+    for app in [
+        AppId::Handbrake,
+        AppId::Chrome,
+        AppId::VlcMediaPlayer,
+        AppId::WinEthMiner,
+    ] {
+        build(app, &mut m, &opts);
+    }
+    m.run_for(SimDuration::from_secs(20));
+    let trace = m.into_trace();
+
+    println!(
+        "{:<26} {:>4} {:>8} {:>7} {:>7}",
+        "process", "pid", "threads", "CPU %", "GPU %"
+    );
+    for p in analysis::per_process_summary(&trace) {
+        println!(
+            "{:<26} {:>4} {:>8} {:>7.1} {:>7.1}",
+            p.name, p.pid, p.threads, p.cpu_percent, p.gpu_percent
+        );
+    }
+    let all = trace.all_pids();
+    let profile = analysis::concurrency(&trace, &all);
+    println!(
+        "\nmachine: TLP {:.2}, max concurrency {}/12, busy {:.1} % of the window",
+        profile.tlp(),
+        profile.max_concurrency(),
+        100.0 * (1.0 - profile.fractions()[0])
+    );
+}

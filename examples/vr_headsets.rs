@@ -1,0 +1,49 @@
+//! VR headset shoot-out: one game across Oculus Rift, HTC Vive and HTC
+//! Vive Pro (the paper's Fig. 12/13 flavour), including the frame-rate
+//! traces that expose ASW vs asynchronous reprojection.
+//!
+//! ```text
+//! cargo run --release --example vr_headsets [logical-cores]
+//! ```
+
+use desktop_parallelism::parastat::{report, Budget, Experiment};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::vrsys;
+use desktop_parallelism::workloads::AppId;
+
+fn main() {
+    let logical: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let budget = Budget {
+        duration: SimDuration::from_secs(12),
+        iterations: 1,
+    };
+    let app = AppId::ProjectCars2;
+    println!(
+        "{} on {} logical CPUs — per headset:\n",
+        app.display_name(),
+        logical
+    );
+    for headset in vrsys::presets::all() {
+        let name = headset.name;
+        let policy = format!("{:?}", headset.policy);
+        let run = Experiment::new(app)
+            .budget(budget)
+            .logical(logical, true)
+            .headset(headset)
+            .run_once(3);
+        let fps = run.fps_series(SimDuration::from_millis(500));
+        println!(
+            "{name:<13} ({policy:<12}) TLP {:>4.2}  GPU {:>5.1} %  mean FPS {:>5.1}",
+            run.tlp(),
+            run.gpu_util().percent(),
+            fps.mean()
+        );
+        println!("  FPS trace: {}", report::sparkline(&fps, 48));
+    }
+    println!();
+    println!("Try `cargo run --release --example vr_headsets 4` to watch the Rift's");
+    println!("Asynchronous Spacewarp clamp the game to 45 FPS (the paper's Fig. 7).");
+}

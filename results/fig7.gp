@@ -1,0 +1,12 @@
+set datafile separator ','
+set title "Instantaneous TLP and GPU utilization over time — Project CARS 2 1.7.1.0"
+set xlabel 'time (s)'
+set ylabel "TLP / GPU %"
+set key outside
+set grid
+plot "fig7.csv" using 1:2 with lines title "tlp_4", \
+     "fig7.csv" using 1:3 with lines title "gpu_4", \
+     "fig7.csv" using 1:4 with lines title "tlp_8", \
+     "fig7.csv" using 1:5 with lines title "gpu_8", \
+     "fig7.csv" using 1:6 with lines title "tlp_12", \
+     "fig7.csv" using 1:7 with lines title "gpu_12"

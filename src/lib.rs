@@ -1,0 +1,20 @@
+//! # desktop-parallelism — meta-crate for the ISPASS'19 reproduction
+//!
+//! This crate re-exports the whole `parastat` toolkit so that the examples
+//! and integration tests in the repository root can use one import path.
+//! Downstream users normally depend on [`parastat`] (the study harness) and
+//! whichever substrates they need directly.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use autoinput;
+pub use cryptomine;
+pub use etwtrace;
+pub use historical;
+pub use machine;
+pub use parastat;
+pub use simcore;
+pub use simcpu;
+pub use simgpu;
+pub use vrsys;
+pub use workloads;

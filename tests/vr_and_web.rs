@@ -1,0 +1,127 @@
+//! §V-E/§V-F integration tests: browsers (Fig. 11) and VR headsets
+//! (Figs. 7, 12, 13), end to end through the public API.
+
+use desktop_parallelism::parastat::{Budget, Experiment};
+use desktop_parallelism::simcore::SimDuration;
+use desktop_parallelism::vrsys;
+use desktop_parallelism::workloads::browse::BrowseScenario;
+use desktop_parallelism::workloads::AppId;
+
+fn budget(secs: u64) -> Budget {
+    Budget {
+        duration: SimDuration::from_secs(secs),
+        iterations: 1,
+    }
+}
+
+#[test]
+fn asw_clamps_cars2_to_45fps_on_four_logical_cores() {
+    // Fig. 7: "if only 4 logical cores are available, the actual frame rate
+    // of Rift is clamped to 45 FPS due to asynchronous spacewarp", with
+    // correspondingly lower GPU utilization.
+    let at = |n: usize| {
+        let run = Experiment::new(AppId::ProjectCars2)
+            .budget(budget(10))
+            .logical(n, true)
+            .run_once(1);
+        (run.frame_rate(), run.gpu_util().percent())
+    };
+    let (fps12, gpu12) = at(12);
+    let (fps4, gpu4) = at(4);
+    assert!(fps12 > 80.0, "12-core fps {fps12}");
+    assert!((fps4 - 45.0).abs() < 8.0, "4-core fps {fps4}");
+    assert!(gpu4 < 0.65 * gpu12, "gpu {gpu4}% vs {gpu12}%");
+}
+
+#[test]
+fn headset_sweep_matches_fig12() {
+    let run = |app: AppId, headset: vrsys::HeadsetSpec| {
+        let m = Experiment::new(app).budget(budget(8)).headset(headset).run();
+        (m.tlp.mean(), m.gpu_percent.mean())
+    };
+    // Rift TLP edge on the CPU-heavy titles.
+    for app in [AppId::ProjectCars2, AppId::Fallout4Vr] {
+        let (rift, _) = run(app, vrsys::presets::rift());
+        let (vive, _) = run(app, vrsys::presets::vive());
+        assert!(rift > vive, "{app:?}: rift {rift} vs vive {vive}");
+    }
+    // Vive Pro GPU premium — except Fallout 4, where it collapses.
+    let (_, cars_vive) = run(AppId::ProjectCars2, vrsys::presets::vive());
+    let (_, cars_pro) = run(AppId::ProjectCars2, vrsys::presets::vive_pro());
+    assert!(cars_pro > cars_vive, "cars: {cars_pro} vs {cars_vive}");
+    let (_, fo_vive) = run(AppId::Fallout4Vr, vrsys::presets::vive());
+    let (_, fo_pro) = run(AppId::Fallout4Vr, vrsys::presets::vive_pro());
+    assert!(fo_pro < fo_vive, "fallout: {fo_pro} vs {fo_vive}");
+}
+
+#[test]
+fn fallout_on_vive_pro_drops_frames_via_reprojection() {
+    // §V-F: "a lower frame rate for Vive Pro is observed in the game".
+    let fps = |headset: vrsys::HeadsetSpec| {
+        Experiment::new(AppId::Fallout4Vr)
+            .budget(budget(10))
+            .headset(headset)
+            .run_once(4)
+            .frame_rate()
+    };
+    let vive = fps(vrsys::presets::vive());
+    let pro = fps(vrsys::presets::vive_pro());
+    assert!(vive > 80.0, "vive fps {vive}");
+    assert!(pro < vive - 15.0, "vive pro fps {pro}");
+}
+
+#[test]
+fn browsers_match_the_v_e_findings() {
+    let cell = |app: AppId, s: BrowseScenario| {
+        let run = Experiment::new(app).budget(budget(25)).browse(s).run_once(6);
+        (run.tlp(), run.gpu_util().percent(), run.filter.len())
+    };
+    for app in [AppId::Chrome, AppId::Firefox, AppId::Edge] {
+        let (multi_tlp, _, _) = cell(app, BrowseScenario::MultiTab);
+        let (single_tlp, _, _) = cell(app, BrowseScenario::SingleTab);
+        assert!(
+            multi_tlp >= single_tlp - 0.15,
+            "{app:?}: multi {multi_tlp} vs single {single_tlp}"
+        );
+        let (_, espn_gpu, _) = cell(app, BrowseScenario::Espn);
+        let (_, wiki_gpu, _) = cell(app, BrowseScenario::Wiki);
+        assert!(espn_gpu > wiki_gpu, "{app:?}: {espn_gpu} vs {wiki_gpu}");
+    }
+    let (_, _, chrome_procs) = cell(AppId::Chrome, BrowseScenario::MultiTab);
+    let (_, _, ff_procs) = cell(AppId::Firefox, BrowseScenario::MultiTab);
+    assert!(chrome_procs > ff_procs, "chrome {chrome_procs} vs ff {ff_procs}");
+    let (_, ff_gpu, _) = cell(AppId::Firefox, BrowseScenario::MultiTab);
+    let (_, edge_gpu, _) = cell(AppId::Edge, BrowseScenario::MultiTab);
+    assert!(ff_gpu > edge_gpu, "firefox {ff_gpu}% vs edge {edge_gpu}%");
+}
+
+#[test]
+fn vr_tlp_doubles_traditional_3d_gaming() {
+    // §VIII: "the average TLP of VR gaming is twice that of traditional 3D
+    // gaming" — 3D gaming circa 2010 averaged ~1.8 (historical dataset).
+    let games = [
+        AppId::ArizonaSunshine,
+        AppId::Fallout4Vr,
+        AppId::RawData,
+        AppId::SeriousSamVr,
+        AppId::SpacePirateTrainer,
+        AppId::ProjectCars2,
+    ];
+    let avg: f64 = games
+        .iter()
+        .map(|&g| Experiment::new(g).budget(budget(8)).run().tlp.mean())
+        .sum::<f64>()
+        / games.len() as f64;
+    let hist: Vec<_> = desktop_parallelism::historical::entries(
+        2010,
+        desktop_parallelism::historical::Metric::Tlp,
+    )
+    .into_iter()
+    .filter(|e| e.category == "3D Gaming")
+    .collect();
+    let hist_avg: f64 = hist.iter().map(|e| e.value).sum::<f64>() / hist.len() as f64;
+    assert!(
+        avg > 1.5 * hist_avg,
+        "VR avg {avg} vs 3D-2010 avg {hist_avg}"
+    );
+}
