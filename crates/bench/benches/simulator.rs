@@ -24,10 +24,10 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulated_second");
     g.throughput(Throughput::Elements(1));
     for app in [
-        AppId::EasyMiner,      // 13 always-ready threads: scheduler stress
-        AppId::Handbrake,      // fork-join pool with serialization
-        AppId::ProjectCars2,   // frame pacing + GPU pipelining
-        AppId::Chrome,         // multi-process, many timers
+        AppId::EasyMiner,    // 13 always-ready threads: scheduler stress
+        AppId::Handbrake,    // fork-join pool with serialization
+        AppId::ProjectCars2, // frame pacing + GPU pipelining
+        AppId::Chrome,       // multi-process, many timers
     ] {
         g.bench_function(format!("{app:?}"), |b| b.iter(|| sim_one_second(app)));
     }
@@ -55,11 +55,7 @@ fn bench_analysis(c: &mut Criterion) {
     });
     g.bench_function("instantaneous_tlp_100ms", |b| {
         b.iter(|| {
-            etwtrace::analysis::instantaneous_tlp(
-                &trace,
-                &filter,
-                SimDuration::from_millis(100),
-            )
+            etwtrace::analysis::instantaneous_tlp(&trace, &filter, SimDuration::from_millis(100))
         })
     });
     g.finish();

@@ -3,15 +3,21 @@
 //! ```text
 //! repro <artefact>... [--budget quick|standard|paper] [--out DIR]
 //! repro all          [--budget …]
+//! repro --metrics-out metrics.prom [--metrics-app handbrake] [--budget …]
 //! ```
 //!
 //! Each artefact prints its report to stdout and writes it (plus CSV for the
 //! timeline figures) under `--out` (default `results/`).
+//!
+//! `--metrics-out` runs one experiment (default: HandBrake) under the chosen
+//! budget and writes the per-iteration scheduler/GPU/calendar metrics in the
+//! Prometheus text exposition format. The snapshots are deterministic, so the
+//! file is diffable across machines and runs.
 
 use parastat::figures::{
     ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
 };
-use parastat::{paper, suite, Budget};
+use parastat::{paper, suite, Budget, Experiment};
 use repro_bench::{budget, ARTEFACTS};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -21,6 +27,8 @@ fn main() {
     let mut artefacts: Vec<String> = Vec::new();
     let mut budget_name = "standard".to_string();
     let mut out_dir = PathBuf::from("results");
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut metrics_app = "handbrake".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,12 +38,23 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a value")));
             }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a path")),
+                ));
+            }
+            "--metrics-app" => {
+                metrics_app = it
+                    .next()
+                    .unwrap_or_else(|| usage("--metrics-app needs an app substring"));
+            }
             "all" => artefacts.extend(ARTEFACTS.iter().map(|s| s.to_string())),
             other if ARTEFACTS.contains(&other) => artefacts.push(other.to_string()),
             other => usage(&format!("unknown artefact `{other}`")),
         }
     }
-    if artefacts.is_empty() {
+    if artefacts.is_empty() && metrics_out.is_none() {
         usage("no artefact given");
     }
     let b = budget(&budget_name);
@@ -46,6 +65,9 @@ fn main() {
         b.duration.as_secs_f64(),
         b.iterations
     );
+    if let Some(path) = &metrics_out {
+        write_metrics(path, &metrics_app, b);
+    }
 
     // Table II results are reused by figs 2 and 3.
     let mut table2_cache: Option<Vec<suite::AppMeasurement>> = None;
@@ -119,6 +141,35 @@ fn main() {
     );
 }
 
+/// Runs one experiment and dumps its per-iteration metrics snapshots as
+/// Prometheus text, separated by `# iteration N seed S` comment lines.
+fn write_metrics(path: &Path, app_substr: &str, b: Budget) {
+    let wanted = app_substr.to_ascii_lowercase();
+    let app = workloads::AppId::ALL
+        .iter()
+        .copied()
+        .find(|a| a.display_name().to_ascii_lowercase().contains(&wanted))
+        .unwrap_or_else(|| usage(&format!("no app matches `{app_substr}`")));
+    eprintln!("# collecting metrics for {}…", app.display_name());
+    let exp = Experiment::new(app).budget(b);
+    let m = exp.run();
+    let mut text = String::new();
+    for (i, snapshot) in m.metrics.iter().enumerate() {
+        text.push_str(&format!(
+            "# iteration {i} seed {}\n{}",
+            exp.base_seed + i as u64,
+            snapshot.to_prometheus()
+        ));
+    }
+    fs::write(path, &text).expect("write metrics");
+    eprintln!(
+        "# {} iterations of {} metrics → {}",
+        m.metrics.len(),
+        app.display_name(),
+        path.display()
+    );
+}
+
 fn emit_timeline(out_dir: &Path, name: &str, fig: &parastat::figures::scaling::Timeline) {
     emit(out_dir, name, &fig.render(), Some(fig.to_csv()));
     let labels: Vec<String> = fig
@@ -149,6 +200,7 @@ fn emit(out_dir: &Path, name: &str, report: &str, csv: Option<String>) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: repro <artefact>...|all [--budget quick|standard|paper] [--out DIR]");
+    eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);
 }

@@ -6,11 +6,13 @@
 //! tracetool record <app-substring> <seconds> <out.etl>   # UIforETW step
 //! tracetool summary <trace.etl>                          # task-manager view
 //! tracetool tlp <trace.etl> <process-prefix>             # Equation 1
+//! tracetool latency <trace.etl> <process-prefix>         # ready→run delays
 //! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
 //! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
+//! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
 //! ```
 
-use etwtrace::{analysis, etl, export, EtlTrace};
+use etwtrace::{analysis, chrome, etl, export, EtlTrace};
 use machine::{Machine, MachineConfig};
 use simcore::SimDuration;
 use std::fs::File;
@@ -69,7 +71,10 @@ fn main() {
             println!("TLP              : {:.3}", profile.tlp());
             println!("max concurrency  : {}", profile.max_concurrency());
             println!("GPU utilization  : {:.2} %", util.percent());
-            println!("sched latency    : mean {:.0} µs, p95 {:.0} µs", lat.mean_us, lat.p95_us);
+            println!(
+                "sched latency    : mean {:.0} µs, p95 {:.0} µs",
+                lat.mean_us, lat.p95_us
+            );
             println!(
                 "run episodes     : {} (mean {:.2} ms, max {:.1} ms), {} migrations",
                 sched.episodes, sched.mean_slice_ms, sched.max_slice_ms, sched.migrations
@@ -96,9 +101,37 @@ fn main() {
                 .collect();
             println!("c0..cN (%)       : {}", c.join(" "));
         }
+        Some("latency") => {
+            let [_, path, prefix] = &args[..] else {
+                usage("latency <trace.etl> <process-prefix>");
+            };
+            let trace = read(path);
+            let filter = trace.pids_by_name(prefix);
+            if filter.is_empty() {
+                usage(&format!("no process matches `{prefix}`"));
+            }
+            let lat = analysis::scheduling_latency(&trace, &filter);
+            println!("sched events     : {}", lat.count);
+            println!("mean latency     : {:.1} µs", lat.mean_us);
+            println!("p50 latency      : {:.1} µs", lat.p50_us);
+            println!("p95 latency      : {:.1} µs", lat.p95_us);
+            println!("max latency      : {:.1} µs", lat.max_us);
+        }
         Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
         Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
-        _ => usage("record|summary|tlp|export-cpu|export-gpu"),
+        Some("export-chrome") => {
+            let [_, path, out] = &args[..] else {
+                usage("export-chrome <trace.etl> <out.json>");
+            };
+            let trace = read(path);
+            let json = chrome::chrome_trace(&trace);
+            std::fs::write(out, &json).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+            eprintln!(
+                "{} events → {out} (open in https://ui.perfetto.dev)",
+                trace.events().len()
+            );
+        }
+        _ => usage("record|summary|tlp|latency|export-cpu|export-gpu|export-chrome"),
     }
 }
 
@@ -111,8 +144,7 @@ fn load(args: &[String], arity: usize) -> EtlTrace {
 
 fn read(path: &str) -> EtlTrace {
     let file = File::open(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
-    etl::read_etl(std::io::BufReader::new(file))
-        .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+    etl::read_etl(std::io::BufReader::new(file)).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
 }
 
 fn resolve_app(wanted: &str) -> AppId {
@@ -132,5 +164,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("usage: tracetool record <app> <secs> <out.etl>");
     eprintln!("       tracetool summary|export-cpu|export-gpu <trace.etl>");
     eprintln!("       tracetool tlp <trace.etl> <process-prefix>");
+    eprintln!("       tracetool latency <trace.etl> <process-prefix>");
+    eprintln!("       tracetool export-chrome <trace.etl> <out.json>");
     std::process::exit(2);
 }

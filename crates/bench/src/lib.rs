@@ -29,9 +29,26 @@ pub fn budget(name: &str) -> Budget {
 
 /// The artefact names the `repro` binary accepts, in paper order.
 pub const ARTEFACTS: [&str; 20] = [
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "validation", "discussion", "ablation",
-    "power", "stability",
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "validation",
+    "discussion",
+    "ablation",
+    "power",
+    "stability",
 ];
 
 #[cfg(test)]

@@ -215,7 +215,10 @@ mod tests {
         let firefox = power.over_edge_pct(AppId::Firefox);
         assert!(chrome > 5.0, "chrome only {chrome:+.0}% above edge");
         assert!(firefox > chrome, "firefox {firefox} vs chrome {chrome}");
-        assert!(chrome < 100.0 && firefox < 130.0, "magnitudes off: {power:?}");
+        assert!(
+            chrome < 100.0 && firefox < 130.0,
+            "magnitudes off: {power:?}"
+        );
         assert!(power.render().contains("Edge"));
     }
 }

@@ -6,6 +6,7 @@ use machine::{Machine, MachineConfig};
 use simcore::{Histogram, RunningStat, Series, SimDuration};
 use simcpu::Topology;
 use simgpu::GpuSpec;
+use simobs::Registry;
 use vrsys::HeadsetSpec;
 use workloads::{browse::BrowseScenario, build, AppId, WorkloadOpts};
 
@@ -187,13 +188,20 @@ impl Experiment {
         opts.duration = self.budget.duration;
         let pid = build(self.app, &mut m, &opts);
         m.run_for(self.budget.duration);
+        // Snapshot the scheduler/GPU/calendar counters before `into_trace`
+        // consumes the machine.
+        let metrics = RunMetrics::collect(&m);
         let trace = m.into_trace();
         // Prefix filtering picks up multi-process applications.
         let mut filter = trace.pids_by_name(self.app.process_name());
         if filter.is_empty() {
             filter = [pid.0].into_iter().collect();
         }
-        SingleRun { trace, filter }
+        SingleRun {
+            trace,
+            filter,
+            metrics,
+        }
     }
 
     /// Runs all iterations and aggregates (the Table II protocol).
@@ -204,6 +212,7 @@ impl Experiment {
         let mut histogram = Histogram::new(self.logical);
         let mut max_concurrency = 0;
         let mut mean_outstanding: f64 = 0.0;
+        let mut metrics = Vec::new();
         for i in 0..self.budget.iterations {
             let run = self.run_once(self.base_seed + i as u64);
             let profile = run.profile();
@@ -214,6 +223,7 @@ impl Experiment {
             transcode_fps.push(run.frame_rate());
             max_concurrency = max_concurrency.max(profile.max_concurrency());
             histogram.merge(profile.histogram());
+            metrics.push(run.metrics);
         }
         Measurement {
             app: self.app,
@@ -224,7 +234,39 @@ impl Experiment {
             histogram,
             max_concurrency,
             mean_outstanding,
+            metrics,
         }
+    }
+}
+
+/// Deterministic metrics snapshot from one iteration: scheduler, GPU and
+/// calendar counters frozen at the end of the observation window.
+///
+/// Everything inside derives from virtual time and event counts only, so two
+/// runs with the same configuration and seed produce byte-identical
+/// [Prometheus renderings](RunMetrics::to_prometheus).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// The collected metric families.
+    pub registry: Registry,
+}
+
+impl RunMetrics {
+    /// Snapshots a machine's embedded metrics into a fresh registry.
+    pub fn collect(machine: &Machine) -> RunMetrics {
+        let mut registry = Registry::new();
+        machine.collect_metrics(&mut registry);
+        RunMetrics { registry }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        self.registry.to_prometheus()
+    }
+
+    /// Looks up a label-less counter (convenience for reports and tests).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.registry.counter_value(name, &[])
     }
 }
 
@@ -235,6 +277,8 @@ pub struct SingleRun {
     pub trace: EtlTrace,
     /// The application's process set.
     pub filter: PidSet,
+    /// Metrics snapshot taken when the window closed.
+    pub metrics: RunMetrics,
 }
 
 impl SingleRun {
@@ -306,6 +350,8 @@ pub struct Measurement {
     pub max_concurrency: usize,
     /// Peak mean-outstanding-packets (PhoenixMiner's `*` footnote).
     pub mean_outstanding: f64,
+    /// Per-iteration metrics snapshots, in iteration order.
+    pub metrics: Vec<RunMetrics>,
 }
 
 impl Measurement {
@@ -339,7 +385,11 @@ mod tests {
         assert_eq!(m.tlp.count(), 3);
         // The paper: "based on the low standard deviations, we conclude
         // that our experimental results are consistent".
-        assert!(m.tlp.population_std_dev() < 0.3, "σ {}", m.tlp.population_std_dev());
+        assert!(
+            m.tlp.population_std_dev() < 0.3,
+            "σ {}",
+            m.tlp.population_std_dev()
+        );
     }
 
     #[test]

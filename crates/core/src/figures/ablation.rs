@@ -61,10 +61,7 @@ impl SmtSweep {
              The paper's Fig. 8 direction (no-SMT wins at equal logical cores)\n\
              holds for every plausible factor; the gap narrows as the factor\n\
              approaches 1.0 (perfect SMT).\n",
-            report::markdown_table(
-                &["pair factor", "SMT (FPS)", "no SMT (FPS)", "gap"],
-                &rows
-            )
+            report::markdown_table(&["pair factor", "SMT (FPS)", "no SMT (FPS)", "gap"], &rows)
         )
     }
 }
@@ -104,9 +101,7 @@ impl QuantumSweep {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|(ms, tlp, sw)| {
-                vec![format!("{ms}"), format!("{tlp:.2}"), format!("{sw:.0}")]
-            })
+            .map(|(ms, tlp, sw)| vec![format!("{ms}"), format!("{tlp:.2}"), format!("{sw:.0}")])
             .collect();
         format!(
             "Ablation — scheduler quantum vs EasyMiner\n\n{}\n\
@@ -268,10 +263,7 @@ impl Rig2010 {
             "Counterfactual — 2018 software on the 2010 rig (2×Xeon, GTX 285)\n\n{}\n\
              Today's parallel software scales onto the older 16-thread machine —\n\
              the 2010 study's low TLP was a software property, not a hardware one.\n",
-            report::markdown_table(
-                &["Application", "TLP (2018 rig)", "TLP (2010 rig)"],
-                &rows
-            )
+            report::markdown_table(&["Application", "TLP (2018 rig)", "TLP (2010 rig)"], &rows)
         )
     }
 }
@@ -340,7 +332,11 @@ mod tests {
     #[test]
     fn modern_software_scales_on_the_2010_rig() {
         let r = rig_2010(budget());
-        let (_, now, then) = r.rows.iter().find(|(a, ..)| *a == AppId::Handbrake).unwrap();
+        let (_, now, then) = r
+            .rows
+            .iter()
+            .find(|(a, ..)| *a == AppId::Handbrake)
+            .unwrap();
         // HandBrake spreads across the Xeon's 16 threads too.
         assert!(*then > 7.0, "2010-rig TLP {then}");
         assert!(*now > 7.0, "2018-rig TLP {now}");

@@ -112,7 +112,12 @@ pub fn fig2(results: &[AppMeasurement]) -> Comparison {
 /// Apps in Figure 3's 2018 series.
 fn fig3_apps() -> Vec<AppId> {
     let mut apps = fig2_apps();
-    apps.extend([AppId::Autocad, AppId::VlcMediaPlayer, AppId::WinxHdConverter, AppId::Chrome]);
+    apps.extend([
+        AppId::Autocad,
+        AppId::VlcMediaPlayer,
+        AppId::WinxHdConverter,
+        AppId::Chrome,
+    ]);
     apps
 }
 

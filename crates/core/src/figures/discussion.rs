@@ -57,9 +57,7 @@ pub fn cosched(budget: Budget) -> CoScheduling {
         let frames = trace
             .events()
             .iter()
-            .filter(|e| {
-                matches!(e, etwtrace::TraceEvent::Frame { pid, .. } if hb.contains(*pid))
-            })
+            .filter(|e| matches!(e, etwtrace::TraceEvent::Frame { pid, .. } if hb.contains(*pid)))
             .count() as f64;
         (busy, frames / trace.window().as_secs_f64())
     };
@@ -118,9 +116,7 @@ pub fn offload(budget: Budget) -> Offload {
         let frames = trace
             .events()
             .iter()
-            .filter(|e| {
-                matches!(e, etwtrace::TraceEvent::Frame { pid, .. } if winx.contains(*pid))
-            })
+            .filter(|e| matches!(e, etwtrace::TraceEvent::Frame { pid, .. } if winx.contains(*pid)))
             .count() as f64;
         let rate = frames / trace.window().as_secs_f64();
         let ps_busy = 1.0 - analysis::concurrency(&trace, &ps).fractions()[0];
@@ -189,9 +185,7 @@ impl Responsiveness {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|(n, mean, p95)| {
-                vec![n.to_string(), format!("{mean:.0}"), format!("{p95:.0}")]
-            })
+            .map(|(n, mean, p95)| vec![n.to_string(), format!("{mean:.0}"), format!("{p95:.0}")])
             .collect();
         format!(
             "§II responsiveness — Word's ready→run scheduling latency vs cores\n\n{}\n\

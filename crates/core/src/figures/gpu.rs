@@ -190,7 +190,11 @@ mod tests {
     fn fig10_video_apps_hotter_on_680_but_wineth_cooler() {
         let fig = fig10(budget());
         // Video apps see "a notable improvement in utilization" on the 680…
-        for app in [AppId::WindowsMediaPlayer, AppId::VlcMediaPlayer, AppId::WinxHdConverter] {
+        for app in [
+            AppId::WindowsMediaPlayer,
+            AppId::VlcMediaPlayer,
+            AppId::WinxHdConverter,
+        ] {
             let (mid, hi) = fig.row(app);
             assert!(mid > hi, "{app:?}: 680 {mid} vs 1080 {hi}");
         }

@@ -164,17 +164,10 @@ impl Timeline {
         let labelled: Vec<(String, &Series)> = self
             .runs
             .iter()
-            .flat_map(|(n, tlp, gpu)| {
-                [
-                    (format!("tlp_{n}"), tlp),
-                    (format!("gpu_{n}"), gpu),
-                ]
-            })
+            .flat_map(|(n, tlp, gpu)| [(format!("tlp_{n}"), tlp), (format!("gpu_{n}"), gpu)])
             .collect();
-        let borrowed: Vec<(&str, &Series)> = labelled
-            .iter()
-            .map(|(l, s)| (l.as_str(), *s))
-            .collect();
+        let borrowed: Vec<(&str, &Series)> =
+            labelled.iter().map(|(l, s)| (l.as_str(), *s)).collect();
         report::series_csv(&borrowed)
     }
 }

@@ -78,8 +78,16 @@ impl Fig8 {
         let series_label = |p: &Fig8Point| {
             format!(
                 "{}-{}{}",
-                if p.app == AppId::Handbrake { "HB" } else { "WinX" },
-                if p.gpu.contains("1080") { "1080" } else { "680" },
+                if p.app == AppId::Handbrake {
+                    "HB"
+                } else {
+                    "WinX"
+                },
+                if p.gpu.contains("1080") {
+                    "1080"
+                } else {
+                    "680"
+                },
                 if p.smt { "-SMT" } else { "" }
             )
         };
@@ -147,7 +155,12 @@ mod tests {
         let hi = fig.point(AppId::WinxHdConverter, "GTX 1080 Ti", false, 6);
         let mid = fig.point(AppId::WinxHdConverter, "GTX 680", false, 6);
         assert!((hi.rate - mid.rate).abs() / hi.rate < 0.1, "{hi:?} {mid:?}");
-        assert!(mid.util > 1.8 * hi.util, "680 {} vs 1080 {}", mid.util, hi.util);
+        assert!(
+            mid.util > 1.8 * hi.util,
+            "680 {} vs 1080 {}",
+            mid.util,
+            hi.util
+        );
         assert!(fig.render().contains("Fig. 8(a)"));
     }
 }

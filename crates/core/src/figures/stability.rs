@@ -50,7 +50,9 @@ pub fn stability(budget: Budget, seeds: u64) -> Stability {
             let mut tlp = RunningStat::new();
             let mut gpu = RunningStat::new();
             for seed in 0..seeds {
-                let run = table2_experiment(app, budget).seed(1000 + seed * 7919).run_once(seed);
+                let run = table2_experiment(app, budget)
+                    .seed(1000 + seed * 7919)
+                    .run_once(seed);
                 tlp.push(run.tlp());
                 gpu.push(run.gpu_util().percent());
             }

@@ -107,11 +107,17 @@ impl Table3 {
                 vec![
                     r.logical.to_string(),
                     format!("{:.1} / {:.1}", r.rate.0, r.rate.1),
-                    format!("{:.0} / {:.0}", r.reference.rate_no_gpu, r.reference.rate_gpu),
+                    format!(
+                        "{:.0} / {:.0}",
+                        r.reference.rate_no_gpu, r.reference.rate_gpu
+                    ),
                     format!("{:.1} / {:.1}", r.tlp.0, r.tlp.1),
                     format!("{:.1} / {:.1}", r.reference.tlp_no_gpu, r.reference.tlp_gpu),
                     format!("{:.1} / {:.1}", r.util.0, r.util.1),
-                    format!("{:.1} / {:.1}", r.reference.util_no_gpu, r.reference.util_gpu),
+                    format!(
+                        "{:.1} / {:.1}",
+                        r.reference.util_no_gpu, r.reference.util_gpu
+                    ),
                 ]
             })
             .collect();

@@ -92,8 +92,16 @@ mod tests {
         };
         let v = automation_validation(budget);
         // The deltas must stay small (the paper's point): under 12 %.
-        assert!(v.tlp_delta_pct().abs() < 12.0, "TLP Δ {}", v.tlp_delta_pct());
-        assert!(v.gpu_delta_pct().abs() < 12.0, "GPU Δ {}", v.gpu_delta_pct());
+        assert!(
+            v.tlp_delta_pct().abs() < 12.0,
+            "TLP Δ {}",
+            v.tlp_delta_pct()
+        );
+        assert!(
+            v.gpu_delta_pct().abs() < 12.0,
+            "GPU Δ {}",
+            v.gpu_delta_pct()
+        );
         assert!(v.render().contains("automation"));
     }
 }

@@ -43,10 +43,7 @@ pub fn fig12(budget: Budget) -> Fig12 {
     for app in VR_GAMES {
         for headset in vrsys::presets::all() {
             let name = headset.name;
-            let m = Experiment::new(app)
-                .budget(budget)
-                .headset(headset)
-                .run();
+            let m = Experiment::new(app).budget(budget).headset(headset).run();
             cells.push(Fig12Cell {
                 app,
                 headset: name,
@@ -80,10 +77,7 @@ impl Fig12 {
         }
         format!(
             "Fig. 12 — VR games: TLP / GPU utilization per headset\n\n{}",
-            report::markdown_table(
-                &["Game", "Oculus Rift", "HTC Vive", "HTC Vive Pro"],
-                &rows
-            )
+            report::markdown_table(&["Game", "Oculus Rift", "HTC Vive", "HTC Vive Pro"], &rows)
         )
     }
 }
@@ -103,16 +97,16 @@ pub struct Fig13 {
 /// appears for the game whose GPU cost actually exceeds the frame budget.
 pub fn fig13(budget: Budget) -> Fig13 {
     let measure = |app: AppId, headset: HeadsetSpec, label: &'static str| {
-        let run = Experiment::new(app).budget(budget).headset(headset).run_once(5);
+        let run = Experiment::new(app)
+            .budget(budget)
+            .headset(headset)
+            .run_once(5);
         let fps = run.fps_series(SimDuration::from_millis(500));
         // Skip the warm-up bin when judging stability.
         let steady: Vec<f64> = fps.iter().skip(1).map(|(_, v)| v).collect();
         let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
-        let var = steady
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
-            / steady.len().max(1) as f64;
+        let var =
+            steady.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / steady.len().max(1) as f64;
         (label, fps, var.sqrt())
     };
     let mut traces: Vec<(&'static str, Series, f64)> = vrsys::presets::all()
@@ -191,7 +185,10 @@ mod tests {
             if app == AppId::Fallout4Vr {
                 assert!(pro < rift && pro < vive, "{app:?}: {rift} {vive} {pro}");
             } else {
-                assert!(pro >= rift - 1.0 && pro >= vive - 1.0, "{app:?}: {rift} {vive} {pro}");
+                assert!(
+                    pro >= rift - 1.0 && pro >= vive - 1.0,
+                    "{app:?}: {rift} {vive} {pro}"
+                );
             }
         }
         assert!(fig.render().contains("Vive Pro"));

@@ -36,5 +36,5 @@ pub mod paper;
 pub mod report;
 pub mod suite;
 
-pub use experiment::{Budget, Experiment, Measurement, SingleRun};
+pub use experiment::{Budget, Experiment, Measurement, RunMetrics, SingleRun};
 pub use suite::{run_table2, AppMeasurement};

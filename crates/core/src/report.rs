@@ -134,12 +134,7 @@ pub fn gnuplot_script(title: &str, csv_path: &str, labels: &[&str], y_label: &st
     let plots: Vec<String> = labels
         .iter()
         .enumerate()
-        .map(|(i, label)| {
-            format!(
-                "{csv_path:?} using 1:{} with lines title {label:?}",
-                i + 2
-            )
-        })
+        .map(|(i, label)| format!("{csv_path:?} using 1:{} with lines title {label:?}", i + 2))
         .collect();
     out.push_str(&plots.join(", \\\n     "));
     out.push('\n');
@@ -160,10 +155,7 @@ mod tests {
 
     #[test]
     fn markdown_table_shape() {
-        let md = markdown_table(
-            &["App", "TLP"],
-            &[vec!["HandBrake".into(), "9.4".into()]],
-        );
+        let md = markdown_table(&["App", "TLP"], &[vec!["HandBrake".into(), "9.4".into()]]);
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("App"));
@@ -172,16 +164,13 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "row width mismatch")]
-    fn markdown_table_checks_width()
-    {
+    fn markdown_table_checks_width() {
         markdown_table(&["A", "B"], &[vec!["x".into()]]);
     }
 
     #[test]
     fn sparkline_scales() {
-        let s: Series = (0..8)
-            .map(|i| (SimTime::from_nanos(i), i as f64))
-            .collect();
+        let s: Series = (0..8).map(|i| (SimTime::from_nanos(i), i as f64)).collect();
         let line = sparkline(&s, 8);
         assert_eq!(line.chars().count(), 8);
         assert!(line.ends_with('█'));

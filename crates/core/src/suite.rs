@@ -55,9 +55,7 @@ pub fn average_tlp(results: &[AppMeasurement]) -> f64 {
 ///
 /// Returns `(category, mean TLP, mean GPU %)` in Table II order, covering
 /// only the categories present in `results`.
-pub fn category_averages(
-    results: &[AppMeasurement],
-) -> Vec<(workloads::Category, f64, f64)> {
+pub fn category_averages(results: &[AppMeasurement]) -> Vec<(workloads::Category, f64, f64)> {
     workloads::Category::ALL
         .iter()
         .filter_map(|&cat| {
@@ -70,7 +68,11 @@ pub fn category_averages(
             }
             let n = rows.len() as f64;
             let tlp = rows.iter().map(|r| r.measured.tlp.mean()).sum::<f64>() / n;
-            let gpu = rows.iter().map(|r| r.measured.gpu_percent.mean()).sum::<f64>() / n;
+            let gpu = rows
+                .iter()
+                .map(|r| r.measured.gpu_percent.mean())
+                .sum::<f64>()
+                / n;
             Some((cat, tlp, gpu))
         })
         .collect()
@@ -152,9 +154,7 @@ pub fn table2_csv(results: &[AppMeasurement]) -> String {
     let mut out = String::from(
         "app,category,tlp_measured,tlp_sigma,tlp_paper,gpu_measured,gpu_sigma,gpu_paper,max_concurrency",
     );
-    let n = results
-        .first()
-        .map_or(12, |r| r.measured.n_logical);
+    let n = results.first().map_or(12, |r| r.measured.n_logical);
     for i in 0..=n {
         out.push_str(&format!(",c{i}"));
     }

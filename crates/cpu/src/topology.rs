@@ -67,11 +67,7 @@ impl Topology {
                 id += 1;
             }
         }
-        let physical_cores_enabled = cpus
-            .iter()
-            .map(|c| c.physical)
-            .max()
-            .map_or(0, |m| m + 1);
+        let physical_cores_enabled = cpus.iter().map(|c| c.physical).max().map_or(0, |m| m + 1);
         Topology {
             cpus,
             physical_cores_enabled,

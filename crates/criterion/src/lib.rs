@@ -1,0 +1,172 @@
+//! Offline stand-in for the subset of the [`criterion`] API this workspace's
+//! benches use.
+//!
+//! The build environment cannot fetch crates, so the real `criterion` is
+//! unavailable. This crate keeps `cargo bench` working with the same bench
+//! sources: each benchmark runs its closure `sample_size` times around a
+//! wall-clock timer and prints a single `ns/iter` line. There is no
+//! statistical analysis, warm-up, or HTML report — the point is that bench
+//! code keeps compiling and gives a usable rough number.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement context handed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per configured sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many times each bench closure runs per measurement.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput (ignored by this stand-in).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: String, sample_size: u64, mut f: F) {
+    let mut b = Bencher {
+        iters: sample_size,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
+    println!(
+        "bench: {name:<48} {per_iter:>12} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Declares a group runner function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(3u64) * 3));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("fmt-{}", 7), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_square
+    }
+
+    #[test]
+    fn group_runner_runs() {
+        benches();
+    }
+}

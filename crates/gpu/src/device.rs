@@ -9,6 +9,7 @@
 use crate::packet::{Packet, PacketKind};
 use crate::spec::GpuSpec;
 use simcore::{SimDuration, SimTime};
+use simobs::{Counter, LogHistogram, Registry};
 use std::collections::VecDeque;
 
 /// Identifier of a submitted packet, unique per device.
@@ -57,6 +58,8 @@ struct Running {
     packet: Packet,
     /// Remaining cost: GFLOP for SM queues, 1080p-frame-equivalents for NVENC.
     remaining: f64,
+    /// When the packet started executing (for execute-time metrics).
+    started_at: SimTime,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -64,7 +67,49 @@ struct QueueState {
     running: Option<Running>,
     /// Post-packet driver stall: the queue may not start new work until then.
     gap_until: Option<SimTime>,
-    pending: VecDeque<(PacketId, Packet)>,
+    /// `(id, packet, submitted_at)` — the timestamp feeds wait-time metrics.
+    pending: VecDeque<(PacketId, Packet, SimTime)>,
+    metrics: EngineMetrics,
+}
+
+/// Per-engine observability state: counts plus log₂-bucketed latency
+/// histograms over virtual nanoseconds, so snapshots stay deterministic.
+#[derive(Clone, Debug, Default)]
+struct EngineMetrics {
+    /// Packets ever submitted to this engine.
+    submitted: Counter,
+    /// Queue occupancy (pending + running) sampled at each submission.
+    queue_depth: LogHistogram,
+    /// Submission → execution-start wait per packet.
+    wait_ns: LogHistogram,
+    /// Execution-start → finish time per packet.
+    exec_ns: LogHistogram,
+    /// Total virtual time the engine spent executing (drives occupancy).
+    busy_ns: Counter,
+}
+
+impl EngineMetrics {
+    fn on_submit(&mut self, occupancy: u64) {
+        self.submitted.inc();
+        self.queue_depth.observe(occupancy);
+    }
+
+    fn on_start(&mut self, waited: SimDuration) {
+        self.wait_ns.observe(waited.as_nanos());
+    }
+
+    fn on_finish(&mut self, ran: SimDuration) {
+        self.exec_ns.observe(ran.as_nanos());
+        self.busy_ns.add(ran.as_nanos());
+    }
+
+    fn collect(&self, reg: &mut Registry, labels: &[(&str, &str)]) {
+        reg.counter("sim_gpu_packets_total", labels, self.submitted.get());
+        reg.histogram("sim_gpu_queue_depth", labels, &self.queue_depth);
+        reg.histogram("sim_gpu_packet_wait_ns", labels, &self.wait_ns);
+        reg.histogram("sim_gpu_packet_exec_ns", labels, &self.exec_ns);
+        reg.counter("sim_gpu_busy_ns_total", labels, self.busy_ns.get());
+    }
 }
 
 /// A discrete GPU executing [`Packet`]s from hardware queues.
@@ -133,7 +178,10 @@ impl GpuDevice {
         assert!(now >= self.now, "submit in the past");
         self.advance_to(now, events);
         let id = self.alloc_id();
-        self.queues[queue].pending.push_back((id, packet));
+        let q = &mut self.queues[queue];
+        q.pending.push_back((id, packet, now));
+        let occupancy = q.pending.len() as u64 + q.running.is_some() as u64;
+        q.metrics.on_submit(occupancy);
         self.try_start(queue, false, events);
         id
     }
@@ -159,11 +207,10 @@ impl GpuDevice {
         self.advance_to(now, events);
         let id = self.alloc_id();
         let packet = Packet::new(PacketKind::VideoDecode, frames_1080p, owner_pid);
-        self.nvenc
-            .as_mut()
-            .expect("checked above")
-            .pending
-            .push_back((id, packet));
+        let n = self.nvenc.as_mut().expect("checked above");
+        n.pending.push_back((id, packet, now));
+        let occupancy = n.pending.len() as u64 + n.running.is_some() as u64;
+        n.metrics.on_submit(occupancy);
         self.try_start(usize::MAX, true, events);
         id
     }
@@ -188,7 +235,7 @@ impl GpuDevice {
         let n_idle = self
             .nvenc
             .as_ref()
-            .map_or(true, |q| q.running.is_none() && q.pending.is_empty());
+            .is_none_or(|q| q.running.is_none() && q.pending.is_empty());
         q_idle && n_idle
     }
 
@@ -263,12 +310,14 @@ impl GpuDevice {
                 );
                 if r.remaining <= EPS {
                     let done = self.queues[qi].running.take().expect("checked");
+                    self.queues[qi].metrics.on_finish(t - done.started_at);
                     let gap_frac = self.spec.dispatch_gap_frac(done.packet.kind);
                     if gap_frac > 0.0 {
                         let solo_secs =
                             done.packet.gflop / self.spec.effective_gflops(done.packet.kind);
-                        self.queues[qi].gap_until =
-                            Some(t.saturating_add(SimDuration::from_secs_f64(solo_secs * gap_frac)));
+                        self.queues[qi].gap_until = Some(
+                            t.saturating_add(SimDuration::from_secs_f64(solo_secs * gap_frac)),
+                        );
                     } else {
                         self.queues[qi].gap_until = None;
                     }
@@ -287,6 +336,7 @@ impl GpuDevice {
                 r.remaining -= elapsed * self.spec.nvenc_fps_1080p;
                 if r.remaining <= EPS {
                     let done = n.running.take().expect("checked");
+                    n.metrics.on_finish(t - done.started_at);
                     events.push(Completion::Finished {
                         at: t,
                         id: done.id,
@@ -323,11 +373,13 @@ impl GpuDevice {
             }
             state.gap_until = None;
         }
-        if let Some((id, packet)) = state.pending.pop_front() {
+        if let Some((id, packet, submitted_at)) = state.pending.pop_front() {
+            state.metrics.on_start(now - submitted_at);
             state.running = Some(Running {
                 id,
                 packet,
                 remaining: packet.gflop,
+                started_at: now,
             });
             events.push(Completion::Started {
                 at: now,
@@ -352,6 +404,25 @@ impl GpuDevice {
     pub fn now(&self) -> SimTime {
         self.now
     }
+
+    /// Records this device's per-engine metrics into `reg`.
+    ///
+    /// Series are labelled `gpu="<index>"` (caller-assigned device index)
+    /// and `engine="queue<q>"` / `engine="nvenc"`. NVENC occupancy over a
+    /// window is `sim_gpu_busy_ns_total{engine="nvenc"}` divided by the
+    /// window length.
+    pub fn collect_metrics(&self, gpu: usize, reg: &mut Registry) {
+        let gpu_label = gpu.to_string();
+        for (qi, q) in self.queues.iter().enumerate() {
+            let engine = format!("queue{qi}");
+            q.metrics
+                .collect(reg, &[("engine", &engine), ("gpu", &gpu_label)]);
+        }
+        if let Some(n) = &self.nvenc {
+            n.metrics
+                .collect(reg, &[("engine", "nvenc"), ("gpu", &gpu_label)]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,7 +446,12 @@ mod tests {
         let mut ev = Vec::new();
         // 1080 Ti peak ≈ 10615.8 GFLOP/s; 10615.8 GFLOP ≈ 1 s.
         let gf = gpu.spec().peak_gflops();
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
         let t = gpu.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{t}");
         gpu.advance_to(t, &mut ev);
@@ -388,8 +464,18 @@ mod tests {
         let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
         let mut ev = Vec::new();
         let gf = gpu.spec().peak_gflops();
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
-        gpu.submit(SimTime::ZERO, 1, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
+        gpu.submit(
+            SimTime::ZERO,
+            1,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
         // Each gets half throughput → both finish at 2 s.
         let t = gpu.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-6, "{t}");
@@ -402,8 +488,18 @@ mod tests {
         let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
         let mut ev = Vec::new();
         let gf = gpu.spec().peak_gflops();
-        let a = gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
-        let b = gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
+        let a = gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
+        let b = gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
         let done = gpu.drain();
         let f = finishes(&done);
         assert_eq!(f.len(), 2);
@@ -418,7 +514,12 @@ mod tests {
         let mut ev = Vec::new();
         let gf = gpu.spec().peak_gflops();
         // One 2-unit packet alone for 1 s, then a second queue joins.
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, 2.0 * gf, 1), &mut ev);
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, 2.0 * gf, 1),
+            &mut ev,
+        );
         gpu.advance_to(SimTime::from_nanos(1_000_000_000), &mut ev);
         gpu.submit(
             SimTime::from_nanos(1_000_000_000),
@@ -437,8 +538,18 @@ mod tests {
         let mut ev = Vec::new();
         let rate = gpu.spec().effective_gflops(PacketKind::Ethash);
         // Two packets of 1 s each; the second must start after an 18% gap.
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Ethash, rate, 1), &mut ev);
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Ethash, rate, 1), &mut ev);
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Ethash, rate, 1),
+            &mut ev,
+        );
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Ethash, rate, 1),
+            &mut ev,
+        );
         ev.extend(gpu.drain());
         let started: Vec<SimTime> = ev
             .iter()
@@ -448,7 +559,11 @@ mod tests {
             })
             .collect();
         assert_eq!(started.len(), 2);
-        assert!((started[1].as_secs_f64() - 1.18).abs() < 1e-6, "{:?}", started);
+        assert!(
+            (started[1].as_secs_f64() - 1.18).abs() < 1e-6,
+            "{:?}",
+            started
+        );
     }
 
     #[test]
@@ -456,7 +571,12 @@ mod tests {
         let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
         let mut ev = Vec::new();
         let gf = gpu.spec().peak_gflops();
-        gpu.submit(SimTime::ZERO, 0, Packet::new(PacketKind::Compute, gf, 1), &mut ev);
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
         // 600 frames at 600 fps = 1 s, concurrent with the SM packet.
         gpu.submit_encode(SimTime::ZERO, 600.0, 1, &mut ev);
         let done = gpu.drain();
@@ -501,6 +621,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn metrics_capture_waits_and_busy_time() {
+        let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
+        let mut ev = Vec::new();
+        let gf = gpu.spec().peak_gflops();
+        // Two 1-second packets back to back on queue 0: the second waits ~1 s.
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
+        gpu.submit(
+            SimTime::ZERO,
+            0,
+            Packet::new(PacketKind::Compute, gf, 1),
+            &mut ev,
+        );
+        // 600 frames at 600 fps → NVENC busy for ~1 s.
+        gpu.submit_encode(SimTime::ZERO, 600.0, 1, &mut ev);
+        gpu.drain();
+
+        let mut reg = Registry::new();
+        gpu.collect_metrics(3, &mut reg);
+        let q0 = [("engine", "queue0"), ("gpu", "3")];
+        assert_eq!(reg.counter_value("sim_gpu_packets_total", &q0), Some(2));
+        let wait = reg.histogram_value("sim_gpu_packet_wait_ns", &q0).unwrap();
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.min(), 0);
+        assert!(wait.max() >= 1_000_000_000, "wait {}", wait.max());
+        let exec = reg.histogram_value("sim_gpu_packet_exec_ns", &q0).unwrap();
+        assert_eq!(exec.count(), 2);
+        let nv = [("engine", "nvenc"), ("gpu", "3")];
+        let busy = reg.counter_value("sim_gpu_busy_ns_total", &nv).unwrap();
+        assert!(
+            (busy as f64 - 1e9).abs() < 1e7,
+            "nvenc busy {busy} ns, expected ≈1 s"
+        );
+        // Queue 1 exists but saw no packets.
+        let q1 = [("engine", "queue1"), ("gpu", "3")];
+        assert_eq!(reg.counter_value("sim_gpu_packets_total", &q1), Some(0));
     }
 
     #[test]

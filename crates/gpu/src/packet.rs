@@ -68,7 +68,11 @@ impl Packet {
     /// shading cost (GFLOP per megapixel). Useful for game/VR models.
     pub fn frame(width: u32, height: u32, gflop_per_mpx: f64, owner_pid: u64) -> Self {
         let mpx = width as f64 * height as f64 / 1e6;
-        Self::new(PacketKind::Graphics3d, (mpx * gflop_per_mpx).max(1e-6), owner_pid)
+        Self::new(
+            PacketKind::Graphics3d,
+            (mpx * gflop_per_mpx).max(1e-6),
+            owner_pid,
+        )
     }
 }
 

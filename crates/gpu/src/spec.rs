@@ -168,7 +168,11 @@ mod tests {
 
     #[test]
     fn efficiency_bounded() {
-        for spec in [presets::gtx_1080_ti(), presets::gtx_680(), presets::gtx_285()] {
+        for spec in [
+            presets::gtx_1080_ti(),
+            presets::gtx_680(),
+            presets::gtx_285(),
+        ] {
             for kind in PacketKind::ALL {
                 let e = spec.arch_efficiency(kind);
                 assert!((0.0..=1.0).contains(&e), "{} {kind:?} {e}", spec.name);

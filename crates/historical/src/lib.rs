@@ -89,7 +89,12 @@ pub const TLP_2010: &[Entry] = &[
     tlp("Excel 2007", 2010, "Office", 1.5),
     tlp("Quicktime 7.6", 2010, "Media Playback", 1.9),
     tlp("Win Media Player", 2010, "Media Playback", 2.3),
-    tlp("PowerDirector v7", 2010, "Video Authoring & Transcoding", 5.0),
+    tlp(
+        "PowerDirector v7",
+        2010,
+        "Video Authoring & Transcoding",
+        5.0,
+    ),
     tlp("HandBrake 0.9", 2010, "Video Authoring & Transcoding", 7.9),
     tlp("Firefox 3.5", 2010, "Web Browsing", 1.8),
 ];
@@ -108,7 +113,12 @@ pub const GPU_2010: &[Entry] = &[
     gpu("Excel 2007", 2010, "Office", 5.0),
     gpu("Quicktime 7.6", 2010, "Media Playback", 25.0),
     gpu("Win Media Player", 2010, "Media Playback", 30.0),
-    gpu("PowerDirector v7", 2010, "Video Authoring & Transcoding", 12.0),
+    gpu(
+        "PowerDirector v7",
+        2010,
+        "Video Authoring & Transcoding",
+        12.0,
+    ),
     gpu("HandBrake 0.9", 2010, "Video Authoring & Transcoding", 1.0),
     gpu("Safari 4.0", 2010, "Web Browsing", 12.0),
     gpu("Firefox 3.5", 2010, "Web Browsing", 14.0),
@@ -154,8 +164,7 @@ mod tests {
     fn headline_claims_hold_in_the_dataset() {
         // 2000: "the average TLP observed across all benchmarks was lower
         // than 2".
-        let avg: f64 =
-            TLP_2000.iter().map(|e| e.value).sum::<f64>() / TLP_2000.len() as f64;
+        let avg: f64 = TLP_2000.iter().map(|e| e.value).sum::<f64>() / TLP_2000.len() as f64;
         assert!(avg < 2.0, "2000 avg {avg}");
         // 2010: "2-3 processor cores were still more than sufficient" —
         // most apps below 3.
@@ -170,6 +179,8 @@ mod tests {
         let gpu10 = entries(2010, Metric::GpuUtilPercent);
         assert_eq!(gpu10.len(), 16);
         let tlp00 = entries(2000, Metric::Tlp);
-        assert!(tlp00.iter().all(|e| e.metric == Metric::Tlp && e.year == 2000));
+        assert!(tlp00
+            .iter()
+            .all(|e| e.metric == Metric::Tlp && e.year == 2000));
     }
 }

@@ -84,7 +84,11 @@ impl ThreadProgram for Dispatcher {
 
 /// Builds the dispatcher program for a script (see [`install`] for the
 /// one-call variant).
-pub fn dispatcher(script: Script, mode: Automation, channel: InputChannel) -> Box<dyn ThreadProgram> {
+pub fn dispatcher(
+    script: Script,
+    mode: Automation,
+    channel: InputChannel,
+) -> Box<dyn ThreadProgram> {
     Box::new(Dispatcher {
         script,
         mode,

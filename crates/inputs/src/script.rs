@@ -48,8 +48,7 @@ impl Script {
     /// Appends an action; its delay is any pending wait plus the action's
     /// nominal user time.
     pub fn then(mut self, action: InputAction) -> Self {
-        let delay = self.pending_delay
-            + SimDuration::from_millis_f64(action.user_time_ms());
+        let delay = self.pending_delay + SimDuration::from_millis_f64(action.user_time_ms());
         self.pending_delay = SimDuration::ZERO;
         self.steps.push(ScriptStep { delay, action });
         self

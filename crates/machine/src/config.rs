@@ -117,7 +117,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "quantum")]
     fn zero_quantum_rejected() {
-        let _ = MachineConfig::new(simcpu::presets::i7_8700k())
-            .with_quantum(SimDuration::ZERO);
+        let _ = MachineConfig::new(simcpu::presets::i7_8700k()).with_quantum(SimDuration::ZERO);
     }
 }

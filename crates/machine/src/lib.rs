@@ -56,12 +56,14 @@
 
 mod config;
 mod ids;
+mod metrics;
 mod program;
 mod sched;
 mod work;
 
 pub use config::MachineConfig;
 pub use ids::{EventId, Pid, SubmissionId, Tid};
+pub use metrics::SchedMetrics;
 pub use program::{Action, ThreadCtx, ThreadProgram};
 pub use sched::{Machine, Priority};
 pub use work::Work;

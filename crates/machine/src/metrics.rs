@@ -1,0 +1,65 @@
+//! Scheduler self-observation: counters and histograms the event loop
+//! updates on its hot paths, snapshotted into a [`simobs::Registry`].
+
+use simobs::{Counter, LogHistogram, Registry};
+
+/// Embedded scheduler metrics. All values derive from virtual time and event
+/// counts only, so identical (config, seed) runs produce identical snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct SchedMetrics {
+    /// Switch-in context switches (a thread placed onto a CPU).
+    pub context_switches: Counter,
+    /// Quantum expiries that displaced the running thread.
+    pub preemptions: Counter,
+    /// Dispatches onto a different logical CPU than the thread's previous one.
+    pub migrations: Counter,
+    /// Dispatches per scheduling class, indexed by `Priority as usize`.
+    pub dispatches_per_class: [Counter; 3],
+    /// Total ready-queue occupancy sampled at each dispatch decision.
+    pub ready_depth: LogHistogram,
+    /// Ready → running latency (virtual ns) per dispatch.
+    pub sched_latency_ns: LogHistogram,
+    /// Virtual ns integrated over SMT pairs with both siblings busy.
+    pub smt_corun_ns: Counter,
+    /// Threads ever spawned.
+    pub threads_spawned: Counter,
+    /// Threads that ran to exit.
+    pub threads_exited: Counter,
+}
+
+impl SchedMetrics {
+    /// Records the scheduler families into `reg` under the `sim_sched_*`
+    /// prefix.
+    pub fn collect(&self, reg: &mut Registry) {
+        reg.counter(
+            "sim_sched_context_switches_total",
+            &[],
+            self.context_switches.get(),
+        );
+        reg.counter("sim_sched_preemptions_total", &[], self.preemptions.get());
+        reg.counter("sim_sched_migrations_total", &[], self.migrations.get());
+        for (class, counter) in ["high", "normal", "background"]
+            .into_iter()
+            .zip(&self.dispatches_per_class)
+        {
+            reg.counter(
+                "sim_sched_dispatch_total",
+                &[("class", class)],
+                counter.get(),
+            );
+        }
+        reg.histogram("sim_sched_ready_queue_depth", &[], &self.ready_depth);
+        reg.histogram("sim_sched_latency_ns", &[], &self.sched_latency_ns);
+        reg.counter("sim_sched_smt_corun_ns_total", &[], self.smt_corun_ns.get());
+        reg.counter(
+            "sim_sched_threads_spawned_total",
+            &[],
+            self.threads_spawned.get(),
+        );
+        reg.counter(
+            "sim_sched_threads_exited_total",
+            &[],
+            self.threads_exited.get(),
+        );
+    }
+}

@@ -91,12 +91,7 @@ impl ThreadCtx<'_> {
     }
 
     /// Spawns a thread in `pid`; it starts at the current instant.
-    pub fn spawn_thread(
-        &mut self,
-        pid: Pid,
-        name: &str,
-        program: Box<dyn ThreadProgram>,
-    ) -> Tid {
+    pub fn spawn_thread(&mut self, pid: Pid, name: &str, program: Box<dyn ThreadProgram>) -> Tid {
         self.machine.spawn(pid, name, program)
     }
 
@@ -146,7 +141,13 @@ impl ThreadCtx<'_> {
     ///
     /// # Panics
     /// Panics if the GPU or queue index is out of range.
-    pub fn submit_gpu(&mut self, gpu: usize, queue: usize, kind: simgpu::PacketKind, gflop: f64) -> SubmissionId {
+    pub fn submit_gpu(
+        &mut self,
+        gpu: usize,
+        queue: usize,
+        kind: simgpu::PacketKind,
+        gflop: f64,
+    ) -> SubmissionId {
         let pid = self.pid;
         self.machine
             .submit_gpu(gpu, queue, Packet::new(kind, gflop, pid.0))

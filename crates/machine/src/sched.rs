@@ -3,12 +3,14 @@
 
 use crate::config::MachineConfig;
 use crate::ids::{EventId, Pid, SubmissionId, Tid};
+use crate::metrics::SchedMetrics;
 use crate::program::{Action, ThreadCtx, ThreadProgram};
 use crate::work::Work;
 use etwtrace::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent};
 use simcore::{EventCalendar, Rng, SimDuration, SimTime};
 use simcpu::ComputeKind;
 use simgpu::{Completion, EngineKind, GpuDevice, Packet};
+use simobs::{Registry, WallProfile};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Internal calendar events.
@@ -53,6 +55,8 @@ struct ThreadEntry {
     affinity: u64,
     /// Scheduling class (index into the ready queues; 0 is highest).
     priority: Priority,
+    /// Logical CPU of the previous dispatch (for migration accounting).
+    last_cpu: Option<usize>,
 }
 
 /// Scheduling class of a thread. The scheduler always dispatches the
@@ -107,6 +111,9 @@ pub struct Machine {
     rng: Rng,
     /// Set when occupancy changed; compute completions need re-pricing.
     dirty: bool,
+    metrics: SchedMetrics,
+    /// Opt-in wall-clock self-profiling of the DES phases.
+    profile: WallProfile,
 }
 
 /// Tolerance on remaining ops when deciding a compute segment is finished
@@ -122,7 +129,12 @@ impl Machine {
         let rng = Rng::seed_from(cfg.seed);
         Machine {
             trace: TraceBuilder::new(n),
-            cpus: (0..n).map(|_| CpuSlot { current: None, gen: 0 }).collect(),
+            cpus: (0..n)
+                .map(|_| CpuSlot {
+                    current: None,
+                    gen: 0,
+                })
+                .collect(),
             cfg,
             now: SimTime::ZERO,
             last_sync: SimTime::ZERO,
@@ -137,6 +149,8 @@ impl Machine {
             gpu_waiters: HashMap::new(),
             rng,
             dirty: false,
+            metrics: SchedMetrics::default(),
+            profile: WallProfile::disabled(),
         }
     }
 
@@ -200,10 +214,15 @@ impl Machine {
             gen: 0,
             affinity: u64::MAX,
             priority: Priority::Normal,
+            last_cpu: None,
         });
+        self.metrics.threads_spawned.inc();
         self.trace.push(TraceEvent::ThreadStart {
             at: self.now,
-            key: ThreadKey { pid: pid.0, tid: tid.0 },
+            key: ThreadKey {
+                pid: pid.0,
+                tid: tid.0,
+            },
             name: name.to_string(),
         });
         self.calendar.schedule(self.now, Ev::StartThread(tid));
@@ -282,10 +301,18 @@ impl Machine {
             let (et, ev) = self.calendar.pop().expect("peeked");
             debug_assert!(et >= self.now);
             self.now = et;
+            let span = self.profile.start();
             self.sync();
+            self.profile.record("sync", span);
+            let span = self.profile.start();
             self.handle(ev);
+            self.profile.record("handle", span);
+            let span = self.profile.start();
             self.dispatch();
+            self.profile.record("dispatch", span);
+            let span = self.profile.start();
             self.reprice_if_dirty();
+            self.profile.record("reprice", span);
         }
         self.now = t;
         self.sync();
@@ -300,6 +327,37 @@ impl Machine {
     /// Seals and returns the trace, consuming the machine.
     pub fn into_trace(self) -> EtlTrace {
         self.trace.finish(SimTime::ZERO, self.now)
+    }
+
+    /// The scheduler's embedded metrics (live view).
+    pub fn sched_metrics(&self) -> &SchedMetrics {
+        &self.metrics
+    }
+
+    /// Snapshots every metric family — scheduler, calendar, and each GPU —
+    /// into `reg`. Purely virtual-time derived, hence deterministic.
+    pub fn collect_metrics(&self, reg: &mut Registry) {
+        self.metrics.collect(reg);
+        let cal = self.calendar.stats();
+        reg.counter("sim_calendar_events_scheduled_total", &[], cal.scheduled);
+        reg.gauge("sim_calendar_heap_peak", &[], cal.peak_len as i64);
+        reg.gauge("sim_calendar_heap_pending", &[], cal.pending as i64);
+        for (i, gpu) in self.gpus.iter().enumerate() {
+            gpu.collect_metrics(i, reg);
+        }
+    }
+
+    /// Turns on wall-clock self-profiling of the event-loop phases
+    /// (`sync` / `handle` / `dispatch` / `reprice`). Wall times are reported
+    /// via [`Machine::self_profile`], never through [`Machine::collect_metrics`],
+    /// so enabling this cannot perturb deterministic snapshots.
+    pub fn enable_self_profiling(&mut self) {
+        self.profile.enable();
+    }
+
+    /// Accumulated wall-clock spans (empty unless profiling is enabled).
+    pub fn self_profile(&self) -> &WallProfile {
+        &self.profile
     }
 
     // ---- event handling ------------------------------------------------
@@ -319,7 +377,7 @@ impl Machine {
                     return;
                 }
                 if let TState::Running { .. } = th.state {
-                    let done = th.pending.as_ref().map_or(true, |w| w.ops <= OPS_EPS);
+                    let done = th.pending.as_ref().is_none_or(|w| w.ops <= OPS_EPS);
                     if done {
                         self.segment_finished(tid);
                     } else {
@@ -362,11 +420,19 @@ impl Machine {
             return;
         }
         let elapsed = (self.now - self.last_sync).as_secs_f64();
+        let elapsed_ns = (self.now - self.last_sync).as_nanos();
         let active_physical = self.active_physical();
         for cpu in 0..self.cpus.len() {
             let Some(tid) = self.cpus[cpu].current else {
                 continue;
             };
+            // SMT co-residency: attribute the elapsed interval once per
+            // sibling pair that had both logical CPUs occupied.
+            if let Some(sib) = self.cfg.topology.sibling_of(cpu) {
+                if sib > cpu && self.cpus[sib].current.is_some() {
+                    self.metrics.smt_corun_ns.add(elapsed_ns);
+                }
+            }
             let speed = self.thread_speed(cpu, active_physical);
             let th = &mut self.threads[tid.0 as usize];
             if let Some(work) = th.pending.as_mut() {
@@ -551,6 +617,7 @@ impl Machine {
             pid: th.pid.0,
             tid: tid.0,
         };
+        self.metrics.threads_exited.inc();
         self.trace.push(TraceEvent::ThreadEnd { at: self.now, key });
     }
 
@@ -580,15 +647,11 @@ impl Machine {
     /// Highest class with a thread that may run on `cpu`; `None` if no
     /// ready thread is allowed there.
     fn best_ready_class_for(&self, cpu: usize) -> Option<Priority> {
-        for class in Priority::ALL {
-            if self.ready[class as usize]
+        Priority::ALL.into_iter().find(|&class| {
+            self.ready[class as usize]
                 .iter()
                 .any(|t| self.threads[t.0 as usize].affinity & (1 << cpu) != 0)
-            {
-                return Some(class);
-            }
-        }
-        None
+        })
     }
 
     /// Releases `cpu` from `tid`, emitting the switch-out record.
@@ -600,7 +663,10 @@ impl Machine {
         self.trace.push(TraceEvent::CSwitch {
             at: self.now,
             cpu,
-            old: Some(ThreadKey { pid: pid.0, tid: tid.0 }),
+            old: Some(ThreadKey {
+                pid: pid.0,
+                tid: tid.0,
+            }),
             new: None,
             ready_since: None,
         });
@@ -628,7 +694,10 @@ impl Machine {
                     break;
                 }
             }
-            let Some((cpu, tid)) = picked else { break 'outer };
+            let Some((cpu, tid)) = picked else {
+                break 'outer;
+            };
+            let ready_depth = 1 + self.ready.iter().map(VecDeque::len).sum::<usize>();
             let th = &mut self.threads[tid.0 as usize];
             let since = match th.state {
                 TState::Ready { since } => since,
@@ -636,6 +705,16 @@ impl Machine {
             };
             th.state = TState::Running { cpu };
             let pid = th.pid;
+            self.metrics.context_switches.inc();
+            self.metrics.dispatches_per_class[th.priority as usize].inc();
+            self.metrics.ready_depth.observe(ready_depth as u64);
+            self.metrics
+                .sched_latency_ns
+                .observe((self.now - since).as_nanos());
+            if th.last_cpu.is_some_and(|prev| prev != cpu) {
+                self.metrics.migrations.inc();
+            }
+            th.last_cpu = Some(cpu);
             self.cpus[cpu].current = Some(tid);
             self.cpus[cpu].gen += 1;
             let gen = self.cpus[cpu].gen;
@@ -647,7 +726,10 @@ impl Machine {
                 at: self.now,
                 cpu,
                 old: None,
-                new: Some(ThreadKey { pid: pid.0, tid: tid.0 }),
+                new: Some(ThreadKey {
+                    pid: pid.0,
+                    tid: tid.0,
+                }),
                 ready_since: Some(since),
             });
             self.dirty = true;
@@ -663,7 +745,7 @@ impl Machine {
             }
             let sibling_busy = topo
                 .sibling_of(cpu)
-                .map_or(false, |sib| self.cpus[sib].current.is_some());
+                .is_some_and(|sib| self.cpus[sib].current.is_some());
             if !sibling_busy {
                 return Some(cpu);
             }
@@ -681,7 +763,7 @@ impl Machine {
         };
         let running_class = self.threads[tid.0 as usize].priority;
         let contender = self.best_ready_class_for(cpu);
-        if contender.map_or(true, |c| c > running_class) {
+        if contender.is_none_or(|c| c > running_class) {
             // No equal-or-higher-class thread wants this CPU: renew.
             self.cpus[cpu].gen += 1;
             let gen = self.cpus[cpu].gen;
@@ -692,6 +774,7 @@ impl Machine {
             return;
         }
         // Preempt: back of the queue, keep remaining work.
+        self.metrics.preemptions.inc();
         self.release_cpu(tid, cpu);
         self.make_ready(tid);
     }
@@ -714,7 +797,8 @@ impl Machine {
             th.gen += 1;
             let gen = th.gen;
             if work.ops <= OPS_EPS {
-                self.calendar.schedule(self.now, Ev::CompleteCompute(tid, gen));
+                self.calendar
+                    .schedule(self.now, Ev::CompleteCompute(tid, gen));
                 continue;
             }
             let speed = self.thread_speed(cpu, active_physical);
@@ -731,7 +815,10 @@ impl Machine {
         for ev in events {
             match *ev {
                 Completion::Started {
-                    at, id, packet, engine,
+                    at,
+                    id,
+                    packet,
+                    engine,
                 } => {
                     self.trace.push(TraceEvent::GpuStart {
                         at,
@@ -742,7 +829,10 @@ impl Machine {
                     });
                 }
                 Completion::Finished {
-                    at, id, packet, engine,
+                    at,
+                    id,
+                    packet,
+                    engine,
                 } => {
                     self.trace.push(TraceEvent::GpuEnd {
                         at,
@@ -772,7 +862,8 @@ impl Machine {
         self.gpu_gens[gpu] += 1;
         if let Some(t) = self.gpus[gpu].next_event_time() {
             let gen = self.gpu_gens[gpu];
-            self.calendar.schedule(t.max(self.now), Ev::GpuTick(gpu, gen));
+            self.calendar
+                .schedule(t.max(self.now), Ev::GpuTick(gpu, gen));
         }
     }
 }
@@ -932,6 +1023,140 @@ mod tests {
             }
         }
         assert!(seen.contains(&t0.0) && seen.contains(&t1.0), "{seen:?}");
+    }
+
+    #[test]
+    fn metrics_count_switches_preemptions_and_corun() {
+        // 2 long threads on 1 CPU → context switches and preemptions.
+        let cpu = simcpu::presets::i7_8700k();
+        let topo = simcpu::Topology::with_logical_cpus(&cpu, 1, false);
+        let cfg = MachineConfig {
+            topology: topo,
+            ..MachineConfig::new(cpu)
+        };
+        let mut m = Machine::new(cfg);
+        let pid = m.add_process("pair.exe");
+        for name in ["a", "b"] {
+            m.spawn(
+                pid,
+                name,
+                Box::new(Burn {
+                    segments: 1,
+                    ms: 100.0,
+                    kind: ComputeKind::Scalar,
+                }),
+            );
+        }
+        m.run_for(SimDuration::from_millis(50));
+        let mm = m.sched_metrics();
+        assert_eq!(mm.threads_spawned.get(), 2);
+        assert!(
+            mm.preemptions.get() >= 4,
+            "preemptions {}",
+            mm.preemptions.get()
+        );
+        assert!(mm.context_switches.get() > mm.preemptions.get());
+        assert_eq!(mm.dispatches_per_class[Priority::High as usize].get(), 0);
+        assert!(mm.dispatches_per_class[Priority::Normal as usize].get() >= 2);
+        assert!(mm.sched_latency_ns.count() >= 2);
+        assert!(mm.ready_depth.count() >= 2);
+        // Single logical CPU → no SMT pair can co-run.
+        assert_eq!(mm.smt_corun_ns.get(), 0);
+
+        let mut reg = simobs::Registry::new();
+        m.collect_metrics(&mut reg);
+        assert!(reg.counter_value("sim_calendar_events_scheduled_total", &[]) > Some(0));
+        assert!(reg.gauge_value("sim_calendar_heap_peak", &[]) > Some(0));
+        assert!(reg.to_prometheus().contains("sim_sched_latency_ns_bucket"));
+    }
+
+    #[test]
+    fn smt_corun_time_accrues_on_shared_cores() {
+        // 12 logical / 6 physical with 12 busy threads → siblings co-run.
+        let mut m = study_machine(12);
+        let pid = m.add_process("smt.exe");
+        for i in 0..12 {
+            m.spawn(
+                pid,
+                &format!("w{i}"),
+                Box::new(Burn {
+                    segments: 10,
+                    ms: 10.0,
+                    kind: ComputeKind::Scalar,
+                }),
+            );
+        }
+        m.run_for(SimDuration::from_millis(50));
+        let ns = m.sched_metrics().smt_corun_ns.get();
+        // 6 pairs × ~50 ms each ≈ 300 ms of pair-time.
+        assert!(ns > 250_000_000, "smt corun only {ns} ns");
+    }
+
+    #[test]
+    fn self_profile_disabled_by_default_and_opt_in() {
+        let mut m = study_machine(4);
+        let pid = m.add_process("prof.exe");
+        m.spawn(
+            pid,
+            "t",
+            Box::new(Burn {
+                segments: 3,
+                ms: 1.0,
+                kind: ComputeKind::Scalar,
+            }),
+        );
+        m.run_for(SimDuration::from_millis(10));
+        assert!(m.self_profile().phases().is_empty());
+        m.enable_self_profiling();
+        let pid2 = m.add_process("prof2.exe");
+        m.spawn(
+            pid2,
+            "t2",
+            Box::new(Burn {
+                segments: 3,
+                ms: 1.0,
+                kind: ComputeKind::Scalar,
+            }),
+        );
+        m.run_for(SimDuration::from_millis(10));
+        let names: Vec<&str> = m.self_profile().phases().iter().map(|(n, _)| *n).collect();
+        for phase in ["sync", "handle", "dispatch", "reprice"] {
+            assert!(names.contains(&phase), "missing {phase}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn migrations_require_a_cpu_change() {
+        let mut m = study_machine(4);
+        let pid = m.add_process("migrate.exe");
+        // More runnable threads than CPUs, with sleeps to force re-placement.
+        for i in 0..6 {
+            let mut phase = 0u32;
+            m.spawn(
+                pid,
+                &format!("w{i}"),
+                Box::new(move |_ctx: &mut ThreadCtx<'_>| {
+                    phase += 1;
+                    match phase {
+                        1..=8 => {
+                            if phase.is_multiple_of(2) {
+                                Action::Sleep(SimDuration::from_micros(300))
+                            } else {
+                                Action::Compute(Work::busy_ms(1.0))
+                            }
+                        }
+                        _ => Action::Exit,
+                    }
+                }),
+            );
+        }
+        m.run_for(SimDuration::from_millis(40));
+        let mm = m.sched_metrics();
+        assert!(
+            mm.migrations.get() <= mm.context_switches.get(),
+            "migrations cannot exceed switch-ins"
+        );
+        assert_eq!(mm.threads_exited.get(), 6);
     }
 
     #[test]
@@ -1115,7 +1340,10 @@ mod tests {
         let topo = simcpu::presets::i7_8700k().full_topology();
         let mut physicals = HashSet::new();
         for ev in trace.events() {
-            if let TraceEvent::CSwitch { cpu, new: Some(_), .. } = ev {
+            if let TraceEvent::CSwitch {
+                cpu, new: Some(_), ..
+            } = ev
+            {
                 physicals.insert(topo.cpus()[*cpu].physical);
             }
         }
@@ -1212,7 +1440,10 @@ mod tests {
         let trace = m.into_trace();
         let mut cpus = HashSet::new();
         for ev in trace.events() {
-            if let TraceEvent::CSwitch { cpu, new: Some(k), .. } = ev {
+            if let TraceEvent::CSwitch {
+                cpu, new: Some(k), ..
+            } = ev
+            {
                 if k.tid == tid.0 {
                     cpus.insert(*cpu);
                 }

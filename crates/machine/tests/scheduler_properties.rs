@@ -25,9 +25,7 @@ impl ThreadProgram for ScriptedProgram {
         match op % 4 {
             0 => Action::Compute(Work::busy_us(amount * 10.0)),
             1 => Action::Sleep(SimDuration::from_micros(amount as u64 * 10)),
-            2 => Action::Compute(
-                Work::busy_us(amount * 5.0).with_kind(ComputeKind::MemoryBound),
-            ),
+            2 => Action::Compute(Work::busy_us(amount * 5.0).with_kind(ComputeKind::MemoryBound)),
             _ => Action::Yield,
         }
     }

@@ -296,7 +296,7 @@ mod tests {
         let (hit, hashes) = scan_nonces(&header, 0..200_000);
         let (nonce, digest) = hit.expect("no share in 200k nonces at 12 bits");
         assert!(header.meets_target(&digest));
-        assert!(hashes as u64 <= 200_000);
+        assert!(hashes <= 200_000);
         // Re-verify independently.
         let again = double_sha256(&header.with_nonce(nonce));
         assert_eq!(again, digest);

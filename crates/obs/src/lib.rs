@@ -1,0 +1,630 @@
+//! # simobs — deterministic observability for the simulator itself
+//!
+//! The reproduction traces the *simulated* applications in detail, but the
+//! simulator's own behaviour (ready-queue depths, preemptions, GPU queue
+//! occupancy, calendar pressure) was a black box. This crate provides the
+//! instrumentation layer:
+//!
+//! * [`Counter`], [`Gauge`], [`LogHistogram`] — allocation-free metric
+//!   primitives the hot layers embed directly in their state structs;
+//! * [`Registry`] — a point-in-time snapshot collected *after* a run,
+//!   rendered as Prometheus text exposition format;
+//! * [`WallProfile`] — an opt-in span API for self-profiling DES phases
+//!   with wall-clock time.
+//!
+//! ## Determinism
+//!
+//! Everything that enters a [`Registry`] is derived purely from simulation
+//! state: virtual timestamps, event counts, queue lengths. No wall-clock, no
+//! addresses, no hash-map iteration order (series are kept in `BTreeMap`s).
+//! Two runs with identical config and seed therefore produce **byte-identical**
+//! [`Registry::to_prometheus`] output — an invariant the test-suite asserts.
+//!
+//! Wall-clock self-profiling is deliberately segregated in [`WallProfile`],
+//! which is *never* rendered into a [`Registry`], so enabling it cannot break
+//! the determinism guarantee.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+///
+/// `inc`/`add` are branch-free field updates — safe to call on the hottest
+/// simulator paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// An instantaneous level that can move both ways; tracks its peak.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+    peak: i64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current level.
+    #[inline]
+    pub fn set(&mut self, v: i64) {
+        self.value = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Adjusts the current level by `delta`.
+    #[inline]
+    pub fn adjust(&mut self, delta: i64) {
+        self.set(self.value + delta);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+
+    /// Highest level ever set.
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: one per power of two of `u64`,
+/// plus a dedicated zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, i.e. its inclusive upper bound is `2^i − 1`. Storage is
+/// a fixed array, so `observe` never allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Index of the bucket holding `value`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 when empty. Resolution is one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(inclusive upper bound, count)` for each non-empty bucket.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_bound(i), n))
+    }
+}
+
+/// One rendered series value inside a [`Registry`]. The histogram is boxed
+/// so scalar series don't pay for its 65-bucket array.
+#[derive(Clone, Debug, PartialEq)]
+enum SeriesValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<LogHistogram>),
+}
+
+/// Prometheus metric type of a family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl FamilyKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Family {
+    kind: FamilyKind,
+    /// Label-set string (e.g. `class="high"`) → value. `BTreeMap` keeps the
+    /// rendering order deterministic.
+    series: BTreeMap<String, SeriesValue>,
+}
+
+/// A deterministic snapshot of metrics, keyed by static family names.
+///
+/// Components expose a `collect_metrics(&self, reg: &mut Registry)` method
+/// that records their embedded [`Counter`]/[`Gauge`]/[`LogHistogram`] state;
+/// the registry renders the union as Prometheus text exposition format.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    families: BTreeMap<&'static str, Family>,
+}
+
+/// Renders a label set as `key="value",…` with Prometheus escaping.
+fn label_string(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family(&mut self, name: &'static str, kind: FamilyKind) -> &mut Family {
+        let fam = self.families.entry(name).or_insert_with(|| Family {
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric family {name} registered with conflicting kinds"
+        );
+        fam
+    }
+
+    /// Records a counter series. Re-recording the same name+labels adds.
+    pub fn counter(&mut self, name: &'static str, labels: &[(&str, &str)], value: u64) {
+        let fam = self.family(name, FamilyKind::Counter);
+        match fam
+            .series
+            .entry(label_string(labels))
+            .or_insert(SeriesValue::Counter(0))
+        {
+            SeriesValue::Counter(v) => *v += value,
+            _ => unreachable!("family kind is checked above"),
+        }
+    }
+
+    /// Records a gauge series. Re-recording the same name+labels overwrites.
+    pub fn gauge(&mut self, name: &'static str, labels: &[(&str, &str)], value: i64) {
+        let fam = self.family(name, FamilyKind::Gauge);
+        fam.series
+            .insert(label_string(labels), SeriesValue::Gauge(value));
+    }
+
+    /// Records a histogram series. Re-recording the same name+labels
+    /// overwrites.
+    pub fn histogram(&mut self, name: &'static str, labels: &[(&str, &str)], h: &LogHistogram) {
+        let fam = self.family(name, FamilyKind::Histogram);
+        fam.series.insert(
+            label_string(labels),
+            SeriesValue::Histogram(Box::new(h.clone())),
+        );
+    }
+
+    /// Looks up a recorded counter value (mainly for tests and reports).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.families.get(name)?.series.get(&label_string(labels))? {
+            SeriesValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a recorded gauge value (mainly for tests and reports).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.families.get(name)?.series.get(&label_string(labels))? {
+            SeriesValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a recorded histogram (mainly for tests and reports).
+    pub fn histogram_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LogHistogram> {
+        match self.families.get(name)?.series.get(&label_string(labels))? {
+            SeriesValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of metric families recorded.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Renders the snapshot as Prometheus text exposition format.
+    ///
+    /// Output is byte-deterministic: families and series render in
+    /// lexicographic order, and every value is integral.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (labels, value) in &fam.series {
+                match value {
+                    SeriesValue::Counter(v) => {
+                        let _ = writeln!(out, "{}{} {v}", name, braced(labels));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        let _ = writeln!(out, "{}{} {v}", name, braced(labels));
+                    }
+                    SeriesValue::Histogram(h) => {
+                        let mut cumulative = 0;
+                        for (bound, n) in h.nonzero_buckets() {
+                            cumulative += n;
+                            let le = merged(labels, &format!("le=\"{bound}\""));
+                            let _ = writeln!(out, "{name}_bucket{{{le}}} {cumulative}");
+                        }
+                        let le = merged(labels, "le=\"+Inf\"");
+                        let _ = writeln!(out, "{name}_bucket{{{le}}} {}", h.count());
+                        let _ = writeln!(out, "{}_sum{} {}", name, braced(labels), h.sum());
+                        let _ = writeln!(out, "{}_count{} {}", name, braced(labels), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{labels}` or the empty string when there are no labels.
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// Joins an existing label string with one extra label.
+fn merged(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+/// An in-flight wall-clock measurement (see [`WallProfile::start`]).
+///
+/// Carries `None` when profiling is disabled, making disabled spans free of
+/// any `Instant::now()` syscall.
+#[derive(Debug)]
+pub struct SpanTimer(Option<Instant>);
+
+/// Accumulated wall-clock time per named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u128,
+    /// Number of recorded spans.
+    pub spans: u64,
+}
+
+/// Opt-in wall-clock self-profiling of DES phases.
+///
+/// Usage: `let t = profile.start(); …work…; profile.record("phase", t);`.
+/// The split start/record API (instead of a drop guard) keeps the borrow of
+/// the profile short, so the profiled code can freely borrow the same struct.
+///
+/// Wall-clock data is intentionally **not** collectable into a [`Registry`]:
+/// registries guarantee deterministic output and wall-time is not
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct WallProfile {
+    enabled: bool,
+    /// Linear scan by name: the simulator has a handful of phases, and a
+    /// `Vec` keeps report order = first-recorded order.
+    phases: Vec<(&'static str, PhaseStat)>,
+}
+
+impl WallProfile {
+    /// A disabled profile: `start`/`record` are no-ops.
+    pub fn disabled() -> Self {
+        WallProfile::default()
+    }
+
+    /// An enabled profile.
+    pub fn enabled() -> Self {
+        WallProfile {
+            enabled: true,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Turns profiling on (existing data is kept).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// True when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begins a span. Free when disabled.
+    #[inline]
+    pub fn start(&self) -> SpanTimer {
+        SpanTimer(self.enabled.then(Instant::now))
+    }
+
+    /// Ends a span, attributing its elapsed wall time to `name`.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, timer: SpanTimer) {
+        let Some(started) = timer.0 else { return };
+        let ns = started.elapsed().as_nanos();
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, stat)) => {
+                stat.wall_ns += ns;
+                stat.spans += 1;
+            }
+            None => self.phases.push((
+                name,
+                PhaseStat {
+                    wall_ns: ns,
+                    spans: 1,
+                },
+            )),
+        }
+    }
+
+    /// Accumulated stats per phase, in first-recorded order.
+    pub fn phases(&self) -> &[(&'static str, PhaseStat)] {
+        &self.phases
+    }
+
+    /// Human-readable report, one line per phase.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (name, stat) in &self.phases {
+            let _ = writeln!(
+                out,
+                "{name:<24} {:>12.3} ms across {} spans",
+                stat.wall_ns as f64 / 1e6,
+                stat.spans
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let mut g = Gauge::new();
+        g.set(3);
+        g.adjust(-5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.sum(), 1_001_010);
+        // value 0 → bucket 0 (bound 0); 1 → bound 1; 2,3 → bound 3; 4 → 7.
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(&buckets[..3], &[(0, 1), (1, 1), (3, 2)]);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) >= 1_000_000);
+        assert!(h.quantile(0.5) <= 7);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_ordered() {
+        let build = || {
+            let mut reg = Registry::new();
+            reg.counter("sim_b_total", &[("class", "x")], 2);
+            reg.counter("sim_b_total", &[("class", "a")], 1);
+            reg.gauge("sim_a_level", &[], -7);
+            let mut h = LogHistogram::new();
+            h.observe(5);
+            h.observe(900);
+            reg.histogram("sim_c_ns", &[("engine", "q0")], &h);
+            reg
+        };
+        let a = build().to_prometheus();
+        let b = build().to_prometheus();
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        // Families lexicographic; series within a family lexicographic.
+        assert_eq!(lines[0], "# TYPE sim_a_level gauge");
+        assert_eq!(lines[1], "sim_a_level -7");
+        assert_eq!(lines[2], "# TYPE sim_b_total counter");
+        assert_eq!(lines[3], "sim_b_total{class=\"a\"} 1");
+        assert_eq!(lines[4], "sim_b_total{class=\"x\"} 2");
+        assert!(a.contains("sim_c_ns_bucket{engine=\"q0\",le=\"7\"} 1"));
+        assert!(a.contains("sim_c_ns_bucket{engine=\"q0\",le=\"+Inf\"} 2"));
+        assert!(a.contains("sim_c_ns_sum{engine=\"q0\"} 905"));
+        assert!(a.contains("sim_c_ns_count{engine=\"q0\"} 2"));
+    }
+
+    #[test]
+    fn counter_series_accumulate_and_lookups_work() {
+        let mut reg = Registry::new();
+        reg.counter("sim_x_total", &[], 1);
+        reg.counter("sim_x_total", &[], 2);
+        assert_eq!(reg.counter_value("sim_x_total", &[]), Some(3));
+        assert_eq!(reg.counter_value("sim_x_total", &[("a", "b")]), None);
+        reg.gauge("sim_y", &[], 9);
+        assert_eq!(reg.gauge_value("sim_y", &[]), Some(9));
+        assert!(!reg.is_empty());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = Registry::new();
+        reg.counter("sim_esc_total", &[("p", "a\"b\\c")], 1);
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("sim_esc_total{p=\"a\\\"b\\\\c\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn disabled_profile_records_nothing() {
+        let mut p = WallProfile::disabled();
+        let t = p.start();
+        p.record("phase", t);
+        assert!(p.phases().is_empty());
+
+        let mut p = WallProfile::enabled();
+        let t = p.start();
+        p.record("phase", t);
+        let t = p.start();
+        p.record("phase", t);
+        assert_eq!(p.phases().len(), 1);
+        assert_eq!(p.phases()[0].1.spans, 2);
+        assert!(p.report().contains("phase"));
+    }
+}

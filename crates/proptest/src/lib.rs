@@ -1,0 +1,461 @@
+//! Offline stand-in for the subset of the [`proptest`] API this workspace
+//! uses.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! real `proptest` crate cannot be fetched. This crate implements the same
+//! surface the workspace's property tests rely on — the [`proptest!`] macro,
+//! `prop_assert*` / [`prop_assume!`], [`prop_oneof!`], [`Just`],
+//! [`arbitrary::any`], range/tuple strategies and [`collection::vec`] — on
+//! top of a small deterministic generator. Each test case is seeded from the
+//! test's name and case index, so failures reproduce exactly across runs.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs intact;
+//! * `prop_assert!`/`prop_assert_eq!` panic instead of returning `Err`;
+//! * `prop_assume!` skips the current case rather than drawing a fresh one.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for case `case` of the test named `name`.
+    ///
+    /// Seeding from the test name keeps distinct tests on decorrelated
+    /// streams while remaining fully deterministic run-to-run.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of generated values, mirroring `proptest::strategy::Strategy`.
+///
+/// Only generation is supported; there is no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy and value-source types.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+
+    /// A strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union with no options yet. Generating from an empty union
+        /// panics, but [`prop_oneof!`] always adds at least one option.
+        ///
+        /// [`prop_oneof!`]: crate::prop_oneof
+        pub fn empty() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds an option (builder style).
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "prop_oneof! needs an option");
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+}
+
+pub use strategy::Just;
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(width + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// The `any::<T>()` entry point and the types it supports.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The full-range strategy for `A` (used for `name: Type` parameters).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors whose length is uniform in `len` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config`: only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Smaller than real proptest's 256: these are simulation-heavy
+            // properties and determinism makes reruns pointless.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::Just;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $crate::__proptest_fn! {
+            @munch
+            cfg = $cfg;
+            metas = [$(#[$meta])*];
+            name = $name;
+            acc = [];
+            body = $body;
+            params = [$($params)*];
+        }
+    )*};
+}
+
+/// Implementation detail of [`proptest!`]: normalizes the parameter list one
+/// entry at a time (`name in strategy` or `name: Type`), then emits the test
+/// fn. A tt-muncher is required because `expr`/`ty` fragments may not be
+/// followed by the other form's separator token in a single repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    (@munch cfg = $cfg:expr; metas = [$($meta:tt)*]; name = $name:ident;
+     acc = [$([$arg:ident => $strat:expr])*]; body = $body:block; params = [];) => {
+        $($meta)*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                // One closure per case so `prop_assume!` can skip via
+                // `return` without ending the whole run.
+                let case_fn = move || $body;
+                case_fn();
+            }
+        }
+    };
+    (@munch cfg = $cfg:expr; metas = $metas:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; body = $body:block;
+     params = [$arg:ident in $strat:expr, $($rest:tt)*];) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $cfg; metas = $metas; name = $name;
+            acc = [$($acc)* [$arg => $strat]]; body = $body; params = [$($rest)*];
+        }
+    };
+    (@munch cfg = $cfg:expr; metas = $metas:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; body = $body:block;
+     params = [$arg:ident in $strat:expr];) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $cfg; metas = $metas; name = $name;
+            acc = [$($acc)* [$arg => $strat]]; body = $body; params = [];
+        }
+    };
+    (@munch cfg = $cfg:expr; metas = $metas:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; body = $body:block;
+     params = [$arg:ident : $ty:ty, $($rest:tt)*];) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $cfg; metas = $metas; name = $name;
+            acc = [$($acc)* [$arg => $crate::arbitrary::any::<$ty>()]];
+            body = $body; params = [$($rest)*];
+        }
+    };
+    (@munch cfg = $cfg:expr; metas = $metas:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; body = $body:block;
+     params = [$arg:ident : $ty:ty];) => {
+        $crate::__proptest_fn! {
+            @munch cfg = $cfg; metas = $metas; name = $name;
+            acc = [$($acc)* [$arg => $crate::arbitrary::any::<$ty>()]];
+            body = $body; params = [];
+        }
+    };
+}
+
+/// Asserts a property-level condition (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts property-level equality (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {{
+        let u = $crate::strategy::Union::empty();
+        $(let u = u.or($option);)+
+        u
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("bounds", 0);
+        for _ in 0..256 {
+            let v = (1u16..500).generate(&mut rng);
+            assert!((1..500).contains(&v));
+            let v = (1usize..=12).generate(&mut rng);
+            assert!((1..=12).contains(&v));
+            let (a, b) = (any::<u8>(), -1.0f64..1.0).generate(&mut rng);
+            let _ = a;
+            assert!((-1.0..1.0).contains(&b));
+            let xs = collection::vec(0u64..10, 2..5).generate(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 5);
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: mixed `in` / ascription params, assume, oneof.
+        #[test]
+        fn prop_macro_roundtrip(x in 0u64..100, flag: bool, pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assume!(x != 99);
+            prop_assert!(x < 99, "x = {x}");
+            prop_assert_eq!(flag, flag);
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+}

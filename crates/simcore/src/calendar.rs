@@ -50,6 +50,18 @@ impl<E> Ord for Entry<E> {
 pub struct EventCalendar<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    peak_len: usize,
+}
+
+/// Lifetime statistics of an [`EventCalendar`], for the observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_len: usize,
+    /// Events pending right now.
+    pub pending: usize,
 }
 
 impl<E> EventCalendar<E> {
@@ -58,6 +70,7 @@ impl<E> EventCalendar<E> {
         EventCalendar {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            peak_len: 0,
         }
     }
 
@@ -69,6 +82,7 @@ impl<E> EventCalendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -94,6 +108,18 @@ impl<E> EventCalendar<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Lifetime statistics: total scheduled, peak heap size, current size.
+    ///
+    /// `next_seq` doubles as the scheduled-event count because it increments
+    /// exactly once per [`EventCalendar::schedule`] call.
+    pub fn stats(&self) -> CalendarStats {
+        CalendarStats {
+            scheduled: self.next_seq,
+            peak_len: self.peak_len,
+            pending: self.heap.len(),
+        }
     }
 }
 
@@ -139,6 +165,27 @@ mod tests {
         }
         let popped: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
         assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_scheduled_and_peak() {
+        let mut cal = EventCalendar::new();
+        assert_eq!(cal.stats(), CalendarStats::default());
+        for t in 0..5u64 {
+            cal.schedule(SimTime::from_nanos(t), t);
+        }
+        cal.pop();
+        cal.pop();
+        cal.schedule(SimTime::from_nanos(9), 9);
+        let stats = cal.stats();
+        assert_eq!(stats.scheduled, 6);
+        assert_eq!(stats.peak_len, 5);
+        assert_eq!(stats.pending, 4);
+        cal.clear();
+        // Lifetime stats survive a clear; only `pending` resets.
+        assert_eq!(cal.stats().scheduled, 6);
+        assert_eq!(cal.stats().peak_len, 5);
+        assert_eq!(cal.stats().pending, 0);
     }
 
     #[test]

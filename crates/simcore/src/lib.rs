@@ -31,7 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use calendar::EventCalendar;
+pub use calendar::{CalendarStats, EventCalendar};
 pub use rng::Rng;
 pub use stats::{Histogram, RunningStat, Series, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -52,10 +52,7 @@ impl Rng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -124,7 +121,10 @@ impl Rng {
     /// # Panics
     /// Panics if `weights` is empty or sums to a non-positive value.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must sum to a positive value");
         let mut x = self.next_f64() * total;

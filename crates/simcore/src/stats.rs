@@ -224,10 +224,7 @@ impl Histogram {
         if total <= 0.0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins
-            .iter()
-            .map(|b| b.as_secs_f64() / total)
-            .collect()
+        self.bins.iter().map(|b| b.as_secs_f64() / total).collect()
     }
 
     /// Thread-level parallelism per the paper's Equation 1:
@@ -278,7 +275,7 @@ impl Series {
     /// Panics in debug builds if `t` precedes the last point.
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(lt, _)| t >= lt),
+            self.points.last().is_none_or(|&(lt, _)| t >= lt),
             "series time went backwards"
         );
         self.points.push((t, v));

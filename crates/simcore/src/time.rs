@@ -296,8 +296,14 @@ mod tests {
         let u = t + SimDuration::from_millis(5);
         assert_eq!(u - t, SimDuration::from_millis(5));
         assert_eq!(u - SimDuration::from_millis(15), SimTime::ZERO);
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 2,
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]
@@ -313,7 +319,10 @@ mod tests {
     #[test]
     fn saturating_ops() {
         let a = SimTime::from_nanos(5);
-        assert_eq!(a.saturating_since(SimTime::from_nanos(10)), SimDuration::ZERO);
+        assert_eq!(
+            a.saturating_since(SimTime::from_nanos(10)),
+            SimDuration::ZERO
+        );
         assert_eq!(
             SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
             SimTime::MAX
@@ -337,7 +346,10 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
         assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
         assert_eq!(format!("{}", SimDuration::from_nanos(42)), "42ns");
-        assert_eq!(format!("{}", SimTime::from_nanos(1_500_000_000)), "1.500000s");
+        assert_eq!(
+            format!("{}", SimTime::from_nanos(1_500_000_000)),
+            "1.500000s"
+        );
     }
 
     #[test]

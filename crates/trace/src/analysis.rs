@@ -112,12 +112,12 @@ pub fn instantaneous_tlp(trace: &EtlTrace, filter: &PidSet, bin: SimDuration) ->
     let mut out = Series::new();
 
     let flush_bins_until = |t: SimTime,
-                                running: usize,
-                                cursor: &mut SimTime,
-                                bin_start: &mut SimTime,
-                                busy: &mut SimDuration,
-                                weighted: &mut f64,
-                                out: &mut Series| {
+                            running: usize,
+                            cursor: &mut SimTime,
+                            bin_start: &mut SimTime,
+                            busy: &mut SimDuration,
+                            weighted: &mut f64,
+                            out: &mut Series| {
         while *cursor < t {
             let bin_end = *bin_start + bin;
             let seg_end = t.min(bin_end);
@@ -143,12 +143,22 @@ pub fn instantaneous_tlp(trace: &EtlTrace, filter: &PidSet, bin: SimDuration) ->
 
     for ev in trace.events() {
         if let TraceEvent::CSwitch {
-            at, cpu, old: _, new, ..
+            at,
+            cpu,
+            old: _,
+            new,
+            ..
         } = ev
         {
             let at = (*at).max(trace.start()).min(trace.end());
             flush_bins_until(
-                at, running, &mut cursor, &mut bin_start, &mut busy, &mut weighted, &mut out,
+                at,
+                running,
+                &mut cursor,
+                &mut bin_start,
+                &mut busy,
+                &mut weighted,
+                &mut out,
             );
             if let Some(prev) = per_cpu[*cpu] {
                 if filter.contains(prev) {
@@ -223,16 +233,12 @@ pub fn gpu_utilization(trace: &EtlTrace, filter: &PidSet, gpu: Option<usize>) ->
     let mut sum = 0.0f64;
     for ev in trace.events() {
         let (at, delta) = match ev {
-            TraceEvent::GpuStart { at, gpu: g, pid, .. }
-                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
-            {
-                (*at, 1)
-            }
-            TraceEvent::GpuEnd { at, gpu: g, pid, .. }
-                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
-            {
-                (*at, -1)
-            }
+            TraceEvent::GpuStart {
+                at, gpu: g, pid, ..
+            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, 1),
+            TraceEvent::GpuEnd {
+                at, gpu: g, pid, ..
+            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, -1),
             _ => continue,
         };
         let at = at.max(trace.start()).min(trace.end());
@@ -272,11 +278,11 @@ pub fn gpu_util_series(
     let mut out = Series::new();
 
     let advance = |t: SimTime,
-                       outstanding: i64,
-                       cursor: &mut SimTime,
-                       bin_start: &mut SimTime,
-                       busy: &mut SimDuration,
-                       out: &mut Series| {
+                   outstanding: i64,
+                   cursor: &mut SimTime,
+                   bin_start: &mut SimTime,
+                   busy: &mut SimDuration,
+                   out: &mut Series| {
         while *cursor < t {
             let bin_end = *bin_start + bin;
             let seg_end = t.min(bin_end);
@@ -294,20 +300,23 @@ pub fn gpu_util_series(
 
     for ev in trace.events() {
         let (at, delta) = match ev {
-            TraceEvent::GpuStart { at, gpu: g, pid, .. }
-                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
-            {
-                (*at, 1)
-            }
-            TraceEvent::GpuEnd { at, gpu: g, pid, .. }
-                if filter.contains(*pid) && gpu.map_or(true, |want| want == *g) =>
-            {
-                (*at, -1)
-            }
+            TraceEvent::GpuStart {
+                at, gpu: g, pid, ..
+            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, 1),
+            TraceEvent::GpuEnd {
+                at, gpu: g, pid, ..
+            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, -1),
             _ => continue,
         };
         let at = at.max(trace.start()).min(trace.end());
-        advance(at, outstanding, &mut cursor, &mut bin_start, &mut busy, &mut out);
+        advance(
+            at,
+            outstanding,
+            &mut cursor,
+            &mut bin_start,
+            &mut busy,
+            &mut out,
+        );
         outstanding += delta;
     }
     advance(
@@ -349,7 +358,10 @@ pub fn schedule_stats(trace: &EtlTrace, filter: &PidSet) -> ScheduleStats {
     let mut max = 0.0f64;
     let mut migrations = 0u64;
     for ev in trace.events() {
-        if let TraceEvent::CSwitch { at, cpu, old, new, .. } = ev {
+        if let TraceEvent::CSwitch {
+            at, cpu, old, new, ..
+        } = ev
+        {
             if let Some(k) = old {
                 if filter.contains(k.pid) {
                     if let Some((start_cpu, since)) = on_cpu.remove(&(k.pid, k.tid)) {
@@ -376,7 +388,11 @@ pub fn schedule_stats(trace: &EtlTrace, filter: &PidSet) -> ScheduleStats {
     }
     ScheduleStats {
         episodes,
-        mean_slice_ms: if episodes > 0 { total / episodes as f64 } else { 0.0 },
+        mean_slice_ms: if episodes > 0 {
+            total / episodes as f64
+        } else {
+            0.0
+        },
         max_slice_ms: max,
         migrations,
     }
@@ -393,16 +409,20 @@ pub fn gpu_engine_breakdown(trace: &EtlTrace, filter: &PidSet, gpu: usize) -> Ve
     let mut cursor = trace.start();
     for ev in trace.events() {
         let (at, engine, delta) = match ev {
-            TraceEvent::GpuStart { at, gpu: g, engine, pid, .. }
-                if *g == gpu && filter.contains(*pid) =>
-            {
-                (*at, *engine, 1)
-            }
-            TraceEvent::GpuEnd { at, gpu: g, engine, pid, .. }
-                if *g == gpu && filter.contains(*pid) =>
-            {
-                (*at, *engine, -1)
-            }
+            TraceEvent::GpuStart {
+                at,
+                gpu: g,
+                engine,
+                pid,
+                ..
+            } if *g == gpu && filter.contains(*pid) => (*at, *engine, 1),
+            TraceEvent::GpuEnd {
+                at,
+                gpu: g,
+                engine,
+                pid,
+                ..
+            } if *g == gpu && filter.contains(*pid) => (*at, *engine, -1),
             _ => continue,
         };
         let dt = at.saturating_since(cursor).as_secs_f64();
@@ -473,8 +493,7 @@ pub fn per_process_summary(trace: &EtlTrace) -> Vec<ProcessSummary> {
     }
     for slot in per_cpu.into_iter().flatten() {
         let (pid, since) = slot;
-        *cpu_seconds.entry(pid).or_default() +=
-            trace.end().saturating_since(since).as_secs_f64();
+        *cpu_seconds.entry(pid).or_default() += trace.end().saturating_since(since).as_secs_f64();
     }
     let mut out: Vec<ProcessSummary> = names
         .into_iter()
@@ -496,7 +515,11 @@ pub fn per_process_summary(trace: &EtlTrace) -> Vec<ProcessSummary> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.cpu_seconds.total_cmp(&a.cpu_seconds).then(a.pid.cmp(&b.pid)));
+    out.sort_by(|a, b| {
+        b.cpu_seconds
+            .total_cmp(&a.cpu_seconds)
+            .then(a.pid.cmp(&b.pid))
+    });
     out
 }
 
@@ -513,10 +536,23 @@ pub struct LatencyStats {
     pub count: u64,
     /// Mean ready→run delay in microseconds.
     pub mean_us: f64,
+    /// Median delay in microseconds.
+    pub p50_us: f64,
     /// 95th-percentile delay in microseconds.
     pub p95_us: f64,
     /// Worst delay in microseconds.
     pub max_us: f64,
+}
+
+/// Quantile `q` of an ascending-sorted sample by linear interpolation at
+/// rank `(n - 1) * q` — the "inclusive" / NumPy-default method. Rounding to
+/// the nearest rank instead would report p100 as p95 for n ≤ 10.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (sorted.len() - 1) as f64 * q;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
 }
 
 /// Computes ready→switch-in latency over the filtered processes.
@@ -539,6 +575,7 @@ pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
         return LatencyStats {
             count: 0,
             mean_us: 0.0,
+            p50_us: 0.0,
             p95_us: 0.0,
             max_us: 0.0,
         };
@@ -546,11 +583,13 @@ pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
     delays.sort_by(|a, b| a.total_cmp(b));
     let count = delays.len() as u64;
     let mean_us = delays.iter().sum::<f64>() / delays.len() as f64;
-    let p95_us = delays[((delays.len() - 1) as f64 * 0.95).round() as usize];
+    let p50_us = quantile(&delays, 0.50);
+    let p95_us = quantile(&delays, 0.95);
     let max_us = *delays.last().expect("non-empty");
     LatencyStats {
         count,
         mean_us,
+        p50_us,
         p95_us,
         max_us,
     }
@@ -565,12 +604,12 @@ pub fn fps_series(trace: &EtlTrace, pid: Option<u64>, bin: SimDuration) -> Serie
     let mut count = 0u64;
     for ev in trace.events() {
         if let TraceEvent::Frame { at, pid: p } = ev {
-            if pid.map_or(false, |want| want != *p) {
+            if pid.is_some_and(|want| want != *p) {
                 continue;
             }
             while *at >= bin_start + bin {
                 out.push(bin_start, count as f64 / bin.as_secs_f64());
-                bin_start = bin_start + bin;
+                bin_start += bin;
                 count = 0;
             }
             count += 1;
@@ -578,7 +617,7 @@ pub fn fps_series(trace: &EtlTrace, pid: Option<u64>, bin: SimDuration) -> Serie
     }
     while bin_start + bin <= trace.end() {
         out.push(bin_start, count as f64 / bin.as_secs_f64());
-        bin_start = bin_start + bin;
+        bin_start += bin;
         count = 0;
     }
     out
@@ -593,12 +632,7 @@ mod tests {
         ThreadKey { pid, tid }
     }
 
-    fn sw(
-        at_ms: u64,
-        cpu: usize,
-        old: Option<ThreadKey>,
-        new: Option<ThreadKey>,
-    ) -> TraceEvent {
+    fn sw(at_ms: u64, cpu: usize, old: Option<ThreadKey>, new: Option<ThreadKey>) -> TraceEvent {
         TraceEvent::CSwitch {
             at: SimTime::ZERO + SimDuration::from_millis(at_ms),
             cpu,
@@ -858,7 +892,11 @@ mod tests {
         assert_eq!(lat.count, 3);
         assert!((lat.mean_us - (1000.0 + 2000.0 + 10_000.0) / 3.0).abs() < 1e-6);
         assert_eq!(lat.max_us, 10_000.0);
-        assert_eq!(lat.p95_us, 10_000.0);
+        // Interpolated quantiles: p50 at rank 1.0, p95 at rank 1.9
+        // (2000 + 0.9 * 8000). Nearest-rank would wrongly report p100.
+        assert_eq!(lat.p50_us, 2000.0);
+        assert!((lat.p95_us - 9200.0).abs() < 1e-9, "p95 {}", lat.p95_us);
+        assert!(lat.p95_us < lat.max_us);
         // Other pids are excluded.
         let other: PidSet = [9u64].into_iter().collect();
         assert_eq!(scheduling_latency(&t, &other).count, 0);
@@ -871,5 +909,58 @@ mod tests {
         let filter: PidSet = [1u64].into_iter().collect();
         assert_eq!(concurrency(&t, &filter).tlp(), 0.0);
         assert_eq!(gpu_utilization(&t, &filter, None).busy_frac, 0.0);
+        let lat = scheduling_latency(&t, &filter);
+        assert_eq!(lat.count, 0);
+        assert_eq!(lat.p50_us, 0.0);
+        assert_eq!(lat.p95_us, 0.0);
+    }
+
+    #[test]
+    fn zero_length_window_takes_gpu_early_return() {
+        let mut b = TraceBuilder::new(1);
+        b.push(gpu_ev(0, true, 0, 1, 1));
+        b.push(gpu_ev(0, false, 0, 1, 1));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO);
+        let filter: PidSet = [1u64].into_iter().collect();
+        let u = gpu_utilization(&t, &filter, None);
+        assert_eq!(u.busy_frac, 0.0);
+        assert_eq!(u.sum_frac, 0.0);
+        assert_eq!(u.mean_outstanding, 0.0);
+    }
+
+    #[test]
+    fn overlapping_engines_push_sum_above_busy() {
+        let mut b = TraceBuilder::new(1);
+        // Engines 0 and 1 both busy [2,8): the union is 6 ms but the
+        // engine-seconds total is 12 ms, so sum_frac must exceed busy_frac.
+        b.push(gpu_ev(2, true, 0, 1, 1));
+        b.push(gpu_ev(2, true, 1, 2, 1));
+        b.push(gpu_ev(8, false, 0, 1, 1));
+        b.push(gpu_ev(8, false, 1, 2, 1));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let u = gpu_utilization(&t, &filter, None);
+        assert!((u.busy_frac - 0.6).abs() < 1e-9, "{u:?}");
+        assert!((u.sum_frac - 1.2).abs() < 1e-9, "{u:?}");
+        assert!(u.sum_frac > u.busy_frac);
+        assert!((u.mean_outstanding - 2.0).abs() < 1e-9, "{u:?}");
+    }
+
+    #[test]
+    fn busy_fraction_at_zero_is_always_zero() {
+        // Idle profile: total busy time is zero → no division by zero.
+        let b = TraceBuilder::new(2);
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let filter: PidSet = [1u64].into_iter().collect();
+        let idle = concurrency(&t, &filter);
+        assert_eq!(idle.busy_fraction_at(0), 0.0);
+        assert_eq!(idle.busy_fraction_at(1), 0.0);
+        // Busy profile: the i == 0 guard still reports zero.
+        let mut b = TraceBuilder::new(2);
+        b.push(sw(0, 0, None, Some(key(1, 100))));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10));
+        let busy = concurrency(&t, &filter);
+        assert_eq!(busy.busy_fraction_at(0), 0.0);
+        assert!((busy.busy_fraction_at(1) - 1.0).abs() < 1e-9);
     }
 }

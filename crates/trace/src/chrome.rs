@@ -1,0 +1,395 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! Renders an [`EtlTrace`] into the [Trace Event Format] consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one track per logical
+//! CPU built from context switches, one track per GPU engine built from
+//! packet start/finish records, and instant events for presented frames and
+//! markers. Timestamps are microseconds of virtual time, so the exported
+//! JSON is byte-identical across runs with the same configuration and seed.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Track layout:
+//!
+//! * `pid 1` — "CPU": one thread row per logical CPU. Every `CSwitch` that
+//!   switches a thread in opens an `"X"` slice named `process/thread`; the
+//!   next switch on that CPU (or the window end) closes it.
+//! * `pid 1000 + g` — "GPU g": one thread row per engine (`Queue e`, or
+//!   `NVENC` for the video encoder). Each packet becomes an `"X"` slice.
+//! * Frames and markers are global `"i"` instants.
+
+use crate::event::{EtlTrace, ThreadKey, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// Synthetic process id of the CPU track group.
+const CPU_PID: u64 = 1;
+/// GPU device `g` renders as process `GPU_PID_BASE + g`.
+const GPU_PID_BASE: u64 = 1000;
+/// Thread row used for the NVENC engine (`engine == u32::MAX`).
+const NVENC_TID: u64 = 999;
+
+fn engine_tid(engine: u32) -> u64 {
+    if engine == u32::MAX {
+        NVENC_TID
+    } else {
+        u64::from(engine)
+    }
+}
+
+fn engine_label(engine: u32) -> String {
+    if engine == u32::MAX {
+        "NVENC".to_string()
+    } else {
+        format!("Queue {engine}")
+    }
+}
+
+fn ts_us(t: simcore::SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e3
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Emitter {
+    events: Vec<String>,
+}
+
+impl Emitter {
+    fn slice(
+        &mut self,
+        name: &str,
+        start: simcore::SimTime,
+        end: simcore::SimTime,
+        pid: u64,
+        tid: u64,
+        args: &str,
+    ) {
+        let dur = ts_us(end) - ts_us(start);
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}{}}}",
+            json_escape(name),
+            ts_us(start),
+            dur,
+            pid,
+            tid,
+            args
+        ));
+    }
+
+    fn instant(&mut self, name: &str, at: simcore::SimTime, pid: u64, tid: u64, args: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"s\":\"g\"{}}}",
+            json_escape(name),
+            ts_us(at),
+            pid,
+            tid,
+            args
+        ));
+    }
+
+    fn metadata(&mut self, kind: &str, pid: u64, tid: Option<u64>, label: &str) {
+        let tid = tid.map(|t| format!(",\"tid\":{t}")).unwrap_or_default();
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"M\",\"ts\":0.000,\"pid\":{}{},\"args\":{{\"name\":\"{}\"}}}}",
+            kind,
+            pid,
+            tid,
+            json_escape(label)
+        ));
+    }
+}
+
+/// Renders the trace as Chrome trace-event JSON (object form, so Perfetto
+/// and `chrome://tracing` both accept the file as-is).
+///
+/// Every `CSwitch` and every GPU packet in the trace is represented: switch-
+/// ins open CPU slices (closed by the next switch on that CPU or the window
+/// end), and packets still executing at the window end are clipped to it.
+pub fn chrome_trace(trace: &EtlTrace) -> String {
+    let mut names: HashMap<u64, String> = HashMap::new();
+    let mut thread_names: HashMap<ThreadKey, String> = HashMap::new();
+    let mut em = Emitter { events: Vec::new() };
+
+    // Track bookkeeping: the slice currently open on each logical CPU, the
+    // packets in flight per (gpu, engine, packet), and the engine rows seen.
+    let mut open_cpu: Vec<Option<(simcore::SimTime, ThreadKey)>> =
+        vec![None; trace.n_logical_cpus()];
+    let mut open_gpu: BTreeMap<(usize, u32, u64), (simcore::SimTime, u64)> = BTreeMap::new();
+    let mut engines_seen: BTreeSet<(usize, u32)> = BTreeSet::new();
+
+    let cpu_slice_name = |names: &HashMap<u64, String>,
+                          thread_names: &HashMap<ThreadKey, String>,
+                          key: &ThreadKey| {
+        let proc = names
+            .get(&key.pid)
+            .map(String::as_str)
+            .unwrap_or("<unknown>");
+        match thread_names.get(key) {
+            Some(t) => format!("{proc}/{t}"),
+            None => format!("{proc}/{}", key.tid),
+        }
+    };
+
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::ProcessStart { pid, name, .. } => {
+                names.insert(*pid, name.clone());
+            }
+            TraceEvent::ThreadStart { key, name, .. } => {
+                thread_names.insert(*key, name.clone());
+            }
+            TraceEvent::ThreadEnd { .. } => {}
+            TraceEvent::CSwitch { at, cpu, new, .. } => {
+                if let Some((start, key)) = open_cpu[*cpu].take() {
+                    let name = cpu_slice_name(&names, &thread_names, &key);
+                    let args = format!(",\"args\":{{\"pid\":{},\"tid\":{}}}", key.pid, key.tid);
+                    em.slice(&name, start, *at, CPU_PID, *cpu as u64, &args);
+                }
+                if let Some(key) = new {
+                    open_cpu[*cpu] = Some((*at, *key));
+                }
+            }
+            TraceEvent::GpuStart {
+                at,
+                gpu,
+                engine,
+                packet,
+                pid,
+            } => {
+                engines_seen.insert((*gpu, *engine));
+                open_gpu.insert((*gpu, *engine, *packet), (*at, *pid));
+            }
+            TraceEvent::GpuEnd {
+                at,
+                gpu,
+                engine,
+                packet,
+                ..
+            } => {
+                if let Some((start, pid)) = open_gpu.remove(&(*gpu, *engine, *packet)) {
+                    let proc = names.get(&pid).map(String::as_str).unwrap_or("<unknown>");
+                    let args = format!(",\"args\":{{\"process\":\"{}\"}}", json_escape(proc));
+                    em.slice(
+                        &format!("packet {packet}"),
+                        start,
+                        *at,
+                        GPU_PID_BASE + *gpu as u64,
+                        engine_tid(*engine),
+                        &args,
+                    );
+                }
+            }
+            TraceEvent::Frame { at, pid } => {
+                let proc = names.get(pid).map(String::as_str).unwrap_or("<unknown>");
+                let args = format!(",\"args\":{{\"process\":\"{}\"}}", json_escape(proc));
+                em.instant("frame", *at, CPU_PID, 0, &args);
+            }
+            TraceEvent::Marker { at, label } => {
+                em.instant(label, *at, CPU_PID, 0, "");
+            }
+        }
+    }
+
+    // Close whatever is still running when the window ends, in a
+    // deterministic order (CPU index, then the BTreeMap's key order).
+    for (cpu, open) in open_cpu.iter_mut().enumerate() {
+        if let Some((start, key)) = open.take() {
+            let name = cpu_slice_name(&names, &thread_names, &key);
+            let args = format!(",\"args\":{{\"pid\":{},\"tid\":{}}}", key.pid, key.tid);
+            em.slice(&name, start, trace.end(), CPU_PID, cpu as u64, &args);
+        }
+    }
+    for ((gpu, engine, packet), (start, pid)) in std::mem::take(&mut open_gpu) {
+        let proc = names.get(&pid).map(String::as_str).unwrap_or("<unknown>");
+        let args = format!(",\"args\":{{\"process\":\"{}\"}}", json_escape(proc));
+        em.slice(
+            &format!("packet {packet}"),
+            start,
+            trace.end(),
+            GPU_PID_BASE + gpu as u64,
+            engine_tid(engine),
+            &args,
+        );
+    }
+
+    // Metadata names the tracks: a "CPU" process with one row per logical
+    // CPU, and one process per GPU device with one row per engine.
+    em.metadata("process_name", CPU_PID, None, "CPU");
+    for cpu in 0..trace.n_logical_cpus() {
+        em.metadata(
+            "thread_name",
+            CPU_PID,
+            Some(cpu as u64),
+            &format!("CPU {cpu}"),
+        );
+    }
+    let gpus: BTreeSet<usize> = engines_seen.iter().map(|&(g, _)| g).collect();
+    for gpu in gpus {
+        em.metadata(
+            "process_name",
+            GPU_PID_BASE + gpu as u64,
+            None,
+            &format!("GPU {gpu}"),
+        );
+    }
+    for (gpu, engine) in &engines_seen {
+        em.metadata(
+            "thread_name",
+            GPU_PID_BASE + *gpu as u64,
+            Some(engine_tid(*engine)),
+            &engine_label(*engine),
+        );
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&em.events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuilder;
+    use simcore::{SimDuration, SimTime};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn demo() -> EtlTrace {
+        let mut b = TraceBuilder::new(2);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 7,
+            name: "vlc.exe".into(),
+        });
+        b.push(TraceEvent::ThreadStart {
+            at: SimTime::ZERO,
+            key: ThreadKey { pid: 7, tid: 70 },
+            name: "decoder".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: at(1),
+            cpu: 0,
+            old: None,
+            new: Some(ThreadKey { pid: 7, tid: 70 }),
+            ready_since: Some(SimTime::ZERO),
+        });
+        b.push(TraceEvent::GpuStart {
+            at: at(2),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 5,
+            pid: 7,
+        });
+        b.push(TraceEvent::Frame { at: at(3), pid: 7 });
+        b.push(TraceEvent::GpuEnd {
+            at: at(4),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 5,
+            pid: 7,
+        });
+        b.push(TraceEvent::CSwitch {
+            at: at(5),
+            cpu: 0,
+            old: Some(ThreadKey { pid: 7, tid: 70 }),
+            new: None,
+            ready_since: None,
+        });
+        b.push(TraceEvent::Marker {
+            at: at(6),
+            label: "say \"hi\"".into(),
+        });
+        b.finish(SimTime::ZERO, at(10))
+    }
+
+    #[test]
+    fn slices_instants_and_metadata_render() {
+        let json = chrome_trace(&demo());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        // CPU slice: vlc.exe/decoder on CPU 0, 1000 µs → 5000 µs.
+        assert!(
+            json.contains(
+                "{\"name\":\"vlc.exe/decoder\",\"ph\":\"X\",\"ts\":1000.000,\"dur\":4000.000,\"pid\":1,\"tid\":0,\"args\":{\"pid\":7,\"tid\":70}}"
+            ),
+            "{json}"
+        );
+        // GPU slice on the NVENC row of GPU 0.
+        assert!(
+            json.contains(
+                "{\"name\":\"packet 5\",\"ph\":\"X\",\"ts\":2000.000,\"dur\":2000.000,\"pid\":1000,\"tid\":999,\"args\":{\"process\":\"vlc.exe\"}}"
+            ),
+            "{json}"
+        );
+        // Frame instant and escaped marker.
+        assert!(json.contains("\"name\":\"frame\",\"ph\":\"i\",\"ts\":3000.000"));
+        assert!(json.contains("\"name\":\"say \\\"hi\\\"\",\"ph\":\"i\""));
+        // Track metadata.
+        assert!(json.contains("\"args\":{\"name\":\"CPU\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"CPU 1\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"GPU 0\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"NVENC\"}"));
+    }
+
+    #[test]
+    fn open_work_clips_to_window_end() {
+        let mut b = TraceBuilder::new(1);
+        b.push(TraceEvent::CSwitch {
+            at: at(2),
+            cpu: 0,
+            old: None,
+            new: Some(ThreadKey { pid: 3, tid: 30 }),
+            ready_since: None,
+        });
+        b.push(TraceEvent::GpuStart {
+            at: at(4),
+            gpu: 1,
+            engine: 0,
+            packet: 9,
+            pid: 3,
+        });
+        let t = b.finish(SimTime::ZERO, at(10));
+        let json = chrome_trace(&t);
+        // Both the running thread and the in-flight packet end at 10 ms.
+        assert!(
+            json.contains("\"ts\":2000.000,\"dur\":8000.000,\"pid\":1,\"tid\":0"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ts\":4000.000,\"dur\":6000.000,\"pid\":1001,\"tid\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"args\":{\"name\":\"GPU 1\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"Queue 0\"}"));
+    }
+
+    #[test]
+    fn every_cswitch_and_packet_is_covered() {
+        let json = chrome_trace(&demo());
+        let slices = json.matches("\"ph\":\"X\"").count();
+        // demo(): one switch-in on CPU 0 + one GPU packet = 2 slices.
+        assert_eq!(slices, 2);
+        let instants = json.matches("\"ph\":\"i\"").count();
+        assert_eq!(instants, 2); // frame + marker
+    }
+}

@@ -159,7 +159,10 @@ fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
             key: get_key(r)?,
             name: get_str(r)?,
         },
-        2 => TraceEvent::ThreadEnd { at, key: get_key(r)? },
+        2 => TraceEvent::ThreadEnd {
+            at,
+            key: get_key(r)?,
+        },
         3 => TraceEvent::CSwitch {
             at,
             cpu: get_u32(r)? as usize,
@@ -189,8 +192,14 @@ fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
             packet: get_u64(r)?,
             pid: get_u64(r)?,
         },
-        6 => TraceEvent::Frame { at, pid: get_u64(r)? },
-        7 => TraceEvent::Marker { at, label: get_str(r)? },
+        6 => TraceEvent::Frame {
+            at,
+            pid: get_u64(r)?,
+        },
+        7 => TraceEvent::Marker {
+            at,
+            label: get_str(r)?,
+        },
         _ => return Err(bad("unknown event tag")),
     })
 }

@@ -35,10 +35,7 @@ pub fn cpu_usage_precise(trace: &EtlTrace) -> String {
         } = ev
         {
             let process = match new {
-                Some(k) => names
-                    .get(&k.pid)
-                    .map(String::as_str)
-                    .unwrap_or("<unknown>"),
+                Some(k) => names.get(&k.pid).map(String::as_str).unwrap_or("<unknown>"),
                 None => "Idle",
             };
             let ready = ready_since.map(time_us).unwrap_or_else(|| time_us(*at));
@@ -154,7 +151,11 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "Process,CPU,ReadyTime(us),SwitchInTime(us)");
         assert_eq!(lines.len(), 3);
-        assert!(lines[1].starts_with("vlc.exe,0,0.000,1000.000"), "{}", lines[1]);
+        assert!(
+            lines[1].starts_with("vlc.exe,0,0.000,1000.000"),
+            "{}",
+            lines[1]
+        );
         assert!(lines[2].starts_with("Idle,0,"), "{}", lines[2]);
     }
 

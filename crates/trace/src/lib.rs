@@ -17,6 +17,8 @@
 //!   and FPS series.
 //! * [`export`] — `wpaexporter`-style CSV dumps with the same columns the
 //!   paper extracts.
+//! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
+//!   `chrome://tracing` for interactive timeline inspection.
 //! * [`etl`] — binary trace files (the `.etl` of the paper's Fig. 1):
 //!   save a recorded trace and reload it bit-exactly for offline analysis.
 //!
@@ -25,6 +27,7 @@
 //! its methodology from the system-wide TLP of the 2000/2010 studies.
 
 pub mod analysis;
+pub mod chrome;
 pub mod etl;
 pub mod event;
 pub mod export;

@@ -253,7 +253,10 @@ mod tests {
         assert!((rift.render_cost_factor() - 1.0).abs() < 1e-12);
         let ratio = pro.render_cost_factor();
         assert!((1.3..1.5).contains(&ratio), "vive pro factor {ratio}");
-        assert_eq!(rift.frame_interval(), SimDuration::from_secs_f64(1.0 / 90.0));
+        assert_eq!(
+            rift.frame_interval(),
+            SimDuration::from_secs_f64(1.0 / 90.0)
+        );
     }
 
     #[test]

@@ -39,13 +39,22 @@ pub fn cortana(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
             return vec![Action::Compute(Work::busy_ms(3.0))];
         }
         // Local ASR front-end: the audio thread and an NLP burst.
-        let mut j = spawn_burst(ctx, p::NLP_WIDTH, p::NLP_MS, 10.0, ComputeKind::Mixed, "nlp");
+        let mut j = spawn_burst(
+            ctx,
+            p::NLP_WIDTH,
+            p::NLP_MS,
+            10.0,
+            ComputeKind::Mixed,
+            "nlp",
+        );
         let mut actions = vec![Action::Compute(Work::busy_ms(p::AUDIO_BURST_MS))];
         while let Some(w) = j.next_wait() {
             actions.push(w);
         }
         // Cloud round-trip, then render the answer card on the GPU.
-        actions.push(Action::Sleep(SimDuration::from_millis_f64(p::CLOUD_WAIT_MS)));
+        actions.push(Action::Sleep(SimDuration::from_millis_f64(
+            p::CLOUD_WAIT_MS,
+        )));
         ctx.submit_gpu(0, 0, PacketKind::Present, p::CORTANA_GPU_GFLOP);
         actions.push(Action::Compute(Work::busy_ms(p::RENDER_MS)));
         actions
@@ -54,7 +63,11 @@ pub fn cortana(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "keyword-spotter",
-        Box::new(Service::new(p::LISTEN_PERIOD_MS, p::LISTEN_TICK_MS, ComputeKind::Scalar)),
+        Box::new(Service::new(
+            p::LISTEN_PERIOD_MS,
+            p::LISTEN_TICK_MS,
+            ComputeKind::Scalar,
+        )),
     );
     pid
 }
@@ -91,7 +104,11 @@ pub fn braina(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "listener",
-        Box::new(Service::new(p::LISTEN_PERIOD_MS * 2.0, p::LISTEN_TICK_MS * 0.5, ComputeKind::Scalar)),
+        Box::new(Service::new(
+            p::LISTEN_PERIOD_MS * 2.0,
+            p::LISTEN_TICK_MS * 0.5,
+            ComputeKind::Scalar,
+        )),
     );
     pid
 }

@@ -392,6 +392,10 @@ impl ThreadProgram for GpuPump {
     }
 }
 
+/// Per-input callback of a [`UiThread`]: returns extra actions to perform
+/// after the base handling cost.
+pub type InputHandler = Box<dyn FnMut(&InputAction, &mut ThreadCtx<'_>) -> Vec<Action>>;
+
 /// A scripted UI thread: waits on an [`InputChannel`], charges the action's
 /// base handling cost, then performs whatever extra actions the handler
 /// queues (fork-join renders, GPU submits, follow-up computes).
@@ -399,7 +403,7 @@ pub struct UiThread {
     channel: InputChannel,
     /// Handler invoked per input action; returns extra actions to perform
     /// after the base cost. It may also use the ctx directly (spawn, GPU).
-    pub handler: Box<dyn FnMut(&InputAction, &mut ThreadCtx<'_>) -> Vec<Action>>,
+    pub handler: InputHandler,
     pending: VecDeque<Action>,
     waiting: bool,
 }
@@ -463,7 +467,12 @@ mod tests {
         m.spawn(
             pid,
             "w",
-            Box::new(FiniteWorker::new(10.0, 2.0, ComputeKind::Scalar, Some(done))),
+            Box::new(FiniteWorker::new(
+                10.0,
+                2.0,
+                ComputeKind::Scalar,
+                Some(done),
+            )),
         );
         let counter: std::rc::Rc<std::cell::Cell<u32>> = Default::default();
         let c2 = counter.clone();
@@ -547,7 +556,11 @@ mod tests {
         let mut m = rig();
         let pid = m.add_process("pump.exe");
         let gf = m.gpu_spec(0).peak_gflops() * 0.02; // 20 ms packets
-        m.spawn(pid, "pump", Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 2)));
+        m.spawn(
+            pid,
+            "pump",
+            Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 2)),
+        );
         m.run_for(SimDuration::from_secs(2));
         let trace = m.into_trace();
         let filter = trace.pids_by_name("pump");
@@ -563,9 +576,7 @@ mod tests {
         m.spawn(
             pid,
             "pump",
-            Box::new(
-                GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(1.0, ComputeKind::Scalar),
-            ),
+            Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(1.0, ComputeKind::Scalar)),
         );
         m.run_for(SimDuration::from_secs(2));
         let trace = m.into_trace();
@@ -579,7 +590,11 @@ mod tests {
     fn service_ticks_periodically() {
         let mut m = rig();
         let pid = m.add_process("svc.exe");
-        m.spawn(pid, "svc", Box::new(Service::new(50.0, 1.0, ComputeKind::Scalar)));
+        m.spawn(
+            pid,
+            "svc",
+            Box::new(Service::new(50.0, 1.0, ComputeKind::Scalar)),
+        );
         m.run_for(SimDuration::from_secs(1));
         let trace = m.into_trace();
         let filter = trace.pids_by_name("svc");

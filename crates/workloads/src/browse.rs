@@ -113,9 +113,7 @@ impl ThreadProgram for PageComponent {
             }
             TabMode::Throttled => {
                 let now = ctx.now();
-                let gate = *self
-                    .throttle_after
-                    .get_or_insert(now + THROTTLE_GRACE);
+                let gate = *self.throttle_after.get_or_insert(now + THROTTLE_GRACE);
                 if now < gate {
                     TabMode::Active
                 } else {
@@ -131,7 +129,10 @@ impl ThreadProgram for PageComponent {
                     if self.gpu_gflop > 0.0 {
                         ctx.submit_gpu(0, 0, PacketKind::Present, self.gpu_gflop);
                     }
-                    let ms = ctx.rng().normal(self.tick_ms, self.tick_ms * 0.15).max(0.05);
+                    let ms = ctx
+                        .rng()
+                        .normal(self.tick_ms, self.tick_ms * 0.15)
+                        .max(0.05);
                     Action::Compute(Work::busy_ms(ms).with_kind(ComputeKind::Mixed))
                 } else {
                     self.computing = true;
@@ -171,7 +172,9 @@ impl Site {
         match self {
             // Video playback: decode tick + progress UI.
             Site::YouTube => vec![(33.0, 18.0, 1.2), (33.0, 7.0, 0.5)],
-            Site::Espn => vec![(p::ACTIVE_PERIOD_MS, p::ACTIVE_TICK_MS, 1.0); p::ESPN_COMPONENTS as usize],
+            Site::Espn => {
+                vec![(p::ACTIVE_PERIOD_MS, p::ACTIVE_TICK_MS, 1.0); p::ESPN_COMPONENTS as usize]
+            }
             Site::Cnn => vec![(50.0, 13.0, 0.8), (66.0, 11.0, 0.6)],
             Site::BestBuy => vec![(80.0, 13.0, 0.6)],
             Site::FlashGame => vec![(16.0, 12.0, 1.5)],
@@ -291,12 +294,16 @@ fn browser(m: &mut Machine, opts: &WorkloadOpts, traits: Traits) -> Pid {
                     } else {
                         p::GC_BURST_MS
                     };
-                    ctx.spawn_thread(r, "gc", Box::new(FiniteWorker::new(
-                        gc_ms,
-                        8.0,
-                        ComputeKind::MemoryBound,
-                        None,
-                    )));
+                    ctx.spawn_thread(
+                        r,
+                        "gc",
+                        Box::new(FiniteWorker::new(
+                            gc_ms,
+                            8.0,
+                            ComputeKind::MemoryBound,
+                            None,
+                        )),
+                    );
                     r
                 };
                 let mode = Rc::new(Cell::new(TabMode::Active));
@@ -315,8 +322,16 @@ fn browser(m: &mut Machine, opts: &WorkloadOpts, traits: Traits) -> Pid {
     });
     m.spawn(pid, "ui", Box::new(ui));
     // Browser-main network and compositor services.
-    m.spawn(pid, "network", Box::new(Service::new(60.0, 2.5, ComputeKind::Scalar)));
-    m.spawn(pid, "compositor", Box::new(Service::new(33.0, 1.2, ComputeKind::Mixed)));
+    m.spawn(
+        pid,
+        "network",
+        Box::new(Service::new(60.0, 2.5, ComputeKind::Scalar)),
+    );
+    m.spawn(
+        pid,
+        "compositor",
+        Box::new(Service::new(33.0, 1.2, ComputeKind::Mixed)),
+    );
     pid
 }
 
@@ -334,7 +349,12 @@ fn spawn_tab(
         ctx.spawn_thread(
             renderer,
             &format!("load-{i}"),
-            Box::new(FiniteWorker::new(p::LOAD_MS, 10.0, ComputeKind::Mixed, None)),
+            Box::new(FiniteWorker::new(
+                p::LOAD_MS,
+                10.0,
+                ComputeKind::Mixed,
+                None,
+            )),
         );
     }
     for (i, (period, tick, gscale)) in site.components().into_iter().enumerate() {

@@ -294,9 +294,7 @@ impl AppId {
             Firefox | Chrome | Edge => Category::WebBrowsing,
             ArizonaSunshine | Fallout4Vr | RawData | SeriousSamVr | SpacePirateTrainer
             | ProjectCars2 => Category::VrGaming,
-            BitcoinMiner | EasyMiner | PhoenixMiner | WinEthMiner => {
-                Category::CryptocurrencyMining
-            }
+            BitcoinMiner | EasyMiner | PhoenixMiner | WinEthMiner => Category::CryptocurrencyMining,
             Cortana | Braina => Category::PersonalAssistant,
         }
     }

@@ -52,8 +52,7 @@ fn spawn_pipeline(
             // and the video-output thread, with audio on its own clock —
             // the thread structure behind its category-topping TLP.
             let demuxed = ctx.create_event();
-            let mut demux =
-                Stage::new(tick, Some(demuxed), p::VLC_DEMUX_MS, ComputeKind::Scalar);
+            let mut demux = Stage::new(tick, Some(demuxed), p::VLC_DEMUX_MS, ComputeKind::Scalar);
             demux.output_signals = 3;
             ctx.spawn_sibling("demux", Box::new(demux));
             for i in 0..2 {
@@ -83,8 +82,7 @@ fn spawn_pipeline(
             // WMP: decode fans out to a render thread and an audio/effects
             // post-processing thread that run concurrently.
             let decoded = ctx.create_event();
-            let mut decode =
-                Stage::new(tick, Some(decoded), decode_ms * 2.5, ComputeKind::Vector);
+            let mut decode = Stage::new(tick, Some(decoded), decode_ms * 2.5, ComputeKind::Vector);
             decode.output_signals = 2;
             ctx.spawn_sibling("decode", Box::new(decode));
             ctx.spawn_sibling(
@@ -97,7 +95,12 @@ fn spawn_pipeline(
             );
             ctx.spawn_sibling(
                 "post",
-                Box::new(Stage::new(decoded, None, p::RENDER_MS * 3.0, ComputeKind::Mixed)),
+                Box::new(Stage::new(
+                    decoded,
+                    None,
+                    p::RENDER_MS * 3.0,
+                    ComputeKind::Mixed,
+                )),
             );
         }
         Layout::Simple => {
@@ -106,7 +109,12 @@ fn spawn_pipeline(
             let decoded = ctx.create_event();
             ctx.spawn_sibling(
                 "decode",
-                Box::new(Stage::new(tick, Some(decoded), decode_ms, ComputeKind::Vector)),
+                Box::new(Stage::new(
+                    tick,
+                    Some(decoded),
+                    decode_ms,
+                    ComputeKind::Vector,
+                )),
             );
             ctx.spawn_sibling(
                 "render",
@@ -177,8 +185,7 @@ fn player(
     // Light control script: open, play, a volume tweak and a seek.
     let cycle = Script::new().wait_ms(4000).click().wait_ms(8000).scroll(1);
     let channel = install(m, fill(cycle, opts.duration), opts.automation);
-    let ui = UiThread::new(channel)
-        .with_handler(|_, _| vec![Action::Compute(Work::busy_ms(4.0))]);
+    let ui = UiThread::new(channel).with_handler(|_, _| vec![Action::Compute(Work::busy_ms(4.0))]);
     m.spawn(pid, "ui", Box::new(ui));
     m.spawn(
         pid,

@@ -80,10 +80,17 @@ pub fn bitcoin_miner(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "gpu-feeder",
-        Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(p::BITCOIN_FEED_MS, ComputeKind::Scalar)),
+        Box::new(
+            GpuPump::new(0, PacketKind::Sha256, gf, 1)
+                .with_cpu(p::BITCOIN_FEED_MS, ComputeKind::Scalar),
+        ),
     );
     // Share validator / stratum thread keeps a sixth core partially busy.
-    m.spawn(pid, "validator", Box::new(Service::new(18.0, 8.0, ComputeKind::Scalar)));
+    m.spawn(
+        pid,
+        "validator",
+        Box::new(Service::new(18.0, 8.0, ComputeKind::Scalar)),
+    );
     cpu_threads(m, pid, p::BITCOIN_CPU_THREADS, opts, 0xB17C, false);
     pid
 }
@@ -97,7 +104,10 @@ pub fn easy_miner(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "gpu-feeder",
-        Box::new(GpuPump::new(0, PacketKind::Sha256, gf, 1).with_cpu(p::EASYMINER_FEED_MS, ComputeKind::Scalar)),
+        Box::new(
+            GpuPump::new(0, PacketKind::Sha256, gf, 1)
+                .with_cpu(p::EASYMINER_FEED_MS, ComputeKind::Scalar),
+        ),
     );
     let n = m.config().topology.logical_count() as u32;
     cpu_threads(m, pid, n, opts, 0xEA57, true);
@@ -118,7 +128,11 @@ pub fn phoenix_miner(m: &mut Machine, _opts: &WorkloadOpts) -> Pid {
         );
     }
     // Stats/stratum thread ticking once a second.
-    m.spawn(pid, "stats", Box::new(Service::new(1000.0, 2.0, ComputeKind::Scalar)));
+    m.spawn(
+        pid,
+        "stats",
+        Box::new(Service::new(1000.0, 2.0, ComputeKind::Scalar)),
+    );
     pid
 }
 
@@ -128,8 +142,16 @@ pub fn phoenix_miner(m: &mut Machine, _opts: &WorkloadOpts) -> Pid {
 pub fn wineth_miner(m: &mut Machine, _opts: &WorkloadOpts) -> Pid {
     let pid = m.add_process("wineth.exe");
     let gf = packet_gflop(m, PacketKind::Ethash, p::PACKET_MS);
-    m.spawn(pid, "pump", Box::new(GpuPump::new(0, PacketKind::Ethash, gf, 2)));
-    m.spawn(pid, "stats", Box::new(Service::new(1000.0, 1.5, ComputeKind::Scalar)));
+    m.spawn(
+        pid,
+        "pump",
+        Box::new(GpuPump::new(0, PacketKind::Ethash, gf, 2)),
+    );
+    m.spawn(
+        pid,
+        "stats",
+        Box::new(Service::new(1000.0, 1.5, ComputeKind::Scalar)),
+    );
     pid
 }
 

@@ -47,7 +47,11 @@ pub fn acrobat(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "pagecache",
-        Box::new(Service::new(p::SERVICE_PERIOD_MS * 3.0, p::SERVICE_TICK_MS, ComputeKind::Scalar)),
+        Box::new(Service::new(
+            p::SERVICE_PERIOD_MS * 3.0,
+            p::SERVICE_TICK_MS,
+            ComputeKind::Scalar,
+        )),
     );
     pid
 }
@@ -71,11 +75,18 @@ pub fn excel(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
         op += 1;
         ctx.submit_gpu(0, 0, PacketKind::Present, 240.0);
         let _ = action;
-        if op % p::EXCEL_WIDE_EVERY == 0 {
+        if op.is_multiple_of(p::EXCEL_WIDE_EVERY) {
             // Sort / histogram over 1M rows: all logical CPUs.
             let n = ctx.logical_cpus() as u32;
             let total = p::EXCEL_WIDE_MS * 12.0;
-            let mut j = spawn_burst(ctx, n, total / n as f64, 6.0, ComputeKind::MemoryBound, "sort");
+            let mut j = spawn_burst(
+                ctx,
+                n,
+                total / n as f64,
+                6.0,
+                ComputeKind::MemoryBound,
+                "sort",
+            );
             let mut actions = vec![Action::Compute(Work::busy_ms(p::EXCEL_RECALC_MS * 0.3))];
             while let Some(w) = j.next_wait() {
                 actions.push(w);
@@ -83,7 +94,14 @@ pub fn excel(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
             actions
         } else {
             // Ordinary recalc: the main thread plus one calc helper.
-            let mut j = spawn_burst(ctx, 1, p::EXCEL_RECALC_MS, 8.0, ComputeKind::MemoryBound, "calc");
+            let mut j = spawn_burst(
+                ctx,
+                1,
+                p::EXCEL_RECALC_MS,
+                8.0,
+                ComputeKind::MemoryBound,
+                "calc",
+            );
             let mut actions = vec![Action::Compute(
                 Work::busy_ms(p::EXCEL_RECALC_MS).with_kind(ComputeKind::MemoryBound),
             )];
@@ -117,7 +135,14 @@ pub fn powerpoint(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
         }
         // Layout/render helper overlaps the UI thread on heavier edits.
         if matches!(action, InputAction::Menu(_)) {
-            let mut j = spawn_burst(ctx, 1, p::PPT_ACTION_MS * 0.6, 8.0, ComputeKind::Mixed, "layout");
+            let mut j = spawn_burst(
+                ctx,
+                1,
+                p::PPT_ACTION_MS * 0.6,
+                8.0,
+                ComputeKind::Mixed,
+                "layout",
+            );
             let mut actions = vec![Action::Compute(Work::busy_ms(p::PPT_ACTION_MS))];
             while let Some(w) = j.next_wait() {
                 actions.push(w);
@@ -159,7 +184,11 @@ pub fn word(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "spellcheck",
-        Box::new(Service::new(p::SERVICE_PERIOD_MS * 3.5, p::SERVICE_TICK_MS * 0.4, ComputeKind::Scalar)),
+        Box::new(Service::new(
+            p::SERVICE_PERIOD_MS * 3.5,
+            p::SERVICE_TICK_MS * 0.4,
+            ComputeKind::Scalar,
+        )),
     );
     pid
 }
@@ -200,7 +229,11 @@ pub fn outlook(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
     m.spawn(
         pid,
         "mailsync",
-        Box::new(Service::new(p::SERVICE_PERIOD_MS * 2.0, p::SERVICE_TICK_MS * 1.5, ComputeKind::Mixed)),
+        Box::new(Service::new(
+            p::SERVICE_PERIOD_MS * 2.0,
+            p::SERVICE_TICK_MS * 1.5,
+            ComputeKind::Mixed,
+        )),
     );
     pid
 }

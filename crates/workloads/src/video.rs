@@ -93,8 +93,7 @@ fn spawn_transcode_pool(
     let work = m.create_event();
     let done = m.create_event();
     for i in 0..workers {
-        let mut stage = Stage::new(work, Some(done), frame_ms, ComputeKind::Vector)
-            .with_present();
+        let mut stage = Stage::new(work, Some(done), frame_ms, ComputeKind::Vector).with_present();
         stage.jitter = pt::FRAME_JITTER;
         if let Some(g) = gpu {
             stage = stage.with_gpu(g);

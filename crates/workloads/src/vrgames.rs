@@ -166,11 +166,14 @@ fn vr_game(
     let done_sem = m.create_event();
     // The Oculus runtime contributes an extra in-process job thread per
     // frame, giving Rift its TLP edge in Fig. 12a.
-    let workers = game.physics_threads
-        + u32::from(opts.headset.policy == PacingPolicy::Spacewarp);
+    let workers = game.physics_threads + u32::from(opts.headset.policy == PacingPolicy::Spacewarp);
     for i in 0..workers {
-        let mut stage =
-            Stage::new(frame_sem, Some(done_sem), game.physics_ms, ComputeKind::Mixed);
+        let mut stage = Stage::new(
+            frame_sem,
+            Some(done_sem),
+            game.physics_ms,
+            ComputeKind::Mixed,
+        );
         stage.jitter = 0.04; // per-frame physics cost is nearly constant
         m.spawn(pid, &format!("physics-{i}"), Box::new(stage));
     }
@@ -178,12 +181,20 @@ fn vr_game(
     m.spawn(
         pid,
         "tracking",
-        Box::new(Service::new(p::TRACKING_PERIOD_MS, p::TRACKING_TICK_MS, ComputeKind::Scalar)),
+        Box::new(Service::new(
+            p::TRACKING_PERIOD_MS,
+            p::TRACKING_TICK_MS,
+            ComputeKind::Scalar,
+        )),
     );
     m.spawn(
         pid,
         "audio",
-        Box::new(Service::new(p::AUDIO_PERIOD_MS, p::AUDIO_TICK_MS, ComputeKind::Mixed)),
+        Box::new(Service::new(
+            p::AUDIO_PERIOD_MS,
+            p::AUDIO_TICK_MS,
+            ComputeKind::Mixed,
+        )),
     );
     m.spawn(
         pid,
@@ -239,9 +250,9 @@ pub fn project_cars2(m: &mut Machine, opts: &WorkloadOpts) -> Pid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simcore::SimDuration;
     use etwtrace::analysis;
     use machine::MachineConfig;
+    use simcore::SimDuration;
 
     fn run(
         build: fn(&mut Machine, &WorkloadOpts) -> Pid,
@@ -298,7 +309,10 @@ mod tests {
         assert!(fps12 > 80.0, "12-core fps {fps12}");
         assert!((fps4 - 45.0).abs() < 8.0, "4-core fps {fps4}");
         let (_, gpu12, _) = run(project_cars2, 12, vrsys::presets::rift(), 10);
-        assert!(gpu4 < gpu12, "gpu should drop with the clamp: {gpu4} vs {gpu12}");
+        assert!(
+            gpu4 < gpu12,
+            "gpu should drop with the clamp: {gpu4} vs {gpu12}"
+        );
     }
 
     #[test]
@@ -315,7 +329,10 @@ mod tests {
     fn vive_pro_costs_more_gpu_for_dynamic_res_games() {
         let (_, gpu_rift, _) = run(project_cars2, 12, vrsys::presets::rift(), 10);
         let (_, gpu_pro, _) = run(project_cars2, 12, vrsys::presets::vive_pro(), 10);
-        assert!(gpu_pro > gpu_rift, "vive pro {gpu_pro}% vs rift {gpu_rift}%");
+        assert!(
+            gpu_pro > gpu_rift,
+            "vive pro {gpu_pro}% vs rift {gpu_rift}%"
+        );
     }
 
     #[test]

@@ -36,11 +36,7 @@ fn main() {
             if scenario == BrowseScenario::MultiTab {
                 processes = run.filter.len();
             }
-            print!(
-                " {:>6.2}/{:>5.1}%",
-                run.tlp(),
-                run.gpu_util().percent()
-            );
+            print!(" {:>6.2}/{:>5.1}%", run.tlp(), run.gpu_util().percent());
         }
         println!("   ({processes} processes in the multi-tab test)");
     }

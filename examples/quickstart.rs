@@ -10,7 +10,9 @@ use desktop_parallelism::simcore::SimDuration;
 use desktop_parallelism::workloads::AppId;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "handbrake".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "handbrake".into());
     let app = AppId::ALL
         .iter()
         .copied()
@@ -27,11 +29,18 @@ fn main() {
             std::process::exit(2);
         });
 
-    println!("Measuring {} on the i7-8700K + GTX 1080 Ti rig…", app.display_name());
+    println!(
+        "Measuring {} on the i7-8700K + GTX 1080 Ti rig…",
+        app.display_name()
+    );
     println!("testbench (§IV): {}", app.testbench());
     println!(
         "input: {}",
-        if app.automatable() { "AutoIt script" } else { "manual (strict timing)" }
+        if app.automatable() {
+            "AutoIt script"
+        } else {
+            "manual (strict timing)"
+        }
     );
     let budget = Budget {
         duration: SimDuration::from_secs(30),
@@ -51,7 +60,10 @@ fn main() {
         m.gpu_percent.population_std_dev(),
         desktop_parallelism::parastat::paper::table2_row(app).gpu
     );
-    println!("max concurrency: {} of {} logical CPUs", m.max_concurrency, m.n_logical);
+    println!(
+        "max concurrency: {} of {} logical CPUs",
+        m.max_concurrency, m.n_logical
+    );
     let fractions = m.fractions();
     print!("C0..C12 heat-map: ");
     for f in &fractions {

@@ -75,7 +75,10 @@ fn gpu_swap_shifts_utilization_like_fig10() {
         .run()
         .gpu_percent
         .mean();
-    assert!(eth_mid < eth_hi - 8.0, "680 {eth_mid}% vs 1080 Ti {eth_hi}%");
+    assert!(
+        eth_mid < eth_hi - 8.0,
+        "680 {eth_mid}% vs 1080 Ti {eth_hi}%"
+    );
 }
 
 #[test]
@@ -131,5 +134,8 @@ fn automation_validation_stays_small() {
         .gpu_percent
         .mean();
     let delta = ((auto - manual) / auto).abs() * 100.0;
-    assert!(delta < 12.0, "GPU delta {delta}% (auto {auto}, manual {manual})");
+    assert!(
+        delta < 12.0,
+        "GPU delta {delta}% (auto {auto}, manual {manual})"
+    );
 }

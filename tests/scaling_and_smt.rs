@@ -34,8 +34,14 @@ fn low_parallelism_apps_are_insensitive_to_cores() {
     // Fig. 4: "for applications exhibiting a low degree of parallelism …
     // the TLP is tied to 2".
     for app in [AppId::VlcMediaPlayer, AppId::Cortana] {
-        let at4 = Experiment::new(app).budget(budget(15)).logical(4, true).run();
-        let at12 = Experiment::new(app).budget(budget(15)).logical(12, true).run();
+        let at4 = Experiment::new(app)
+            .budget(budget(15))
+            .logical(4, true)
+            .run();
+        let at12 = Experiment::new(app)
+            .budget(budget(15))
+            .logical(12, true)
+            .run();
         assert!(
             (at12.tlp.mean() - at4.tlp.mean()).abs() < 0.6,
             "{app:?}: {} vs {}",

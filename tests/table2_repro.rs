@@ -48,7 +48,11 @@ fn every_table2_row_is_within_tolerance() {
             ));
         }
     }
-    assert!(failures.is_empty(), "Table II deviations:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "Table II deviations:\n{}",
+        failures.join("\n")
+    );
     // Headline: "the average TLP across the applications we study is 3.1".
     let avg = tlp_sum / 30.0;
     assert!(
@@ -72,10 +76,17 @@ fn category_orderings_match_the_paper() {
     // Miners dominate GPU utilization; office barely registers.
     let phoenix = run(AppId::PhoenixMiner).gpu_percent.mean();
     let word = run(AppId::Word).gpu_percent.mean();
-    assert!(phoenix > 99.0 && word < 5.0, "phoenix {phoenix}%, word {word}%");
+    assert!(
+        phoenix > 99.0 && word < 5.0,
+        "phoenix {phoenix}%, word {word}%"
+    );
     // "PhoenixMiner: two packets were simultaneously executing."
     let m = run(AppId::PhoenixMiner);
-    assert!(m.mean_outstanding > 1.9, "outstanding {}", m.mean_outstanding);
+    assert!(
+        m.mean_outstanding > 1.9,
+        "outstanding {}",
+        m.mean_outstanding
+    );
 }
 
 #[test]

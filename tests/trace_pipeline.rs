@@ -160,7 +160,6 @@ fn merged_histograms_equal_sum_of_parts() {
     let mut merged = Histogram::new(12);
     merged.merge(a.profile().histogram());
     merged.merge(b.profile().histogram());
-    let total =
-        a.profile().histogram().total() + b.profile().histogram().total();
+    let total = a.profile().histogram().total() + b.profile().histogram().total();
     assert_eq!(merged.total(), total);
 }

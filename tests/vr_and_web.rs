@@ -36,7 +36,10 @@ fn asw_clamps_cars2_to_45fps_on_four_logical_cores() {
 #[test]
 fn headset_sweep_matches_fig12() {
     let run = |app: AppId, headset: vrsys::HeadsetSpec| {
-        let m = Experiment::new(app).budget(budget(8)).headset(headset).run();
+        let m = Experiment::new(app)
+            .budget(budget(8))
+            .headset(headset)
+            .run();
         (m.tlp.mean(), m.gpu_percent.mean())
     };
     // Rift TLP edge on the CPU-heavy titles.
@@ -73,7 +76,10 @@ fn fallout_on_vive_pro_drops_frames_via_reprojection() {
 #[test]
 fn browsers_match_the_v_e_findings() {
     let cell = |app: AppId, s: BrowseScenario| {
-        let run = Experiment::new(app).budget(budget(25)).browse(s).run_once(6);
+        let run = Experiment::new(app)
+            .budget(budget(25))
+            .browse(s)
+            .run_once(6);
         (run.tlp(), run.gpu_util().percent(), run.filter.len())
     };
     for app in [AppId::Chrome, AppId::Firefox, AppId::Edge] {
@@ -89,7 +95,10 @@ fn browsers_match_the_v_e_findings() {
     }
     let (_, _, chrome_procs) = cell(AppId::Chrome, BrowseScenario::MultiTab);
     let (_, _, ff_procs) = cell(AppId::Firefox, BrowseScenario::MultiTab);
-    assert!(chrome_procs > ff_procs, "chrome {chrome_procs} vs ff {ff_procs}");
+    assert!(
+        chrome_procs > ff_procs,
+        "chrome {chrome_procs} vs ff {ff_procs}"
+    );
     let (_, ff_gpu, _) = cell(AppId::Firefox, BrowseScenario::MultiTab);
     let (_, edge_gpu, _) = cell(AppId::Edge, BrowseScenario::MultiTab);
     assert!(ff_gpu > edge_gpu, "firefox {ff_gpu}% vs edge {edge_gpu}%");
