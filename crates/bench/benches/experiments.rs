@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use parastat::figures::{scaling, tables, validation};
-use parastat::{Budget, Experiment};
+use parastat::{Budget, Experiment, RunContext};
 use simcore::SimDuration;
 use vrsys::presets as headsets;
 use workloads::browse::BrowseScenario;
@@ -58,7 +58,14 @@ fn bench_core_scaling(c: &mut Criterion) {
         })
     });
     c.bench_function("fig5_timeline_handbrake", |b| {
-        b.iter(|| scaling::timeline(AppId::Handbrake, tiny(), SimDuration::from_millis(100)))
+        b.iter(|| {
+            scaling::timeline(
+                &RunContext::serial(),
+                AppId::Handbrake,
+                tiny(),
+                SimDuration::from_millis(100),
+            )
+        })
     });
 }
 
@@ -102,7 +109,7 @@ fn bench_vr(c: &mut Criterion) {
 fn bench_misc(c: &mut Criterion) {
     c.bench_function("table1_render", |b| b.iter(tables::table1));
     c.bench_function("validation_automation", |b| {
-        b.iter(|| validation::automation_validation(tiny()))
+        b.iter(|| validation::automation_validation(&RunContext::serial(), tiny()))
     });
 }
 

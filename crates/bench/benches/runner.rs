@@ -1,0 +1,50 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented glue
+
+//! Criterion bench for the run-execution layer: the same eight-app Table II
+//! subset through a serial and a pooled `RunContext`. The pooled figure is
+//! what `repro --jobs N` buys on a multi-core host; the contexts are built
+//! inside the iteration closure so every sample starts with a cold memo
+//! cache (a warm cache would reduce the bench to a HashMap lookup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parastat::suite::table2_experiment;
+use parastat::{Budget, RunContext};
+use simcore::SimDuration;
+use workloads::AppId;
+
+const APPS: [AppId; 8] = [
+    AppId::Handbrake,
+    AppId::Chrome,
+    AppId::EasyMiner,
+    AppId::Photoshop,
+    AppId::VlcMediaPlayer,
+    AppId::Excel,
+    AppId::ProjectCars2,
+    AppId::WinxHdConverter,
+];
+
+fn subset() -> Vec<parastat::Experiment> {
+    let budget = Budget {
+        duration: SimDuration::from_secs(5),
+        iterations: 1,
+    };
+    APPS.iter()
+        .map(|&app| table2_experiment(app, budget))
+        .collect()
+}
+
+fn bench_suite_subset(c: &mut Criterion) {
+    c.bench_function("runner_suite_subset_serial", |b| {
+        b.iter(|| RunContext::serial().run_experiments(&subset()))
+    });
+    c.bench_function("runner_suite_subset_pooled_4", |b| {
+        b.iter(|| RunContext::pooled(4).run_experiments(&subset()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_suite_subset
+}
+criterion_main!(benches);

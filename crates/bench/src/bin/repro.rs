@@ -1,13 +1,18 @@
 //! `repro` — regenerate the paper's tables and figures on the simulated rig.
 //!
 //! ```text
-//! repro <artefact>... [--budget quick|standard|paper] [--out DIR]
+//! repro <artefact>... [--budget quick|standard|paper] [--jobs N] [--out DIR]
 //! repro all          [--budget …]
 //! repro --metrics-out metrics.prom [--metrics-app handbrake] [--budget …]
 //! ```
 //!
 //! Each artefact prints its report to stdout and writes it (plus CSV for the
 //! timeline figures) under `--out` (default `results/`).
+//!
+//! `--jobs N` sets how many simulations run concurrently (default: the
+//! `PARASTAT_JOBS` environment variable, else every available core). Each
+//! simulation stays single-threaded and seeded, and results are reassembled
+//! in submission order, so every artefact is byte-identical whatever `N` is.
 //!
 //! `--metrics-out` runs one experiment (default: HandBrake) under the chosen
 //! budget and writes the per-iteration scheduler/GPU/calendar metrics in the
@@ -17,7 +22,7 @@
 use parastat::figures::{
     ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
 };
-use parastat::{paper, suite, Budget, Experiment};
+use parastat::{paper, suite, Budget, Experiment, RunContext};
 use repro_bench::{budget, ARTEFACTS};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -29,11 +34,19 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut metrics_out: Option<PathBuf> = None;
     let mut metrics_app = "handbrake".to_string();
+    let mut jobs: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--budget" => {
                 budget_name = it.next().unwrap_or_else(|| usage("--budget needs a value"));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                jobs = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage(&format!("invalid --jobs `{v}`"))),
+                );
             }
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a value")));
@@ -58,24 +71,33 @@ fn main() {
         usage("no artefact given");
     }
     let b = budget(&budget_name);
+    // One context for the whole invocation: artefacts that share a
+    // configuration (table2/fig2/fig3, the browser figures, …) reuse each
+    // other's simulations through the memo cache.
+    let ctx = match jobs {
+        Some(n) => RunContext::pooled(n),
+        None => RunContext::from_env(),
+    };
     fs::create_dir_all(&out_dir).expect("create output directory");
     eprintln!(
-        "# budget: {} ({}s x {} iterations)",
+        "# budget: {} ({}s x {} iterations); jobs: {}",
         budget_name,
         b.duration.as_secs_f64(),
-        b.iterations
+        b.iterations,
+        ctx.jobs()
     );
     if let Some(path) = &metrics_out {
-        write_metrics(path, &metrics_app, b);
+        write_metrics(&ctx, path, &metrics_app, b);
     }
 
-    // Table II results are reused by figs 2 and 3.
+    // Table II results are reused by figs 2 and 3 (and, via the memo cache,
+    // by any other artefact that re-submits the same configurations).
     let mut table2_cache: Option<Vec<suite::AppMeasurement>> = None;
     let mut table2 = |b: Budget| -> Vec<suite::AppMeasurement> {
         table2_cache
             .get_or_insert_with(|| {
                 eprintln!("# running the 30-application suite…");
-                suite::run_table2(b)
+                suite::run_table2(&ctx, b)
             })
             .clone()
     };
@@ -93,7 +115,7 @@ fn main() {
                     Some(suite::table2_csv(&results)),
                 );
             }
-            "table3" => emit(&out_dir, "table3", &tables::table3(b).render(), None),
+            "table3" => emit(&out_dir, "table3", &tables::table3(&ctx, b).render(), None),
             "fig2" => {
                 let results = table2(b);
                 emit(&out_dir, "fig2", &compare::fig2(&results).render(), None);
@@ -102,39 +124,46 @@ fn main() {
                 let results = table2(b);
                 emit(&out_dir, "fig3", &compare::fig3(&results).render(), None);
             }
-            "fig4" => emit(&out_dir, "fig4", &scaling::fig4(b).render(), None),
-            "fig5" => emit_timeline(&out_dir, "fig5", &scaling::fig5(b)),
-            "fig6" => emit_timeline(&out_dir, "fig6", &scaling::fig6(b)),
-            "fig7" => emit_timeline(&out_dir, "fig7", &scaling::fig7(b)),
-            "fig8" => emit(&out_dir, "fig8", &smt::fig8(b).render(), None),
-            "fig9" => emit(&out_dir, "fig9", &gpu::fig9(b).render(), None),
-            "fig10" => emit(&out_dir, "fig10", &gpu::fig10(b).render(), None),
-            "fig11" => emit(&out_dir, "fig11", &web::fig11(b).render(), None),
-            "fig12" => emit(&out_dir, "fig12", &vr::fig12(b).render(), None),
-            "fig13" => emit(&out_dir, "fig13", &vr::fig13(b).render(), None),
+            "fig4" => emit(&out_dir, "fig4", &scaling::fig4(&ctx, b).render(), None),
+            "fig5" => emit_timeline(&out_dir, "fig5", &scaling::fig5(&ctx, b)),
+            "fig6" => emit_timeline(&out_dir, "fig6", &scaling::fig6(&ctx, b)),
+            "fig7" => emit_timeline(&out_dir, "fig7", &scaling::fig7(&ctx, b)),
+            "fig8" => emit(&out_dir, "fig8", &smt::fig8(&ctx, b).render(), None),
+            "fig9" => emit(&out_dir, "fig9", &gpu::fig9(&ctx, b).render(), None),
+            "fig10" => emit(&out_dir, "fig10", &gpu::fig10(&ctx, b).render(), None),
+            "fig11" => emit(&out_dir, "fig11", &web::fig11(&ctx, b).render(), None),
+            "fig12" => emit(&out_dir, "fig12", &vr::fig12(&ctx, b).render(), None),
+            "fig13" => emit(&out_dir, "fig13", &vr::fig13(&ctx, b).render(), None),
             "validation" => emit(
                 &out_dir,
                 "validation",
-                &validation::automation_validation(b).render(),
+                &validation::automation_validation(&ctx, b).render(),
                 None,
             ),
-            "discussion" => emit(&out_dir, "discussion", &discussion::discussion(b), None),
+            "discussion" => emit(
+                &out_dir,
+                "discussion",
+                &discussion::discussion(&ctx, b),
+                None,
+            ),
             "power" => emit(
                 &out_dir,
                 "power",
-                &parastat::energy::browser_power(b).render(),
+                &parastat::energy::browser_power(&ctx, b).render(),
                 None,
             ),
-            "ablation" => emit(&out_dir, "ablation", &ablation::ablation(b), None),
+            "ablation" => emit(&out_dir, "ablation", &ablation::ablation(&ctx, b), None),
             "stability" => emit(
                 &out_dir,
                 "stability",
-                &stability::stability(b, 5).render(),
+                &stability::stability(&ctx, b, 5).render(),
                 None,
             ),
             _ => unreachable!("validated above"),
         }
     }
+    let (hits, misses) = ctx.cache_stats();
+    eprintln!("# simulations: {misses} run, {hits} served from cache");
     eprintln!(
         "# done; paper says the average TLP is {:.1} across the suite",
         paper::AVERAGE_TLP
@@ -143,7 +172,7 @@ fn main() {
 
 /// Runs one experiment and dumps its per-iteration metrics snapshots as
 /// Prometheus text, separated by `# iteration N seed S` comment lines.
-fn write_metrics(path: &Path, app_substr: &str, b: Budget) {
+fn write_metrics(ctx: &RunContext, path: &Path, app_substr: &str, b: Budget) {
     let wanted = app_substr.to_ascii_lowercase();
     let app = workloads::AppId::ALL
         .iter()
@@ -152,7 +181,7 @@ fn write_metrics(path: &Path, app_substr: &str, b: Budget) {
         .unwrap_or_else(|| usage(&format!("no app matches `{app_substr}`")));
     eprintln!("# collecting metrics for {}…", app.display_name());
     let exp = Experiment::new(app).budget(b);
-    let m = exp.run();
+    let m = ctx.run_experiment(&exp);
     let mut text = String::new();
     for (i, snapshot) in m.metrics.iter().enumerate() {
         text.push_str(&format!(
@@ -199,7 +228,9 @@ fn emit(out_dir: &Path, name: &str, report: &str, csv: Option<String>) {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro <artefact>...|all [--budget quick|standard|paper] [--out DIR]");
+    eprintln!(
+        "usage: repro <artefact>...|all [--budget quick|standard|paper] [--jobs N] [--out DIR]"
+    );
     eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);

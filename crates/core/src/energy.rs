@@ -9,6 +9,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use etwtrace::{analysis, EtlTrace, PidSet};
 use workloads::browse::BrowseScenario;
 use workloads::AppId;
@@ -90,23 +91,30 @@ pub const PAPER_CHROME_OVER_EDGE_PCT: f64 = 36.0;
 /// Paper §V-E: Firefox draws 53 % more than Edge.
 pub const PAPER_FIREFOX_OVER_EDGE_PCT: f64 = 53.0;
 
-/// Runs the multi-tab test on all three browsers and ranks them by power.
-pub fn browser_power(budget: Budget) -> BrowserPower {
+/// Runs the multi-tab test on all three browsers (one batch) and ranks them
+/// by power. Edge comes first and is the baseline.
+pub fn browser_power(ctx: &RunContext, budget: Budget) -> BrowserPower {
+    const BROWSERS: [AppId; 3] = [AppId::Edge, AppId::Chrome, AppId::Firefox];
     let model = EnergyModel::study_rig();
-    let watts = |app: AppId| {
-        let run = Experiment::new(app)
-            .budget(budget)
-            .browse(BrowseScenario::MultiTab)
-            .run_once(17);
-        estimate(&run.trace, &run.filter, model).mean_watts
-    };
-    let edge = watts(AppId::Edge);
-    let rows = [AppId::Edge, AppId::Chrome, AppId::Firefox]
-        .into_iter()
-        .map(|app| {
-            let w = if app == AppId::Edge { edge } else { watts(app) };
-            (app, w, (w / edge - 1.0) * 100.0)
+    let requests = BROWSERS
+        .iter()
+        .map(|&app| {
+            let exp = Experiment::new(app)
+                .budget(budget)
+                .browse(BrowseScenario::MultiTab);
+            RunRequest::new(&exp, 17)
         })
+        .collect();
+    let watts: Vec<f64> = ctx
+        .run_singles(requests)
+        .iter()
+        .map(|run| estimate(&run.trace, &run.filter, model).mean_watts)
+        .collect();
+    let edge = watts[0];
+    let rows = BROWSERS
+        .into_iter()
+        .zip(watts)
+        .map(|(app, w)| (app, w, (w / edge - 1.0) * 100.0))
         .collect();
     BrowserPower { rows }
 }
@@ -210,7 +218,7 @@ mod tests {
             duration: SimDuration::from_secs(30),
             iterations: 1,
         };
-        let power = browser_power(budget);
+        let power = browser_power(&RunContext::from_env(), budget);
         let chrome = power.over_edge_pct(AppId::Chrome);
         let firefox = power.over_edge_pct(AppId::Firefox);
         assert!(chrome > 5.0, "chrome only {chrome:+.0}% above edge");

@@ -205,37 +205,14 @@ impl Experiment {
     }
 
     /// Runs all iterations and aggregates (the Table II protocol).
+    ///
+    /// Convenience wrapper over a private serial [`crate::runner::RunContext`];
+    /// sweeps that run many experiments should build one shared context and
+    /// call [`crate::runner::RunContext::run_experiments`] instead, which
+    /// memoizes repeated configurations and can fan iterations out over a
+    /// thread pool.
     pub fn run(&self) -> Measurement {
-        let mut tlp = RunningStat::new();
-        let mut gpu_percent = RunningStat::new();
-        let mut transcode_fps = RunningStat::new();
-        let mut histogram = Histogram::new(self.logical);
-        let mut max_concurrency = 0;
-        let mut mean_outstanding: f64 = 0.0;
-        let mut metrics = Vec::new();
-        for i in 0..self.budget.iterations {
-            let run = self.run_once(self.base_seed + i as u64);
-            let profile = run.profile();
-            tlp.push(profile.tlp());
-            let util = run.gpu_util();
-            gpu_percent.push(util.percent());
-            mean_outstanding = mean_outstanding.max(util.mean_outstanding);
-            transcode_fps.push(run.frame_rate());
-            max_concurrency = max_concurrency.max(profile.max_concurrency());
-            histogram.merge(profile.histogram());
-            metrics.push(run.metrics);
-        }
-        Measurement {
-            app: self.app,
-            n_logical: self.logical,
-            tlp,
-            gpu_percent,
-            transcode_fps,
-            histogram,
-            max_concurrency,
-            mean_outstanding,
-            metrics,
-        }
+        crate::runner::RunContext::serial().run_experiment(self)
     }
 }
 
@@ -348,13 +325,54 @@ pub struct Measurement {
     pub histogram: Histogram,
     /// Highest instantaneous concurrency observed.
     pub max_concurrency: usize,
-    /// Peak mean-outstanding-packets (PhoenixMiner's `*` footnote).
-    pub mean_outstanding: f64,
+    /// Peak (max over iterations) of the per-iteration mean number of
+    /// outstanding GPU packets — the basis of PhoenixMiner's `*` footnote
+    /// in Table II ("two packets were simultaneously executing on the GPU").
+    pub peak_mean_outstanding: f64,
     /// Per-iteration metrics snapshots, in iteration order.
     pub metrics: Vec<RunMetrics>,
 }
 
 impl Measurement {
+    /// Aggregates per-iteration runs into one measurement, exactly as the
+    /// paper's protocol does: mean/σ over iterations, histogram merge,
+    /// max concurrency, peak mean-outstanding.
+    ///
+    /// `runs` must be `experiment`'s iterations in iteration order — the
+    /// runner layer guarantees this, so the aggregate (and everything
+    /// rendered from it) is byte-identical however the runs were scheduled.
+    pub fn aggregate(experiment: &Experiment, runs: &[std::sync::Arc<SingleRun>]) -> Measurement {
+        let mut tlp = RunningStat::new();
+        let mut gpu_percent = RunningStat::new();
+        let mut transcode_fps = RunningStat::new();
+        let mut histogram = Histogram::new(experiment.logical);
+        let mut max_concurrency = 0;
+        let mut peak_mean_outstanding: f64 = 0.0;
+        let mut metrics = Vec::new();
+        for run in runs {
+            let profile = run.profile();
+            tlp.push(profile.tlp());
+            let util = run.gpu_util();
+            gpu_percent.push(util.percent());
+            peak_mean_outstanding = peak_mean_outstanding.max(util.mean_outstanding);
+            transcode_fps.push(run.frame_rate());
+            max_concurrency = max_concurrency.max(profile.max_concurrency());
+            histogram.merge(profile.histogram());
+            metrics.push(run.metrics.clone());
+        }
+        Measurement {
+            app: experiment.app,
+            n_logical: experiment.logical,
+            tlp,
+            gpu_percent,
+            transcode_fps,
+            histogram,
+            max_concurrency,
+            peak_mean_outstanding,
+            metrics,
+        }
+    }
+
     /// Execution-time fractions `c_0..c_n` (merged across iterations).
     pub fn fractions(&self) -> Vec<f64> {
         self.histogram.fractions()

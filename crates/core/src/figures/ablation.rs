@@ -5,6 +5,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use simcore::SimDuration;
 use simcpu::SmtModel;
 use workloads::AppId;
@@ -17,25 +18,35 @@ pub struct SmtSweep {
     pub rows: Vec<(f64, f64, f64)>,
 }
 
-/// Sweeps the vector pair factor across plausible values.
-pub fn smt_factor_sweep(budget: Budget) -> SmtSweep {
-    let rows = [0.50f64, 0.57, 0.70, 0.85]
-        .iter()
-        .map(|&factor| {
-            let model = SmtModel {
-                vector_pair: factor,
-                ..SmtModel::default()
-            };
-            let rate = |smt: bool| {
+/// Sweeps the vector pair factor across plausible values: the whole
+/// `4 factors × {SMT, no SMT}` grid runs as one batch.
+pub fn smt_factor_sweep(ctx: &RunContext, budget: Budget) -> SmtSweep {
+    const FACTORS: [f64; 4] = [0.50, 0.57, 0.70, 0.85];
+    let mut experiments = Vec::new();
+    for &factor in &FACTORS {
+        let model = SmtModel {
+            vector_pair: factor,
+            ..SmtModel::default()
+        };
+        for smt in [true, false] {
+            experiments.push(
                 Experiment::new(AppId::Handbrake)
                     .budget(budget)
                     .logical(6, smt)
-                    .smt_model(model.clone())
-                    .run()
-                    .transcode_fps
-                    .mean()
-            };
-            (factor, rate(true), rate(false))
+                    .smt_model(model.clone()),
+            );
+        }
+    }
+    let measurements = ctx.run_experiments(&experiments);
+    let rows = FACTORS
+        .iter()
+        .enumerate()
+        .map(|(i, &factor)| {
+            (
+                factor,
+                measurements[2 * i].transcode_fps.mean(),
+                measurements[2 * i + 1].transcode_fps.mean(),
+            )
         })
         .collect();
     SmtSweep { rows }
@@ -74,14 +85,21 @@ pub struct QuantumSweep {
 }
 
 /// Sweeps the quantum across 1–20 ms.
-pub fn quantum_sweep(budget: Budget) -> QuantumSweep {
-    let rows = [1u64, 5, 20]
+pub fn quantum_sweep(ctx: &RunContext, budget: Budget) -> QuantumSweep {
+    const QUANTA: [u64; 3] = [1, 5, 20];
+    let requests = QUANTA
         .iter()
         .map(|&ms| {
             let exp = Experiment::new(AppId::EasyMiner)
                 .budget(budget)
                 .quantum(SimDuration::from_millis(ms));
-            let run = exp.run_once(4);
+            RunRequest::new(&exp, 4)
+        })
+        .collect();
+    let rows = QUANTA
+        .iter()
+        .zip(ctx.run_singles(requests))
+        .map(|(&ms, run)| {
             let switches = run
                 .trace
                 .events()
@@ -123,7 +141,9 @@ pub struct QueueAblation {
 }
 
 /// Compares the real PhoenixMiner model (2 queues) against a hypothetical
-/// single-queue variant built from the same blocks.
+/// single-queue variant built from the same blocks. This ablation drives a
+/// [`machine::Machine`] by hand (it spawns synthetic pump threads outside
+/// any catalogued workload), so it stays off the [`RunContext`] path.
 pub fn queue_ablation(budget: Budget) -> QueueAblation {
     use machine::Machine;
     use simgpu::PacketKind;
@@ -183,23 +203,24 @@ pub struct KeplerGap {
 
 /// Quantifies how much of Fig. 10's WinEth outlier the dispatch-gap model
 /// contributes.
-pub fn kepler_gap_ablation(budget: Budget) -> KeplerGap {
-    let run = |gpu: simgpu::GpuSpec| {
-        Experiment::new(AppId::WinEthMiner)
-            .budget(budget)
-            .gpu(gpu)
-            .run()
-            .gpu_percent
-            .mean()
-    };
+pub fn kepler_gap_ablation(ctx: &RunContext, budget: Budget) -> KeplerGap {
     // A 680-shaped card on an architecture without the Ethash stalls.
     let mut gapless = simgpu::presets::gtx_680();
     gapless.name = "hypothetical stall-free GTX 680";
     gapless.arch = simgpu::GpuArch::Pascal;
+    let experiments: Vec<Experiment> = [
+        simgpu::presets::gtx_680(),
+        gapless,
+        simgpu::presets::gtx_1080_ti(),
+    ]
+    .into_iter()
+    .map(|gpu| Experiment::new(AppId::WinEthMiner).budget(budget).gpu(gpu))
+    .collect();
+    let m = ctx.run_experiments(&experiments);
     KeplerGap {
-        with_gap: run(simgpu::presets::gtx_680()),
-        without_gap: run(gapless),
-        pascal: run(simgpu::presets::gtx_1080_ti()),
+        with_gap: m[0].gpu_percent.mean(),
+        without_gap: m[1].gpu_percent.mean(),
+        pascal: m[2].gpu_percent.mean(),
     }
 }
 
@@ -226,20 +247,28 @@ pub struct Rig2010 {
 }
 
 /// Runs a CPU-side subset of the suite on the dual-socket Xeon + GTX 285.
-pub fn rig_2010(budget: Budget) -> Rig2010 {
-    let apps = [AppId::Handbrake, AppId::Excel, AppId::QuickTime];
-    let rows = apps
-        .iter()
-        .map(|&app| {
-            let now = Experiment::new(app).budget(budget).run().tlp.mean();
-            let then = Experiment::new(app)
+pub fn rig_2010(ctx: &RunContext, budget: Budget) -> Rig2010 {
+    const APPS: [AppId; 3] = [AppId::Handbrake, AppId::Excel, AppId::QuickTime];
+    let mut experiments = Vec::new();
+    for &app in &APPS {
+        experiments.push(Experiment::new(app).budget(budget));
+        experiments.push(
+            Experiment::new(app)
                 .budget(budget)
                 .cpu(simcpu::presets::blake_2010_xeon())
-                .gpu(simgpu::presets::gtx_285())
-                .run()
-                .tlp
-                .mean();
-            (app, now, then)
+                .gpu(simgpu::presets::gtx_285()),
+        );
+    }
+    let measurements = ctx.run_experiments(&experiments);
+    let rows = APPS
+        .iter()
+        .enumerate()
+        .map(|(i, &app)| {
+            (
+                app,
+                measurements[2 * i].tlp.mean(),
+                measurements[2 * i + 1].tlp.mean(),
+            )
         })
         .collect();
     Rig2010 { rows }
@@ -269,14 +298,14 @@ impl Rig2010 {
 }
 
 /// Runs all ablations and concatenates the reports.
-pub fn ablation(budget: Budget) -> String {
+pub fn ablation(ctx: &RunContext, budget: Budget) -> String {
     format!(
         "{}\n{}\n{}\n{}\n{}",
-        smt_factor_sweep(budget).render(),
-        quantum_sweep(budget).render(),
+        smt_factor_sweep(ctx, budget).render(),
+        quantum_sweep(ctx, budget).render(),
         queue_ablation(budget).render(),
-        kepler_gap_ablation(budget).render(),
-        rig_2010(budget).render()
+        kepler_gap_ablation(ctx, budget).render(),
+        rig_2010(ctx, budget).render()
     )
 }
 
@@ -293,7 +322,7 @@ mod tests {
 
     #[test]
     fn smt_direction_is_robust_across_factors() {
-        let sweep = smt_factor_sweep(budget());
+        let sweep = smt_factor_sweep(&RunContext::from_env(), budget());
         for (f, smt, no) in &sweep.rows {
             assert!(no > smt, "factor {f}: smt {smt} vs no-smt {no}");
         }
@@ -305,7 +334,7 @@ mod tests {
 
     #[test]
     fn quantum_choice_is_not_load_bearing() {
-        let sweep = quantum_sweep(budget());
+        let sweep = quantum_sweep(&RunContext::from_env(), budget());
         let tlps: Vec<f64> = sweep.rows.iter().map(|&(_, t, _)| t).collect();
         for t in &tlps {
             assert!((t - tlps[0]).abs() < 0.3, "{tlps:?}");
@@ -324,14 +353,14 @@ mod tests {
 
     #[test]
     fn gap_model_is_the_whole_outlier() {
-        let k = kepler_gap_ablation(budget());
+        let k = kepler_gap_ablation(&RunContext::from_env(), budget());
         assert!(k.with_gap < k.without_gap - 5.0, "{k:?}");
         assert!(k.without_gap > 99.0, "{k:?}");
     }
 
     #[test]
     fn modern_software_scales_on_the_2010_rig() {
-        let r = rig_2010(budget());
+        let r = rig_2010(&RunContext::from_env(), budget());
         let (_, now, then) = r
             .rows
             .iter()

@@ -15,6 +15,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use etwtrace::analysis;
 use workloads::{build, AppId};
 
@@ -33,6 +34,8 @@ pub struct CoScheduling {
 }
 
 /// Runs HandBrake and Photoshop separately, then together on one machine.
+/// Builds multi-app machines by hand (an [`Experiment`] models exactly one
+/// application), so it stays off the [`RunContext`] path.
 pub fn cosched(budget: Budget) -> CoScheduling {
     let busy_of = |apps: &[AppId]| -> (f64, f64) {
         let exp = Experiment::new(apps[0]).budget(budget);
@@ -101,7 +104,8 @@ pub struct Offload {
 }
 
 /// Photoshop in the foreground, WinX transcoding in the background, with
-/// and without GPU offload.
+/// and without GPU offload. Also a hand-built two-app machine, so it stays
+/// off the [`RunContext`] path.
 pub fn offload(budget: Budget) -> Offload {
     let run = |cuda: bool| -> (f64, f64) {
         let mut exp = Experiment::new(AppId::WinxHdConverter).budget(budget);
@@ -154,15 +158,22 @@ pub struct Responsiveness {
     pub rows: Vec<(usize, f64, f64)>,
 }
 
-/// Measures Word's scheduling latency at 1–12 logical CPUs.
-pub fn responsiveness(budget: Budget) -> Responsiveness {
-    let rows = [1usize, 2, 4, 12]
+/// Measures Word's scheduling latency at 1–12 logical CPUs, as one batch.
+pub fn responsiveness(ctx: &RunContext, budget: Budget) -> Responsiveness {
+    const CORES: [usize; 4] = [1, 2, 4, 12];
+    let requests = CORES
         .iter()
         .map(|&n| {
-            let run = Experiment::new(AppId::Word)
+            let exp = Experiment::new(AppId::Word)
                 .budget(budget)
-                .logical(n, n > 1)
-                .run_once(3);
+                .logical(n, n > 1);
+            RunRequest::new(&exp, 3)
+        })
+        .collect();
+    let rows = CORES
+        .iter()
+        .zip(ctx.run_singles(requests))
+        .map(|(&n, run)| {
             let lat = analysis::scheduling_latency(&run.trace, &run.filter);
             (n, lat.mean_us, lat.p95_us)
         })
@@ -197,12 +208,12 @@ impl Responsiveness {
 }
 
 /// Runs all three §VII experiments and concatenates the reports.
-pub fn discussion(budget: Budget) -> String {
+pub fn discussion(ctx: &RunContext, budget: Budget) -> String {
     format!(
         "{}\n{}\n{}",
         cosched(budget).render(),
         offload(budget).render(),
-        responsiveness(budget).render()
+        responsiveness(ctx, budget).render()
     )
 }
 
@@ -237,10 +248,13 @@ mod tests {
 
     #[test]
     fn second_cpu_improves_responsiveness() {
-        let r = responsiveness(Budget {
-            duration: SimDuration::from_secs(20),
-            iterations: 1,
-        });
+        let r = responsiveness(
+            &RunContext::from_env(),
+            Budget {
+                duration: SimDuration::from_secs(20),
+                iterations: 1,
+            },
+        );
         let one = r.mean_at(1);
         let two = r.mean_at(2);
         let twelve = r.mean_at(12);

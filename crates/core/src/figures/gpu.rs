@@ -3,6 +3,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use simcore::{Series, SimDuration};
 use simgpu::GpuSpec;
 use workloads::AppId;
@@ -29,29 +30,35 @@ pub struct Fig9 {
     pub runs: Vec<Fig9Run>,
 }
 
-/// Runs Fig. 9.
-pub fn fig9(budget: Budget) -> Fig9 {
+/// Runs Fig. 9: the four export configurations as one batch.
+pub fn fig9(ctx: &RunContext, budget: Budget) -> Fig9 {
     let gpus: [(&'static str, GpuSpec); 2] = [
         ("GTX 1080 Ti", simgpu::presets::gtx_1080_ti()),
         ("GTX 680", simgpu::presets::gtx_680()),
     ];
-    let mut runs = Vec::new();
+    let mut labels = Vec::new();
+    let mut requests = Vec::new();
     for (gpu_name, gpu) in &gpus {
         for cuda in [false, true] {
+            labels.push((*gpu_name, cuda));
             let exp = Experiment::new(AppId::PremierePro)
                 .budget(budget)
                 .gpu(gpu.clone())
                 .cuda(cuda);
-            let run = exp.run_once(11);
-            runs.push(Fig9Run {
-                gpu: gpu_name,
-                cuda,
-                tlp: run.tlp(),
-                util: run.gpu_util().percent(),
-                util_series: run.gpu_series(SimDuration::from_millis(250)),
-            });
+            requests.push(RunRequest::new(&exp, 11));
         }
     }
+    let runs = labels
+        .into_iter()
+        .zip(ctx.run_singles(requests))
+        .map(|((gpu, cuda), run)| Fig9Run {
+            gpu,
+            cuda,
+            tlp: run.tlp(),
+            util: run.gpu_util().percent(),
+            util_series: run.gpu_series(SimDuration::from_millis(250)),
+        })
+        .collect();
     Fig9 { runs }
 }
 
@@ -101,23 +108,21 @@ pub struct Fig10 {
     pub rows: Vec<(AppId, f64, f64)>,
 }
 
-/// Runs Fig. 10.
-pub fn fig10(budget: Budget) -> Fig10 {
+/// Runs Fig. 10: `6 apps × 2 cards` as one batch.
+pub fn fig10(ctx: &RunContext, budget: Budget) -> Fig10 {
+    let mut experiments = Vec::new();
+    for &app in &FIG10_APPS {
+        for gpu in [simgpu::presets::gtx_680(), simgpu::presets::gtx_1080_ti()] {
+            experiments.push(Experiment::new(app).budget(budget).gpu(gpu));
+        }
+    }
+    let measurements = ctx.run_experiments(&experiments);
     let rows = FIG10_APPS
         .iter()
-        .map(|&app| {
-            let mid = Experiment::new(app)
-                .budget(budget)
-                .gpu(simgpu::presets::gtx_680())
-                .run()
-                .gpu_percent
-                .mean();
-            let hi = Experiment::new(app)
-                .budget(budget)
-                .gpu(simgpu::presets::gtx_1080_ti())
-                .run()
-                .gpu_percent
-                .mean();
+        .enumerate()
+        .map(|(i, &app)| {
+            let mid = measurements[2 * i].gpu_percent.mean();
+            let hi = measurements[2 * i + 1].gpu_percent.mean();
             (app, mid, hi)
         })
         .collect();
@@ -167,10 +172,13 @@ mod tests {
 
     #[test]
     fn fig9_cuda_raises_util_and_680_runs_hotter() {
-        let fig = fig9(Budget {
-            duration: SimDuration::from_secs(20),
-            iterations: 1,
-        });
+        let fig = fig9(
+            &RunContext::from_env(),
+            Budget {
+                duration: SimDuration::from_secs(20),
+                iterations: 1,
+            },
+        );
         // "Video export with CUDA support shows higher utilization and
         // lower TLP than without CUDA, and the utilization is higher for
         // GTX 680."
@@ -188,7 +196,7 @@ mod tests {
 
     #[test]
     fn fig10_video_apps_hotter_on_680_but_wineth_cooler() {
-        let fig = fig10(budget());
+        let fig = fig10(&RunContext::from_env(), budget());
         // Video apps see "a notable improvement in utilization" on the 680…
         for app in [
             AppId::WindowsMediaPlayer,

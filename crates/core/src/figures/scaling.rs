@@ -2,6 +2,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use simcore::{Series, SimDuration};
 use workloads::AppId;
 
@@ -28,21 +29,23 @@ pub struct Fig4 {
     pub rows: Vec<(AppId, Vec<f64>)>,
 }
 
-/// Runs the Fig. 4 sweep.
-pub fn fig4(budget: Budget) -> Fig4 {
+/// Runs the Fig. 4 sweep: all `8 apps × 3 core counts` go to the runner as
+/// one batch.
+pub fn fig4(ctx: &RunContext, budget: Budget) -> Fig4 {
+    let mut experiments = Vec::new();
+    for &app in &FIG4_APPS {
+        for &n in &FIG4_CORES {
+            experiments.push(Experiment::new(app).budget(budget).logical(n, true));
+        }
+    }
+    let measurements = ctx.run_experiments(&experiments);
     let rows = FIG4_APPS
         .iter()
-        .map(|&app| {
-            let tlps = FIG4_CORES
+        .enumerate()
+        .map(|(i, &app)| {
+            let tlps = measurements[i * FIG4_CORES.len()..(i + 1) * FIG4_CORES.len()]
                 .iter()
-                .map(|&n| {
-                    Experiment::new(app)
-                        .budget(budget)
-                        .logical(n, true)
-                        .run()
-                        .tlp
-                        .mean()
-                })
+                .map(|m| m.tlp.mean())
                 .collect();
             (app, tlps)
         })
@@ -86,18 +89,24 @@ pub struct Timeline {
 }
 
 /// Builds one of the timeline figures. `bin` is the sampling window
-/// (100 ms reproduces the paper's plots).
-pub fn timeline(app: AppId, budget: Budget, bin: SimDuration) -> Timeline {
+/// (100 ms reproduces the paper's plots). The three core-count traces are
+/// independent, so they run as one batch.
+pub fn timeline(ctx: &RunContext, app: AppId, budget: Budget, bin: SimDuration) -> Timeline {
+    let requests: Vec<RunRequest> = FIG4_CORES
+        .iter()
+        .map(|&n| {
+            let mut exp = Experiment::new(app).budget(budget).logical(n, true);
+            if app == AppId::Handbrake || app == AppId::WinxHdConverter {
+                // A finite clip so the runtime scales with core count (Fig. 5).
+                let frames = (budget.duration.as_secs_f64() * 18.0) as u64;
+                exp = exp.transcode_frames(frames);
+            }
+            RunRequest::new(&exp, 7)
+        })
+        .collect();
     let mut runs = Vec::new();
     let mut busy_until = Vec::new();
-    for &n in &FIG4_CORES {
-        let mut exp = Experiment::new(app).budget(budget).logical(n, true);
-        if app == AppId::Handbrake || app == AppId::WinxHdConverter {
-            // A finite clip so the runtime scales with core count (Fig. 5).
-            let frames = (budget.duration.as_secs_f64() * 18.0) as u64;
-            exp = exp.transcode_frames(frames);
-        }
-        let run = exp.run_once(7);
+    for (&n, run) in FIG4_CORES.iter().zip(ctx.run_singles(requests)) {
         let tlp = run.tlp_series(bin);
         let gpu = run.gpu_series(bin);
         // Last instant with application activity = effective runtime.
@@ -121,18 +130,23 @@ pub fn timeline(app: AppId, budget: Budget, bin: SimDuration) -> Timeline {
 }
 
 /// Fig. 5: HandBrake.
-pub fn fig5(budget: Budget) -> Timeline {
-    timeline(AppId::Handbrake, budget, SimDuration::from_millis(100))
+pub fn fig5(ctx: &RunContext, budget: Budget) -> Timeline {
+    timeline(ctx, AppId::Handbrake, budget, SimDuration::from_millis(100))
 }
 
 /// Fig. 6: Photoshop.
-pub fn fig6(budget: Budget) -> Timeline {
-    timeline(AppId::Photoshop, budget, SimDuration::from_millis(100))
+pub fn fig6(ctx: &RunContext, budget: Budget) -> Timeline {
+    timeline(ctx, AppId::Photoshop, budget, SimDuration::from_millis(100))
 }
 
 /// Fig. 7: Project CARS 2 on the Rift.
-pub fn fig7(budget: Budget) -> Timeline {
-    timeline(AppId::ProjectCars2, budget, SimDuration::from_millis(100))
+pub fn fig7(ctx: &RunContext, budget: Budget) -> Timeline {
+    timeline(
+        ctx,
+        AppId::ProjectCars2,
+        budget,
+        SimDuration::from_millis(100),
+    )
 }
 
 impl Timeline {
@@ -182,7 +196,7 @@ mod tests {
             duration: SimDuration::from_secs(8),
             iterations: 1,
         };
-        let fig = fig4(budget);
+        let fig = fig4(&RunContext::from_env(), budget);
         let (_, em) = fig
             .rows
             .iter()
@@ -208,7 +222,7 @@ mod tests {
             duration: SimDuration::from_secs(20),
             iterations: 1,
         };
-        let fig = fig5(budget);
+        let fig = fig5(&RunContext::from_env(), budget);
         let t4 = fig.busy_until.iter().find(|(n, _)| *n == 4).unwrap().1;
         let t12 = fig.busy_until.iter().find(|(n, _)| *n == 12).unwrap().1;
         assert!(

@@ -3,6 +3,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::RunContext;
 use simgpu::GpuSpec;
 use workloads::AppId;
 
@@ -33,34 +34,42 @@ pub struct Fig8 {
 /// The logical-core counts of Fig. 8.
 pub const FIG8_CORES: [usize; 3] = [2, 4, 6];
 
-/// Runs the Fig. 8 sweep (2 apps × 2 GPUs × 2 SMT modes × 3 core counts).
-pub fn fig8(budget: Budget) -> Fig8 {
+/// Runs the Fig. 8 sweep (2 apps × 2 GPUs × 2 SMT modes × 3 core counts)
+/// as one 24-experiment batch through the runner.
+pub fn fig8(ctx: &RunContext, budget: Budget) -> Fig8 {
     let gpus: [(&'static str, GpuSpec); 2] = [
         ("GTX 1080 Ti", simgpu::presets::gtx_1080_ti()),
         ("GTX 680", simgpu::presets::gtx_680()),
     ];
-    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let mut experiments = Vec::new();
     for app in [AppId::Handbrake, AppId::WinxHdConverter] {
         for (gpu_name, gpu) in &gpus {
             for smt in [true, false] {
                 for &logical in &FIG8_CORES {
-                    let m = Experiment::new(app)
-                        .budget(budget)
-                        .logical(logical, smt)
-                        .gpu(gpu.clone())
-                        .run();
-                    points.push(Fig8Point {
-                        app,
-                        gpu: gpu_name,
-                        smt,
-                        logical,
-                        rate: m.transcode_fps.mean(),
-                        util: m.gpu_percent.mean(),
-                    });
+                    labels.push((app, *gpu_name, smt, logical));
+                    experiments.push(
+                        Experiment::new(app)
+                            .budget(budget)
+                            .logical(logical, smt)
+                            .gpu(gpu.clone()),
+                    );
                 }
             }
         }
     }
+    let points = labels
+        .into_iter()
+        .zip(ctx.run_experiments(&experiments))
+        .map(|((app, gpu, smt, logical), m)| Fig8Point {
+            app,
+            gpu,
+            smt,
+            logical,
+            rate: m.transcode_fps.mean(),
+            util: m.gpu_percent.mean(),
+        })
+        .collect();
     Fig8 { points }
 }
 
@@ -131,7 +140,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             iterations: 1,
         };
-        let fig = fig8(budget);
+        let fig = fig8(&RunContext::from_env(), budget);
         assert_eq!(fig.points.len(), 24);
         // (1) SMT lowers the transcode rate at equal logical-core counts.
         for app in [AppId::Handbrake, AppId::WinxHdConverter] {

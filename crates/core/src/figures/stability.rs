@@ -7,6 +7,7 @@
 
 use crate::experiment::Budget;
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use crate::suite::table2_experiment;
 use simcore::RunningStat;
 use workloads::AppId;
@@ -42,17 +43,23 @@ pub const STABILITY_APPS: [AppId; 6] = [
     AppId::EasyMiner,
 ];
 
-/// Runs each representative app once per seed.
-pub fn stability(budget: Budget, seeds: u64) -> Stability {
+/// Runs each representative app once per seed. The whole `app × seed` grid
+/// is submitted as one batch, so the sweep parallelises across seeds too.
+pub fn stability(ctx: &RunContext, budget: Budget, seeds: u64) -> Stability {
+    let mut requests = Vec::new();
+    for &app in &STABILITY_APPS {
+        for seed in 0..seeds {
+            requests.push(RunRequest::new(&table2_experiment(app, budget), seed));
+        }
+    }
+    let runs = ctx.run_singles(requests);
     let rows = STABILITY_APPS
         .iter()
-        .map(|&app| {
+        .enumerate()
+        .map(|(i, &app)| {
             let mut tlp = RunningStat::new();
             let mut gpu = RunningStat::new();
-            for seed in 0..seeds {
-                let run = table2_experiment(app, budget)
-                    .seed(1000 + seed * 7919)
-                    .run_once(seed);
+            for run in &runs[i * seeds as usize..(i + 1) * seeds as usize] {
                 tlp.push(run.tlp());
                 gpu.push(run.gpu_util().percent());
             }
@@ -105,7 +112,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             iterations: 1,
         };
-        let s = stability(budget, 5);
+        let s = stability(&RunContext::from_env(), budget, 5);
         assert_eq!(s.rows.len(), STABILITY_APPS.len());
         for r in &s.rows {
             assert_eq!(r.tlp.count(), 5);

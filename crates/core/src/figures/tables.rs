@@ -3,6 +3,7 @@
 use crate::experiment::{Budget, Experiment};
 use crate::paper;
 use crate::report;
+use crate::runner::RunContext;
 use workloads::AppId;
 
 /// Renders Table I: the benchmarking system specification.
@@ -60,21 +61,26 @@ pub struct Table3 {
     pub rows: Vec<MeasuredTable3Row>,
 }
 
-/// Runs WinX at 4/8/12 logical CPUs with and without CUDA/NVENC.
-pub fn table3(budget: Budget) -> Table3 {
+/// Runs WinX at 4/8/12 logical CPUs with and without CUDA/NVENC — all six
+/// configurations as one batch.
+pub fn table3(ctx: &RunContext, budget: Budget) -> Table3 {
+    let mut experiments = Vec::new();
+    for reference in &paper::TABLE3 {
+        for cuda in [false, true] {
+            experiments.push(
+                Experiment::new(AppId::WinxHdConverter)
+                    .budget(budget)
+                    .logical(reference.logical, true)
+                    .cuda(cuda),
+            );
+        }
+    }
+    let measurements = ctx.run_experiments(&experiments);
     let rows = paper::TABLE3
         .iter()
-        .map(|reference| {
-            let no_gpu = Experiment::new(AppId::WinxHdConverter)
-                .budget(budget)
-                .logical(reference.logical, true)
-                .cuda(false)
-                .run();
-            let gpu = Experiment::new(AppId::WinxHdConverter)
-                .budget(budget)
-                .logical(reference.logical, true)
-                .cuda(true)
-                .run();
+        .enumerate()
+        .map(|(i, reference)| {
+            let (no_gpu, gpu) = (&measurements[2 * i], &measurements[2 * i + 1]);
             MeasuredTable3Row {
                 logical: reference.logical,
                 rate: (no_gpu.transcode_fps.mean(), gpu.transcode_fps.mean()),
@@ -155,7 +161,7 @@ mod tests {
 
     #[test]
     fn table3_directions_match_paper() {
-        let t3 = table3(Budget::quick());
+        let t3 = table3(&RunContext::from_env(), Budget::quick());
         assert_eq!(t3.rows.len(), 3);
         for r in &t3.rows {
             assert!(r.rate.1 > r.rate.0, "GPU must raise rate: {r:?}");

@@ -8,6 +8,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::paper;
+use crate::runner::RunContext;
 use workloads::AppId;
 
 /// Automation-validation result.
@@ -19,33 +20,23 @@ pub struct Validation {
     pub gpu: (f64, f64),
 }
 
-/// Runs the validation experiment.
-pub fn automation_validation(budget: Budget) -> Validation {
-    let tlp_auto = Experiment::new(AppId::PowerDirector)
-        .budget(budget)
-        .run()
-        .tlp
-        .mean();
-    let tlp_manual = Experiment::new(AppId::PowerDirector)
-        .budget(budget)
-        .manual_input()
-        .run()
-        .tlp
-        .mean();
-    let gpu_auto = Experiment::new(AppId::VlcMediaPlayer)
-        .budget(budget)
-        .run()
-        .gpu_percent
-        .mean();
-    let gpu_manual = Experiment::new(AppId::VlcMediaPlayer)
-        .budget(budget)
-        .manual_input()
-        .run()
-        .gpu_percent
-        .mean();
+/// Runs the validation experiment: the four automated/manual configurations
+/// as one batch.
+pub fn automation_validation(ctx: &RunContext, budget: Budget) -> Validation {
+    let experiments = [
+        Experiment::new(AppId::PowerDirector).budget(budget),
+        Experiment::new(AppId::PowerDirector)
+            .budget(budget)
+            .manual_input(),
+        Experiment::new(AppId::VlcMediaPlayer).budget(budget),
+        Experiment::new(AppId::VlcMediaPlayer)
+            .budget(budget)
+            .manual_input(),
+    ];
+    let m = ctx.run_experiments(&experiments);
     Validation {
-        tlp: (tlp_auto, tlp_manual),
-        gpu: (gpu_auto, gpu_manual),
+        tlp: (m[0].tlp.mean(), m[1].tlp.mean()),
+        gpu: (m[2].gpu_percent.mean(), m[3].gpu_percent.mean()),
     }
 }
 
@@ -90,7 +81,7 @@ mod tests {
             duration: SimDuration::from_secs(30),
             iterations: 2,
         };
-        let v = automation_validation(budget);
+        let v = automation_validation(&RunContext::from_env(), budget);
         // The deltas must stay small (the paper's point): under 12 %.
         assert!(
             v.tlp_delta_pct().abs() < 12.0,

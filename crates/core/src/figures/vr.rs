@@ -3,6 +3,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use simcore::{Series, SimDuration};
 use vrsys::HeadsetSpec;
 use workloads::AppId;
@@ -37,21 +38,26 @@ pub struct Fig12 {
     pub cells: Vec<Fig12Cell>,
 }
 
-/// Runs Fig. 12.
-pub fn fig12(budget: Budget) -> Fig12 {
-    let mut cells = Vec::new();
+/// Runs Fig. 12: `6 games × 3 headsets` as one batch.
+pub fn fig12(ctx: &RunContext, budget: Budget) -> Fig12 {
+    let mut labels = Vec::new();
+    let mut experiments = Vec::new();
     for app in VR_GAMES {
         for headset in vrsys::presets::all() {
-            let name = headset.name;
-            let m = Experiment::new(app).budget(budget).headset(headset).run();
-            cells.push(Fig12Cell {
-                app,
-                headset: name,
-                tlp: m.tlp.mean(),
-                util: m.gpu_percent.mean(),
-            });
+            labels.push((app, headset.name));
+            experiments.push(Experiment::new(app).budget(budget).headset(headset));
         }
     }
+    let cells = labels
+        .into_iter()
+        .zip(ctx.run_experiments(&experiments))
+        .map(|((app, headset), m)| Fig12Cell {
+            app,
+            headset,
+            tlp: m.tlp.mean(),
+            util: m.gpu_percent.mean(),
+        })
+        .collect();
     Fig12 { cells }
 }
 
@@ -95,32 +101,43 @@ pub struct Fig13 {
 /// oscillation: on the simulated rig CARS 2 holds 90 FPS on every headset
 /// at 6 SMT cores, so the pressure case the paper saw as Vive jitter only
 /// appears for the game whose GPU cost actually exceeds the frame budget.
-pub fn fig13(budget: Budget) -> Fig13 {
-    let measure = |app: AppId, headset: HeadsetSpec, label: &'static str| {
-        let run = Experiment::new(app)
-            .budget(budget)
-            .headset(headset)
-            .run_once(5);
-        let fps = run.fps_series(SimDuration::from_millis(500));
-        // Skip the warm-up bin when judging stability.
-        let steady: Vec<f64> = fps.iter().skip(1).map(|(_, v)| v).collect();
-        let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
-        let var =
-            steady.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / steady.len().max(1) as f64;
-        (label, fps, var.sqrt())
-    };
-    let mut traces: Vec<(&'static str, Series, f64)> = vrsys::presets::all()
+pub fn fig13(ctx: &RunContext, budget: Budget) -> Fig13 {
+    let mut cases: Vec<(AppId, HeadsetSpec, &'static str)> = vrsys::presets::all()
         .into_iter()
         .map(|headset: HeadsetSpec| {
             let name = headset.name;
-            measure(AppId::ProjectCars2, headset, name)
+            (AppId::ProjectCars2, headset, name)
         })
         .collect();
-    traces.push(measure(
+    cases.push((
         AppId::Fallout4Vr,
         vrsys::presets::vive_pro(),
         "Fallout 4 @ Vive Pro",
     ));
+    let requests = cases
+        .iter()
+        .map(|(app, headset, _)| {
+            RunRequest::new(
+                &Experiment::new(*app)
+                    .budget(budget)
+                    .headset(headset.clone()),
+                5,
+            )
+        })
+        .collect();
+    let traces = cases
+        .iter()
+        .zip(ctx.run_singles(requests))
+        .map(|(&(_, _, label), run)| {
+            let fps = run.fps_series(SimDuration::from_millis(500));
+            // Skip the warm-up bin when judging stability.
+            let steady: Vec<f64> = fps.iter().skip(1).map(|(_, v)| v).collect();
+            let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
+            let var =
+                steady.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / steady.len().max(1) as f64;
+            (label, fps, var.sqrt())
+        })
+        .collect();
     Fig13 { traces }
 }
 
@@ -161,7 +178,7 @@ mod tests {
             duration: SimDuration::from_secs(8),
             iterations: 1,
         };
-        let fig = fig12(budget);
+        let fig = fig12(&RunContext::from_env(), budget);
         assert_eq!(fig.cells.len(), 18);
         // Rift achieves the highest TLP, "especially for graphic-intensive
         // games like Project CARS and Fallout 4".
@@ -200,7 +217,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             iterations: 1,
         };
-        let fig = fig13(budget);
+        let fig = fig13(&RunContext::from_env(), budget);
         let rift = fig.stddev("Oculus Rift");
         let vive = fig.stddev("HTC Vive");
         let pro = fig.stddev("HTC Vive Pro");

@@ -3,6 +3,7 @@
 
 use crate::experiment::{Budget, Experiment};
 use crate::report;
+use crate::runner::{RunContext, RunRequest};
 use workloads::browse::BrowseScenario;
 use workloads::AppId;
 
@@ -39,23 +40,36 @@ pub struct Fig11 {
     pub cells: Vec<Fig11Cell>,
 }
 
-/// Runs Fig. 11 (3 browsers × 4 scenarios).
-pub fn fig11(budget: Budget) -> Fig11 {
-    let mut cells = Vec::new();
+/// Runs Fig. 11 (3 browsers × 4 scenarios): the 12 measurements plus the
+/// 12 process-count probe runs all go through the runner.
+pub fn fig11(ctx: &RunContext, budget: Budget) -> Fig11 {
+    let mut labels = Vec::new();
+    let mut experiments = Vec::new();
     for app in BROWSERS {
         for scenario in SCENARIOS {
-            let exp = Experiment::new(app).budget(budget).browse(scenario);
-            let m = exp.run();
-            let processes = exp.run_once(3).filter.len();
-            cells.push(Fig11Cell {
-                app,
-                scenario,
-                tlp: m.tlp.mean(),
-                util: m.gpu_percent.mean(),
-                processes,
-            });
+            labels.push((app, scenario));
+            experiments.push(Experiment::new(app).budget(budget).browse(scenario));
         }
     }
+    let measurements = ctx.run_experiments(&experiments);
+    let probes = ctx.run_singles(
+        experiments
+            .iter()
+            .map(|exp| RunRequest::new(exp, 3))
+            .collect(),
+    );
+    let cells = labels
+        .into_iter()
+        .zip(measurements)
+        .zip(probes)
+        .map(|(((app, scenario), m), probe)| Fig11Cell {
+            app,
+            scenario,
+            tlp: m.tlp.mean(),
+            util: m.gpu_percent.mean(),
+            processes: probe.filter.len(),
+        })
+        .collect();
     Fig11 { cells }
 }
 
@@ -112,7 +126,7 @@ mod tests {
             duration: SimDuration::from_secs(30),
             iterations: 1,
         };
-        let fig = fig11(budget);
+        let fig = fig11(&RunContext::from_env(), budget);
         assert_eq!(fig.cells.len(), 12);
         for app in BROWSERS {
             // "The tests using multiple tabs have similar or higher TLP

@@ -9,6 +9,11 @@
 //! * [`Experiment`] — one application on one machine configuration, run
 //!   for N iterations with derived seeds; yields a [`Measurement`] with
 //!   mean/σ exactly like the paper's Table II columns.
+//! * [`runner`] — the run-execution layer: canonical [`RunRequest`]s, a
+//!   memoizing cache, and serial / thread-pool [`Runner`]s behind a
+//!   [`RunContext`]. Suite and figure builders submit batches here, so the
+//!   embarrassingly parallel protocol scales with host cores while staying
+//!   byte-identical to the serial run.
 //! * [`suite`] — the full 30-application Table II sweep.
 //! * [`figures`] — one builder per table and figure (Table I–III,
 //!   Figures 2–13, and the §III-D automation validation); each returns
@@ -34,7 +39,9 @@ pub mod experiment;
 pub mod figures;
 pub mod paper;
 pub mod report;
+pub mod runner;
 pub mod suite;
 
 pub use experiment::{Budget, Experiment, Measurement, RunMetrics, SingleRun};
+pub use runner::{RunContext, RunRequest, Runner, SerialRunner, ThreadPoolRunner};
 pub use suite::{run_table2, AppMeasurement};

@@ -3,6 +3,7 @@
 use crate::experiment::{Budget, Experiment, Measurement};
 use crate::paper;
 use crate::report;
+use crate::runner::RunContext;
 use workloads::AppId;
 
 /// One application's measurement next to its paper reference.
@@ -32,12 +33,20 @@ pub fn table2_experiment(app: AppId, budget: Budget) -> Experiment {
     }
 }
 
-/// Runs the whole suite (30 applications).
-pub fn run_table2(budget: Budget) -> Vec<AppMeasurement> {
-    AppId::ALL
+/// Runs the whole suite (30 applications) through the run-execution layer:
+/// all `30 × iterations` independent simulations go to `ctx` as one batch,
+/// so the sweep scales with the context's job count while the reassembled
+/// rows stay in Table II order.
+pub fn run_table2(ctx: &RunContext, budget: Budget) -> Vec<AppMeasurement> {
+    let experiments: Vec<Experiment> = AppId::ALL
         .iter()
-        .map(|&app| AppMeasurement {
-            measured: table2_experiment(app, budget).run(),
+        .map(|&app| table2_experiment(app, budget))
+        .collect();
+    ctx.run_experiments(&experiments)
+        .into_iter()
+        .zip(AppId::ALL.iter())
+        .map(|(measured, &app)| AppMeasurement {
+            measured,
             reference: paper::table2_row(app),
         })
         .collect()
@@ -78,19 +87,36 @@ pub fn category_averages(results: &[AppMeasurement]) -> Vec<(workloads::Category
         .collect()
 }
 
+/// Threshold above which a row earns the paper's `*` footnote: the peak
+/// per-iteration mean of outstanding GPU packets indicates genuinely
+/// overlapped execution (PhoenixMiner's dual command queues hold ~2).
+pub const OUTSTANDING_FOOTNOTE_MIN: f64 = 1.9;
+
 /// Renders the suite as the Table II report: heat-map, TLP and GPU columns,
-/// measured vs paper.
+/// measured vs paper, plus the `*` footnote for apps whose GPU ran more
+/// than one packet at a time throughout (PhoenixMiner in the paper).
 pub fn render_table2(results: &[AppMeasurement]) -> String {
     let mut rows = Vec::new();
+    let mut footnotes = Vec::new();
     for r in results {
         let m = &r.measured;
+        let mut gpu_cell =
+            report::mean_sigma(m.gpu_percent.mean(), m.gpu_percent.population_std_dev());
+        if m.peak_mean_outstanding >= OUTSTANDING_FOOTNOTE_MIN {
+            gpu_cell.push('*');
+            footnotes.push(format!(
+                "\\* {}: up to {:.1} packets were simultaneously executing on the GPU.",
+                m.app.display_name(),
+                m.peak_mean_outstanding
+            ));
+        }
         rows.push(vec![
             m.app.category().label().to_string(),
             m.app.display_name().to_string(),
             report::heat_row(&m.fractions()),
             report::mean_sigma(m.tlp.mean(), m.tlp.population_std_dev()),
             format!("{:.1}", r.reference.tlp),
-            report::mean_sigma(m.gpu_percent.mean(), m.gpu_percent.population_std_dev()),
+            gpu_cell,
             format!("{:.1}", r.reference.gpu),
         ]);
     }
@@ -128,8 +154,13 @@ pub fn render_table2(results: &[AppMeasurement]) -> String {
         ],
         &cat_rows,
     );
+    let footnote_block = if footnotes.is_empty() {
+        String::new()
+    } else {
+        format!("{}\n", footnotes.join("\n"))
+    };
     format!(
-        "{table}\n{cats}\nAverage TLP: measured {:.2}, paper {:.1}\n",
+        "{table}{footnote_block}\n{cats}\nAverage TLP: measured {:.2}, paper {:.1}\n",
         average_tlp(results),
         paper::AVERAGE_TLP
     )
@@ -149,12 +180,20 @@ fn category_paper_mean(
 }
 
 /// Dumps the suite as machine-readable CSV (one row per application):
-/// measured and paper TLP/GPU plus the full `c0..c12` distribution.
+/// measured and paper TLP/GPU plus the full `c0..cN` distribution.
+///
+/// The concurrency columns are sized to the *largest* `n_logical` in the
+/// result set and shorter rows are zero-padded, so mixed-core sweeps (e.g.
+/// a 4-core and a 12-core experiment in one file) stay rectangular.
 pub fn table2_csv(results: &[AppMeasurement]) -> String {
     let mut out = String::from(
         "app,category,tlp_measured,tlp_sigma,tlp_paper,gpu_measured,gpu_sigma,gpu_paper,max_concurrency",
     );
-    let n = results.first().map_or(12, |r| r.measured.n_logical);
+    let n = results
+        .iter()
+        .map(|r| r.measured.n_logical)
+        .max()
+        .unwrap_or(12);
     for i in 0..=n {
         out.push_str(&format!(",c{i}"));
     }
@@ -173,7 +212,11 @@ pub fn table2_csv(results: &[AppMeasurement]) -> String {
             r.reference.gpu,
             m.max_concurrency,
         ));
-        for c in m.fractions() {
+        let mut fractions = m.fractions();
+        // Concurrency above an app's enabled-core count never happens, so
+        // padding with exact zeros keeps the semantics of the c_k columns.
+        fractions.resize(n + 1, 0.0);
+        for c in fractions {
             out.push_str(&format!(",{c:.5}"));
         }
         out.push('\n');
@@ -195,11 +238,12 @@ mod tests {
 
     #[test]
     fn small_subset_renders() {
+        let ctx = RunContext::from_env();
         let budget = Budget::quick();
         let results: Vec<AppMeasurement> = [AppId::Handbrake, AppId::Braina]
             .iter()
             .map(|&app| AppMeasurement {
-                measured: table2_experiment(app, budget).run(),
+                measured: ctx.run_experiment(&table2_experiment(app, budget)),
                 reference: paper::table2_row(app),
             })
             .collect();
@@ -220,5 +264,31 @@ mod tests {
         assert_eq!(cat, workloads::Category::VideoTranscoding);
         assert!(tlp > 7.0);
         assert!(report.contains("Avg TLP"));
+    }
+
+    #[test]
+    fn mixed_core_csv_stays_rectangular() {
+        let ctx = RunContext::from_env();
+        let budget = Budget::quick();
+        let results: Vec<AppMeasurement> = [(AppId::Excel, 4), (AppId::Handbrake, 12)]
+            .iter()
+            .map(|&(app, logical)| AppMeasurement {
+                measured: ctx
+                    .run_experiment(&table2_experiment(app, budget).logical(logical, true)),
+                reference: paper::table2_row(app),
+            })
+            .collect();
+        let csv = table2_csv(&results);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",c12"), "{}", lines[0]);
+        let width = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), width, "ragged row: {line}");
+        }
+        // The 4-logical row is zero-padded above c4.
+        let excel: Vec<&str> = lines[1].split(',').collect();
+        for cell in &excel[excel.len() - 8..] {
+            assert_eq!(*cell, "0.00000", "{excel:?}");
+        }
     }
 }

@@ -1,0 +1,75 @@
+//! Determinism guarantee for the run-execution layer: the thread-pool runner
+//! must produce byte-identical artefacts to the serial runner, because each
+//! simulation is an isolated single-threaded machine and results are
+//! reassembled in submission order. This is what lets `repro --jobs N` scale
+//! across cores without perturbing a single digit of the paper's tables.
+
+use parastat::suite::{self, table2_experiment, AppMeasurement};
+use parastat::{paper, Budget, RunContext};
+use simcore::SimDuration;
+use workloads::AppId;
+
+/// A three-app Table II subset covering a pipeline transcoder, a
+/// multi-process browser and a GPU pump — enough to exercise every event
+/// family while staying fast.
+const SUBSET: [AppId; 3] = [AppId::Handbrake, AppId::Chrome, AppId::EasyMiner];
+
+fn budget() -> Budget {
+    Budget {
+        duration: SimDuration::from_secs(5),
+        iterations: 2,
+    }
+}
+
+fn run_subset(ctx: &RunContext) -> Vec<AppMeasurement> {
+    let experiments: Vec<_> = SUBSET
+        .iter()
+        .map(|&app| table2_experiment(app, budget()))
+        .collect();
+    ctx.run_experiments(&experiments)
+        .into_iter()
+        .zip(SUBSET.iter())
+        .map(|(measured, &app)| AppMeasurement {
+            measured,
+            reference: paper::table2_row(app),
+        })
+        .collect()
+}
+
+#[test]
+fn pooled_csv_and_prometheus_match_serial_byte_for_byte() {
+    let serial = run_subset(&RunContext::serial());
+    let pooled = run_subset(&RunContext::pooled(4));
+
+    assert_eq!(
+        suite::table2_csv(&serial),
+        suite::table2_csv(&pooled),
+        "table2 CSV must not depend on the job count"
+    );
+    assert_eq!(suite::render_table2(&serial), suite::render_table2(&pooled));
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(s.measured.metrics.len(), 2);
+        for (ms, mp) in s.measured.metrics.iter().zip(&p.measured.metrics) {
+            assert_eq!(
+                ms.to_prometheus(),
+                mp.to_prometheus(),
+                "{:?}: per-iteration metrics must render identically",
+                s.app()
+            );
+        }
+    }
+}
+
+#[test]
+fn memo_cache_returns_the_same_run_for_a_repeated_request() {
+    let ctx = RunContext::pooled(4);
+    let exp = table2_experiment(AppId::Handbrake, budget());
+    let first = ctx.run_single(&exp, 9);
+    let again = ctx.run_single(&exp, 9);
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &again),
+        "a repeated request must be served from the memo cache"
+    );
+    let (hits, misses) = ctx.cache_stats();
+    assert_eq!((hits, misses), (1, 1));
+}
