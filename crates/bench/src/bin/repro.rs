@@ -3,6 +3,7 @@
 //! ```text
 //! repro <artefact>... [--budget quick|standard|paper] [--jobs N] [--out DIR]
 //! repro all          [--budget …]
+//! repro --blame      [--budget …]
 //! repro --metrics-out metrics.prom [--metrics-app handbrake] [--budget …]
 //! ```
 //!
@@ -14,6 +15,11 @@
 //! simulation stays single-threaded and seeded, and results are reassembled
 //! in submission order, so every artefact is byte-identical whatever `N` is.
 //!
+//! `--blame` runs the bottleneck profiler over the whole suite — the same
+//! iterations as Table II, served from the memo cache when both are asked
+//! for — and emits the per-app attribution table (`blame.md`): measured TLP,
+//! the critical-path what-if TLP bound, and the top serialization bottleneck.
+//!
 //! `--metrics-out` runs one experiment (default: HandBrake) under the chosen
 //! budget and writes the per-iteration scheduler/GPU/calendar metrics in the
 //! Prometheus text exposition format. The snapshots are deterministic, so the
@@ -22,7 +28,7 @@
 use parastat::figures::{
     ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
 };
-use parastat::{paper, suite, Budget, Experiment, RunContext};
+use parastat::{bottleneck, paper, suite, Budget, Experiment, RunContext};
 use repro_bench::{budget, ARTEFACTS};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,6 +41,7 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut metrics_app = "handbrake".to_string();
     let mut jobs: Option<usize> = None;
+    let mut want_blame = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,12 +69,13 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--metrics-app needs an app substring"));
             }
+            "--blame" => want_blame = true,
             "all" => artefacts.extend(ARTEFACTS.iter().map(|s| s.to_string())),
             other if ARTEFACTS.contains(&other) => artefacts.push(other.to_string()),
             other => usage(&format!("unknown artefact `{other}`")),
         }
     }
-    if artefacts.is_empty() && metrics_out.is_none() {
+    if artefacts.is_empty() && metrics_out.is_none() && !want_blame {
         usage("no artefact given");
     }
     let b = budget(&budget_name);
@@ -162,6 +170,11 @@ fn main() {
             _ => unreachable!("validated above"),
         }
     }
+    if want_blame {
+        eprintln!("# blame");
+        let rows = bottleneck::run_blame(&ctx, b);
+        emit(&out_dir, "blame", &bottleneck::render_blame(&rows), None);
+    }
     let (hits, misses) = ctx.cache_stats();
     eprintln!("# simulations: {misses} run, {hits} served from cache");
     eprintln!(
@@ -229,8 +242,9 @@ fn emit(out_dir: &Path, name: &str, report: &str, csv: Option<String>) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <artefact>...|all [--budget quick|standard|paper] [--jobs N] [--out DIR]"
+        "usage: repro <artefact>...|all [--blame] [--budget quick|standard|paper] [--jobs N] [--out DIR]"
     );
+    eprintln!("       repro --blame [--budget …]");
     eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);

@@ -7,12 +7,14 @@
 //! tracetool summary <trace.etl>                          # task-manager view
 //! tracetool tlp <trace.etl> <process-prefix>             # Equation 1
 //! tracetool latency <trace.etl> <process-prefix>         # ready→run delays
+//! tracetool bottlenecks <trace.etl> <process-prefix>     # blocked-time blame
+//! tracetool critical-path <trace.etl> <process-prefix>   # what-if TLP bound
 //! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
 //! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
 //! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
 //! ```
 
-use etwtrace::{analysis, chrome, etl, export, EtlTrace};
+use etwtrace::{analysis, blame, chrome, critical, etl, export, EtlTrace, PidSet};
 use machine::{Machine, MachineConfig};
 use simcore::SimDuration;
 use std::fs::File;
@@ -115,7 +117,16 @@ fn main() {
             println!("mean latency     : {:.1} µs", lat.mean_us);
             println!("p50 latency      : {:.1} µs", lat.p50_us);
             println!("p95 latency      : {:.1} µs", lat.p95_us);
+            println!("p99 latency      : {:.1} µs", lat.p99_us);
             println!("max latency      : {:.1} µs", lat.max_us);
+        }
+        Some("bottlenecks") => {
+            let (trace, filter) = load_filtered(&args, "bottlenecks");
+            print!("{}", blame::blame(&trace, &filter).render());
+        }
+        Some("critical-path") => {
+            let (trace, filter) = load_filtered(&args, "critical-path");
+            print!("{}", critical::critical_path(&trace, &filter).render());
         }
         Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
         Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
@@ -131,8 +142,23 @@ fn main() {
                 trace.events().len()
             );
         }
-        _ => usage("record|summary|tlp|latency|export-cpu|export-gpu|export-chrome"),
+        _ => usage(
+            "record|summary|tlp|latency|bottlenecks|critical-path|export-cpu|export-gpu|export-chrome",
+        ),
     }
+}
+
+/// Parses `<cmd> <trace.etl> <process-prefix>` and resolves the filter.
+fn load_filtered(args: &[String], cmd: &str) -> (EtlTrace, PidSet) {
+    let [_, path, prefix] = args else {
+        usage(&format!("{cmd} <trace.etl> <process-prefix>"));
+    };
+    let trace = read(path);
+    let filter = trace.pids_by_name(prefix);
+    if filter.is_empty() {
+        usage(&format!("no process matches `{prefix}`"));
+    }
+    (trace, filter)
 }
 
 fn load(args: &[String], arity: usize) -> EtlTrace {
@@ -165,6 +191,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("       tracetool summary|export-cpu|export-gpu <trace.etl>");
     eprintln!("       tracetool tlp <trace.etl> <process-prefix>");
     eprintln!("       tracetool latency <trace.etl> <process-prefix>");
+    eprintln!("       tracetool bottlenecks <trace.etl> <process-prefix>");
+    eprintln!("       tracetool critical-path <trace.etl> <process-prefix>");
     eprintln!("       tracetool export-chrome <trace.etl> <out.json>");
     std::process::exit(2);
 }

@@ -1,0 +1,41 @@
+//! Pins `tracetool bottlenecks` output to the checked-in golden file.
+//!
+//! CI records the same canned trace with the release binary
+//! (`tracetool record vlc 2 …; tracetool bottlenecks … vlc`) and diffs the
+//! tool's stdout against `tests/golden/bottlenecks.txt`; this test pins the
+//! library path to the identical bytes so a regression fails locally before
+//! it fails in CI. Regenerate the golden with:
+//!
+//! ```text
+//! cargo run -p repro-bench --bin tracetool -- record vlc 2 /tmp/g.etl
+//! cargo run -p repro-bench --bin tracetool -- bottlenecks /tmp/g.etl vlc \
+//!     > crates/bench/tests/golden/bottlenecks.txt
+//! ```
+
+use machine::{Machine, MachineConfig};
+use simcore::SimDuration;
+use workloads::{build, AppId, WorkloadOpts};
+
+#[test]
+fn bottlenecks_report_matches_golden_file() {
+    // Exactly the `tracetool record vlc 2` path: the study rig, default
+    // workload options, a 2 s window.
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let opts = WorkloadOpts {
+        duration: SimDuration::from_secs(2),
+        ..WorkloadOpts::default()
+    };
+    build(AppId::VlcMediaPlayer, &mut m, &opts);
+    m.run_for(SimDuration::from_secs(2));
+    let trace = m.into_trace();
+    // And the `tracetool bottlenecks <etl> vlc` path.
+    let filter = trace.pids_by_name("vlc");
+    assert!(!filter.is_empty(), "vlc process missing from canned trace");
+    let rendered = etwtrace::blame::blame(&trace, &filter).render();
+    let golden = include_str!("golden/bottlenecks.txt");
+    assert_eq!(
+        rendered, golden,
+        "bottleneck attribution drifted from tests/golden/bottlenecks.txt; \
+         if the change is intentional, regenerate it (see module docs)"
+    );
+}

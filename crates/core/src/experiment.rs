@@ -1,7 +1,7 @@
 //! The experiment runner: N seeded iterations of one application on one
 //! machine configuration, aggregated the way the paper reports them.
 
-use etwtrace::{analysis, ConcurrencyProfile, EtlTrace, PidSet};
+use etwtrace::{analysis, blame, critical, ConcurrencyProfile, EtlTrace, PidSet};
 use machine::{Machine, MachineConfig};
 use simcore::{Histogram, RunningStat, Series, SimDuration};
 use simcpu::Topology;
@@ -190,13 +190,29 @@ impl Experiment {
         m.run_for(self.budget.duration);
         // Snapshot the scheduler/GPU/calendar counters before `into_trace`
         // consumes the machine.
-        let metrics = RunMetrics::collect(&m);
+        let mut metrics = RunMetrics::collect(&m);
         let trace = m.into_trace();
         // Prefix filtering picks up multi-process applications.
         let mut filter = trace.pids_by_name(self.app.process_name());
         if filter.is_empty() {
-            filter = [pid.0].into_iter().collect();
+            filter = pid.into();
         }
+        // Bottleneck-profiler gauges. Both inputs derive from the sealed
+        // trace in virtual time, so the values — like every other metric —
+        // are byte-identical across job counts. The registry stores i64,
+        // so fractions are scaled to parts-per-million.
+        let cp = critical::critical_path(&trace, &filter);
+        metrics.registry.gauge(
+            "parastat_critical_path_fraction_ppm",
+            &[],
+            ppm(cp.critical_fraction()),
+        );
+        let blamed = blame::blame(&trace, &filter);
+        metrics.registry.gauge(
+            "parastat_top_blocker_share_ppm",
+            &[],
+            ppm(blamed.top_blocker_share()),
+        );
         SingleRun {
             trace,
             filter,
@@ -214,6 +230,12 @@ impl Experiment {
     pub fn run(&self) -> Measurement {
         crate::runner::RunContext::serial().run_experiment(self)
     }
+}
+
+/// Scales an optional fraction in `[0, 1]` to integer parts-per-million
+/// (`None` — nothing measured — renders as 0).
+fn ppm(fraction: Option<f64>) -> i64 {
+    (fraction.unwrap_or(0.0) * 1e6).round() as i64
 }
 
 /// Deterministic metrics snapshot from one iteration: scheduler, GPU and
@@ -267,6 +289,16 @@ impl SingleRun {
     /// Application-level TLP.
     pub fn tlp(&self) -> f64 {
         self.profile().tlp()
+    }
+
+    /// Blocked-time blame attribution (the bottleneck profiler).
+    pub fn blame(&self) -> blame::BlameReport {
+        blame::blame(&self.trace, &self.filter)
+    }
+
+    /// Wait-for graph critical path and the what-if TLP upper bound.
+    pub fn critical_path(&self) -> critical::CriticalPath {
+        critical::critical_path(&self.trace, &self.filter)
     }
 
     /// GPU utilization on device 0.

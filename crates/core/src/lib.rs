@@ -15,6 +15,8 @@
 //!   embarrassingly parallel protocol scales with host cores while staying
 //!   byte-identical to the serial run.
 //! * [`suite`] — the full 30-application Table II sweep.
+//! * [`bottleneck`] — the "why is TLP low" report: blocked-time blame and
+//!   critical-path what-if bounds over the same iterations as Table II.
 //! * [`figures`] — one builder per table and figure (Table I–III,
 //!   Figures 2–13, and the §III-D automation validation); each returns
 //!   structured data plus a rendered text/markdown report.
@@ -34,6 +36,7 @@
 //! assert!(m.tlp.mean() > 7.0); // HandBrake saturates the 6C/12T rig
 //! ```
 
+pub mod bottleneck;
 pub mod energy;
 pub mod experiment;
 pub mod figures;
@@ -42,6 +45,7 @@ pub mod report;
 pub mod runner;
 pub mod suite;
 
+pub use bottleneck::{render_blame, run_blame, AppBlame};
 pub use experiment::{Budget, Experiment, Measurement, RunMetrics, SingleRun};
 pub use runner::{RunContext, RunRequest, Runner, SerialRunner, ThreadPoolRunner};
 pub use suite::{run_table2, AppMeasurement};

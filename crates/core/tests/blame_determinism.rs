@@ -1,0 +1,81 @@
+//! Determinism guarantee for the bottleneck profiler: blame attribution,
+//! critical paths and the rendered `repro --blame` table derive from
+//! virtual-time traces only, so the thread-pool runner must produce
+//! byte-identical output to the serial runner — and the what-if TLP upper
+//! bound must actually bound the measured TLP, per the profiler's contract.
+
+use parastat::bottleneck::{render_blame, run_blame_for};
+use parastat::{Budget, RunContext};
+use simcore::SimDuration;
+use workloads::AppId;
+
+/// The same three-app subset as `runner_determinism.rs`: a pipeline
+/// transcoder, a multi-process browser and a GPU pump cover every wait
+/// family (event, GPU packet, sleep, preemption).
+const SUBSET: [AppId; 3] = [AppId::Handbrake, AppId::Chrome, AppId::EasyMiner];
+
+fn budget() -> Budget {
+    Budget {
+        duration: SimDuration::from_secs(5),
+        iterations: 2,
+    }
+}
+
+#[test]
+fn pooled_blame_report_matches_serial_byte_for_byte() {
+    let serial = render_blame(&run_blame_for(&RunContext::serial(), &SUBSET, budget()));
+    let pooled = render_blame(&run_blame_for(&RunContext::pooled(4), &SUBSET, budget()));
+    assert_eq!(
+        serial, pooled,
+        "the blame table must not depend on the job count"
+    );
+}
+
+#[test]
+fn every_app_gets_a_bottleneck_and_a_valid_bound() {
+    let rows = run_blame_for(&RunContext::pooled(4), &SUBSET, budget());
+    assert_eq!(rows.len(), SUBSET.len());
+    for r in &rows {
+        assert!(
+            r.tlp_upper_bound >= r.measured_tlp,
+            "{}: what-if bound {} below measured TLP {}",
+            r.app.display_name(),
+            r.tlp_upper_bound,
+            r.measured_tlp
+        );
+        assert!(
+            r.top_blocker.is_some(),
+            "{}: no serialization bottleneck attributed",
+            r.app.display_name()
+        );
+    }
+    // Multi-threaded apps lose real core-time to their top blocker; a
+    // single-threaded GPU pump (EasyMiner) can legitimately lose none,
+    // because intervals where no app thread runs are uncharged (Eq. 1's
+    // non-idle normalization).
+    for r in rows.iter().take(2) {
+        assert!(r.lost_core_ns > 0, "{}", r.app.display_name());
+    }
+}
+
+#[test]
+fn profiler_gauges_render_identically_across_job_counts() {
+    let exp = parastat::suite::table2_experiment(AppId::VlcMediaPlayer, budget());
+    let serial = RunContext::serial().run_single(&exp, 7);
+    let pooled = RunContext::pooled(4).run_single(&exp, 7);
+    assert_eq!(
+        serial.metrics.to_prometheus(),
+        pooled.metrics.to_prometheus()
+    );
+    let frac = serial
+        .metrics
+        .registry
+        .gauge_value("parastat_critical_path_fraction_ppm", &[])
+        .expect("critical-path gauge present");
+    assert!((0..=1_000_000).contains(&frac), "fraction ppm {frac}");
+    assert!(serial
+        .metrics
+        .registry
+        .gauge_value("parastat_top_blocker_share_ppm", &[])
+        .is_some());
+}

@@ -23,6 +23,21 @@ pub struct SubmissionId {
     pub packet: u64,
 }
 
+/// A single-process analysis filter: `pid.into()` replaces hand-building
+/// `[pid.0].into_iter().collect()` at every call site.
+impl From<Pid> for etwtrace::PidSet {
+    fn from(pid: Pid) -> Self {
+        [pid.0].into_iter().collect()
+    }
+}
+
+/// Collects typed pids straight into an analysis filter.
+impl FromIterator<Pid> for etwtrace::PidSet {
+    fn from_iter<T: IntoIterator<Item = Pid>>(iter: T) -> Self {
+        iter.into_iter().map(|p| p.0).collect()
+    }
+}
+
 impl fmt::Display for Pid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "pid{}", self.0)
@@ -49,5 +64,13 @@ mod tests {
     fn ordering_matches_inner() {
         assert!(Tid(1) < Tid(2));
         assert!(EventId(0) < EventId(5));
+    }
+
+    #[test]
+    fn pids_convert_to_filters() {
+        let one: etwtrace::PidSet = Pid(7).into();
+        assert!(one.contains(7) && one.len() == 1);
+        let many: etwtrace::PidSet = [Pid(1), Pid(4)].into_iter().collect();
+        assert!(many.contains(1) && many.contains(4) && many.len() == 2);
     }
 }

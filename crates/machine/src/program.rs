@@ -108,13 +108,15 @@ impl ThreadCtx<'_> {
 
     /// Signals an event once (wakes one waiter, or banks a unit).
     pub fn signal(&mut self, event: EventId) {
-        self.machine.queue_signal(event, 1);
+        let tid = self.tid;
+        self.machine.queue_signal_from(event, 1, tid);
     }
 
     /// Signals an event `n` times.
     pub fn signal_n(&mut self, event: EventId, n: u64) {
         if n > 0 {
-            self.machine.queue_signal(event, n);
+            let tid = self.tid;
+            self.machine.queue_signal_from(event, n, tid);
         }
     }
 
@@ -149,8 +151,9 @@ impl ThreadCtx<'_> {
         gflop: f64,
     ) -> SubmissionId {
         let pid = self.pid;
+        let tid = self.tid;
         self.machine
-            .submit_gpu(gpu, queue, Packet::new(kind, gflop, pid.0))
+            .submit_gpu(tid, gpu, queue, Packet::new(kind, gflop, pid.0))
     }
 
     /// Submits a fixed-function video-encode job (`frames_1080p`
@@ -160,7 +163,8 @@ impl ThreadCtx<'_> {
     /// Panics if the GPU has no encoder.
     pub fn submit_encode(&mut self, gpu: usize, frames_1080p: f64) -> SubmissionId {
         let pid = self.pid;
-        self.machine.submit_encode(gpu, frames_1080p, pid)
+        let tid = self.tid;
+        self.machine.submit_encode(tid, gpu, frames_1080p, pid)
     }
 
     /// Restricts this thread to the logical CPUs whose bits are set in

@@ -6,6 +6,7 @@ use crate::ids::{EventId, Pid, SubmissionId, Tid};
 use crate::metrics::SchedMetrics;
 use crate::program::{Action, ThreadCtx, ThreadProgram};
 use crate::work::Work;
+use etwtrace::event::WaitReason;
 use etwtrace::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent};
 use simcore::{EventCalendar, Rng, SimDuration, SimTime};
 use simcpu::ComputeKind;
@@ -26,8 +27,9 @@ enum Ev {
     Quantum(usize, u64),
     /// The GPU device reaches a packet boundary.
     GpuTick(usize, u64),
-    /// A deferred semaphore signal.
-    Signal(EventId, u64),
+    /// A deferred semaphore signal; the optional [`Tid`] is the signalling
+    /// thread, recorded in wake events for wait attribution.
+    Signal(EventId, u64, Option<Tid>),
 }
 
 #[derive(Debug)]
@@ -240,7 +242,15 @@ impl Machine {
     /// loop at the current instant).
     pub fn queue_signal(&mut self, event: EventId, n: u64) {
         assert!((event.0 as usize) < self.sems.len(), "unknown event");
-        self.calendar.schedule(self.now, Ev::Signal(event, n));
+        self.calendar.schedule(self.now, Ev::Signal(event, n, None));
+    }
+
+    /// Signals an event on behalf of thread `from`, so woken waiters can
+    /// name their waker (used by [`ThreadCtx::signal`]).
+    pub(crate) fn queue_signal_from(&mut self, event: EventId, n: u64, from: Tid) {
+        assert!((event.0 as usize) < self.sems.len(), "unknown event");
+        self.calendar
+            .schedule(self.now, Ev::Signal(event, n, Some(from)));
     }
 
     pub(crate) fn try_consume(&mut self, event: EventId) -> bool {
@@ -254,23 +264,82 @@ impl Machine {
     }
 
     /// Submits a GPU packet (used by [`ThreadCtx::submit_gpu`]).
-    pub(crate) fn submit_gpu(&mut self, gpu: usize, queue: usize, packet: Packet) -> SubmissionId {
+    pub(crate) fn submit_gpu(
+        &mut self,
+        tid: Tid,
+        gpu: usize,
+        queue: usize,
+        packet: Packet,
+    ) -> SubmissionId {
         assert!(gpu < self.gpus.len(), "gpu {gpu} out of range");
         let mut events = Vec::new();
         let id = self.gpus[gpu].submit(self.now, queue, packet, &mut events);
         self.emit_gpu_events(gpu, &events);
         self.reschedule_gpu(gpu);
+        self.trace_gpu_submit(tid, gpu, id.0);
         SubmissionId { gpu, packet: id.0 }
     }
 
     /// Submits a fixed-function encode job (used by [`ThreadCtx::submit_encode`]).
-    pub(crate) fn submit_encode(&mut self, gpu: usize, frames: f64, pid: Pid) -> SubmissionId {
+    pub(crate) fn submit_encode(
+        &mut self,
+        tid: Tid,
+        gpu: usize,
+        frames: f64,
+        pid: Pid,
+    ) -> SubmissionId {
         assert!(gpu < self.gpus.len(), "gpu {gpu} out of range");
         let mut events = Vec::new();
         let id = self.gpus[gpu].submit_encode(self.now, frames, pid.0, &mut events);
         self.emit_gpu_events(gpu, &events);
         self.reschedule_gpu(gpu);
+        self.trace_gpu_submit(tid, gpu, id.0);
         SubmissionId { gpu, packet: id.0 }
+    }
+
+    /// Records a packet submission. Pushed *after* the device's own events —
+    /// catching up the device can emit completions timestamped before `now`,
+    /// and the trace builder requires non-decreasing order. Consumers must
+    /// therefore tolerate a packet's `GpuStart` preceding its `GpuSubmit`
+    /// at the same instant.
+    fn trace_gpu_submit(&mut self, tid: Tid, gpu: usize, packet: u64) {
+        let key = self.key_of(tid);
+        self.trace.push(TraceEvent::GpuSubmit {
+            at: self.now,
+            key,
+            gpu,
+            packet,
+        });
+    }
+
+    fn key_of(&self, tid: Tid) -> ThreadKey {
+        ThreadKey {
+            pid: self.threads[tid.0 as usize].pid.0,
+            tid: tid.0,
+        }
+    }
+
+    /// Records that `tid` stopped making progress for `reason`.
+    fn trace_wait_begin(&mut self, tid: Tid, reason: WaitReason) {
+        let key = self.key_of(tid);
+        self.trace.push(TraceEvent::WaitBegin {
+            at: self.now,
+            key,
+            reason,
+        });
+    }
+
+    /// Records that `tid`'s wait for `reason` ended, optionally naming the
+    /// thread whose signal released it.
+    fn trace_wait_end(&mut self, tid: Tid, reason: WaitReason, waker: Option<Tid>) {
+        let key = self.key_of(tid);
+        let waker = waker.map(|w| self.key_of(w));
+        self.trace.push(TraceEvent::WaitEnd {
+            at: self.now,
+            key,
+            reason,
+            waker,
+        });
     }
 
     pub(crate) fn trace_frame(&mut self, pid: Pid) {
@@ -368,6 +437,7 @@ impl Machine {
             Ev::Timer(tid, gen) => {
                 let th = &self.threads[tid.0 as usize];
                 if th.gen == gen && matches!(th.state, TState::Sleeping) {
+                    self.trace_wait_end(tid, WaitReason::Sleep, None);
                     self.advance_thread(tid);
                 }
             }
@@ -396,7 +466,7 @@ impl Machine {
                 self.emit_gpu_events(gpu, &events);
                 self.reschedule_gpu(gpu);
             }
-            Ev::Signal(event, n) => {
+            Ev::Signal(event, n, from) => {
                 self.sems[event.0 as usize].count += n;
                 while self.sems[event.0 as usize].count > 0 {
                     let Some(tid) = self.sems[event.0 as usize].waiters.pop_front() else {
@@ -407,6 +477,7 @@ impl Machine {
                         self.threads[tid.0 as usize].state,
                         TState::WaitingEvent(_)
                     ));
+                    self.trace_wait_end(tid, WaitReason::Event { id: event.0 }, from);
                     self.advance_thread(tid);
                 }
             }
@@ -503,6 +574,7 @@ impl Machine {
                     let gen = th.gen;
                     self.calendar
                         .schedule(self.now.saturating_add(d), Ev::Timer(tid, gen));
+                    self.trace_wait_begin(tid, WaitReason::Sleep);
                     return;
                 }
                 Action::WaitEvent(ev) => {
@@ -511,6 +583,7 @@ impl Machine {
                     }
                     self.threads[tid.0 as usize].state = TState::WaitingEvent(ev);
                     self.sems[ev.0 as usize].waiters.push_back(tid);
+                    self.trace_wait_begin(tid, WaitReason::Event { id: ev.0 });
                     return;
                 }
                 Action::WaitGpu(sub) => {
@@ -519,6 +592,7 @@ impl Machine {
                     }
                     self.threads[tid.0 as usize].state = TState::WaitingGpu(sub);
                     self.gpu_waiters.entry(sub).or_default().push(tid);
+                    self.trace_wait_begin(tid, gpu_wait_reason(sub));
                     return;
                 }
                 Action::Exit => {
@@ -546,6 +620,7 @@ impl Machine {
                 }
                 Action::Yield => {
                     self.release_cpu(tid, cpu);
+                    self.trace_wait_begin(tid, WaitReason::Yield);
                     self.threads[tid.0 as usize].pending = Some(Work::NONE);
                     self.make_ready(tid);
                     return;
@@ -558,6 +633,7 @@ impl Machine {
                     let gen = th.gen;
                     self.calendar
                         .schedule(self.now.saturating_add(d), Ev::Timer(tid, gen));
+                    self.trace_wait_begin(tid, WaitReason::Sleep);
                     return;
                 }
                 Action::WaitEvent(ev) => {
@@ -567,6 +643,7 @@ impl Machine {
                     self.release_cpu(tid, cpu);
                     self.threads[tid.0 as usize].state = TState::WaitingEvent(ev);
                     self.sems[ev.0 as usize].waiters.push_back(tid);
+                    self.trace_wait_begin(tid, WaitReason::Event { id: ev.0 });
                     return;
                 }
                 Action::WaitGpu(sub) => {
@@ -576,6 +653,7 @@ impl Machine {
                     self.release_cpu(tid, cpu);
                     self.threads[tid.0 as usize].state = TState::WaitingGpu(sub);
                     self.gpu_waiters.entry(sub).or_default().push(tid);
+                    self.trace_wait_begin(tid, gpu_wait_reason(sub));
                     return;
                 }
                 Action::Exit => {
@@ -776,6 +854,7 @@ impl Machine {
         // Preempt: back of the queue, keep remaining work.
         self.metrics.preemptions.inc();
         self.release_cpu(tid, cpu);
+        self.trace_wait_begin(tid, WaitReason::Preempted);
         self.make_ready(tid);
     }
 
@@ -848,6 +927,7 @@ impl Machine {
                                 self.threads[tid.0 as usize].state,
                                 TState::WaitingGpu(_)
                             ));
+                            self.trace_wait_end(tid, gpu_wait_reason(sub), None);
                             self.advance_thread(tid);
                         }
                     } else {
@@ -865,6 +945,14 @@ impl Machine {
             self.calendar
                 .schedule(t.max(self.now), Ev::GpuTick(gpu, gen));
         }
+    }
+}
+
+/// The [`WaitReason`] naming a pending GPU submission.
+fn gpu_wait_reason(sub: SubmissionId) -> WaitReason {
+    WaitReason::Gpu {
+        gpu: sub.gpu as u32,
+        packet: sub.packet,
     }
 }
 
@@ -914,7 +1002,7 @@ mod tests {
     }
 
     fn tlp_of(trace: &EtlTrace, pid: Pid) -> f64 {
-        let filter: PidSet = [pid.0].into_iter().collect();
+        let filter: PidSet = pid.into();
         analysis::concurrency(trace, &filter).tlp()
     }
 
@@ -976,7 +1064,7 @@ mod tests {
         }
         m.run_for(SimDuration::from_millis(100));
         let trace = m.into_trace();
-        let filter: PidSet = [pid.0].into_iter().collect();
+        let filter: PidSet = pid.into();
         let prof = analysis::concurrency(&trace, &filter);
         assert_eq!(prof.max_concurrency(), 4);
         let tlp = prof.tlp();
@@ -1286,7 +1374,7 @@ mod tests {
         let ms = done_at.as_secs_f64() * 1e3;
         assert!((ms - 10.0).abs() < 0.5, "woke at {ms} ms");
         // And the trace carries the packet interval for utilization.
-        let filter: PidSet = [pid.0].into_iter().collect();
+        let filter: PidSet = pid.into();
         let util = analysis::gpu_utilization(&trace, &filter, Some(0));
         assert!((util.busy_frac - 0.1).abs() < 0.02, "{util:?}");
     }
@@ -1486,8 +1574,8 @@ mod tests {
         );
         m.run_for(SimDuration::from_millis(200));
         let trace = m.into_trace();
-        let fg: etwtrace::PidSet = [pid_fg.0].into_iter().collect();
-        let bg: etwtrace::PidSet = [pid_bg.0].into_iter().collect();
+        let fg: etwtrace::PidSet = pid_fg.into();
+        let bg: etwtrace::PidSet = pid_bg.into();
         let fg_busy = 1.0 - analysis::concurrency(&trace, &fg).fractions()[0];
         let bg_busy = 1.0 - analysis::concurrency(&trace, &bg).fractions()[0];
         assert!(

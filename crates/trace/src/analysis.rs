@@ -540,6 +540,8 @@ pub struct LatencyStats {
     pub p50_us: f64,
     /// 95th-percentile delay in microseconds.
     pub p95_us: f64,
+    /// 99th-percentile delay in microseconds (tail responsiveness).
+    pub p99_us: f64,
     /// Worst delay in microseconds.
     pub max_us: f64,
 }
@@ -577,6 +579,7 @@ pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
             mean_us: 0.0,
             p50_us: 0.0,
             p95_us: 0.0,
+            p99_us: 0.0,
             max_us: 0.0,
         };
     }
@@ -585,12 +588,14 @@ pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
     let mean_us = delays.iter().sum::<f64>() / delays.len() as f64;
     let p50_us = quantile(&delays, 0.50);
     let p95_us = quantile(&delays, 0.95);
+    let p99_us = quantile(&delays, 0.99);
     let max_us = *delays.last().expect("non-empty");
     LatencyStats {
         count,
         mean_us,
         p50_us,
         p95_us,
+        p99_us,
         max_us,
     }
 }
@@ -893,10 +898,12 @@ mod tests {
         assert!((lat.mean_us - (1000.0 + 2000.0 + 10_000.0) / 3.0).abs() < 1e-6);
         assert_eq!(lat.max_us, 10_000.0);
         // Interpolated quantiles: p50 at rank 1.0, p95 at rank 1.9
-        // (2000 + 0.9 * 8000). Nearest-rank would wrongly report p100.
+        // (2000 + 0.9 * 8000), p99 at rank 1.98 (2000 + 0.98 * 8000).
+        // Nearest-rank would wrongly report p100 for both tails.
         assert_eq!(lat.p50_us, 2000.0);
         assert!((lat.p95_us - 9200.0).abs() < 1e-9, "p95 {}", lat.p95_us);
-        assert!(lat.p95_us < lat.max_us);
+        assert!((lat.p99_us - 9840.0).abs() < 1e-9, "p99 {}", lat.p99_us);
+        assert!(lat.p95_us < lat.p99_us && lat.p99_us < lat.max_us);
         // Other pids are excluded.
         let other: PidSet = [9u64].into_iter().collect();
         assert_eq!(scheduling_latency(&t, &other).count, 0);
@@ -913,6 +920,61 @@ mod tests {
         assert_eq!(lat.count, 0);
         assert_eq!(lat.p50_us, 0.0);
         assert_eq!(lat.p95_us, 0.0);
+        assert_eq!(lat.p99_us, 0.0);
+    }
+
+    #[test]
+    fn schedule_stats_on_empty_and_single_event_traces() {
+        let filter: PidSet = [1u64].into_iter().collect();
+        // Empty trace: no episodes, mean well-defined at zero.
+        let empty = TraceBuilder::new(2).finish(SimTime::ZERO, SimTime::ZERO);
+        let s = schedule_stats(&empty, &filter);
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.mean_slice_ms, 0.0);
+        assert_eq!(s.max_slice_ms, 0.0);
+        assert_eq!(s.migrations, 0);
+        // A lone switch-in never completes an episode (no switch-out).
+        let mut b = TraceBuilder::new(2);
+        b.push(sw(0, 0, None, Some(key(1, 10))));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(5));
+        let s = schedule_stats(&t, &filter);
+        assert_eq!(s.episodes, 0);
+        assert_eq!(s.mean_slice_ms, 0.0);
+        assert_eq!(s.migrations, 0);
+    }
+
+    #[test]
+    fn per_process_summary_on_empty_and_single_event_traces() {
+        // Empty trace: no processes at all.
+        let empty = TraceBuilder::new(2).finish(SimTime::ZERO, SimTime::ZERO);
+        assert!(per_process_summary(&empty).is_empty());
+        // Single ProcessStart: one row, all resource columns zero.
+        let mut b = TraceBuilder::new(2);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 3,
+            name: "lonely.exe".into(),
+        });
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(5));
+        let summary = per_process_summary(&t);
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].pid, 3);
+        assert_eq!(summary[0].name, "lonely.exe");
+        assert_eq!(summary[0].threads, 0);
+        assert_eq!(summary[0].cpu_seconds, 0.0);
+        assert_eq!(summary[0].cpu_percent, 0.0);
+        assert_eq!(summary[0].gpu_percent, 0.0);
+        // A thread still on-CPU at the window end is charged to the end.
+        let mut b = TraceBuilder::new(2);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 3,
+            name: "runner.exe".into(),
+        });
+        b.push(sw(1, 0, None, Some(key(3, 30))));
+        let t = b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(5));
+        let summary = per_process_summary(&t);
+        assert!((summary[0].cpu_seconds - 0.004).abs() < 1e-9);
     }
 
     #[test]

@@ -205,6 +205,12 @@ pub fn chrome_trace(trace: &EtlTrace) -> String {
             TraceEvent::Marker { at, label } => {
                 em.instant(label, *at, CPU_PID, 0, "");
             }
+            // Wait-state records drive the blame/critical-path analyzers;
+            // the timeline already shows the resulting idle gaps, so they
+            // add no extra tracks here.
+            TraceEvent::WaitBegin { .. }
+            | TraceEvent::WaitEnd { .. }
+            | TraceEvent::GpuSubmit { .. } => {}
         }
     }
 

@@ -10,12 +10,15 @@
 //! Generic functions take `R: Read` / `W: Write` by value; pass `&mut r`
 //! for a reader you want to keep using.
 
-use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent};
+use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
 use simcore::SimTime;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"SETL";
-const VERSION: u32 = 1;
+/// Version 2 added the wait-state records (`WaitBegin`/`WaitEnd`/
+/// `GpuSubmit`, tags 8–10). Version-1 files are still readable — their tag
+/// set is a strict subset.
+const VERSION: u32 = 2;
 
 /// Writes a trace in the binary `.etl`-style format.
 ///
@@ -46,7 +49,7 @@ pub fn read_etl<R: Read>(mut r: R) -> io::Result<EtlTrace> {
         return Err(bad("not a SETL trace file"));
     }
     let version = get_u32(&mut r)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(bad("unsupported SETL version"));
     }
     let n_logical = get_u32(&mut r)? as usize;
@@ -140,6 +143,36 @@ fn write_event<W: Write>(w: &mut W, ev: &TraceEvent) -> io::Result<()> {
             put_u64(w, at.as_nanos())?;
             put_str(w, label)?;
         }
+        TraceEvent::WaitBegin { at, key, reason } => {
+            w.write_all(&[8])?;
+            put_u64(w, at.as_nanos())?;
+            put_key(w, *key)?;
+            put_reason(w, *reason)?;
+        }
+        TraceEvent::WaitEnd {
+            at,
+            key,
+            reason,
+            waker,
+        } => {
+            w.write_all(&[9])?;
+            put_u64(w, at.as_nanos())?;
+            put_key(w, *key)?;
+            put_reason(w, *reason)?;
+            put_opt_key(w, *waker)?;
+        }
+        TraceEvent::GpuSubmit {
+            at,
+            key,
+            gpu,
+            packet,
+        } => {
+            w.write_all(&[10])?;
+            put_u64(w, at.as_nanos())?;
+            put_key(w, *key)?;
+            put_u32(w, *gpu as u32)?;
+            put_u64(w, *packet)?;
+        }
     }
     Ok(())
 }
@@ -200,7 +233,57 @@ fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
             at,
             label: get_str(r)?,
         },
+        8 => TraceEvent::WaitBegin {
+            at,
+            key: get_key(r)?,
+            reason: get_reason(r)?,
+        },
+        9 => TraceEvent::WaitEnd {
+            at,
+            key: get_key(r)?,
+            reason: get_reason(r)?,
+            waker: get_opt_key(r)?,
+        },
+        10 => TraceEvent::GpuSubmit {
+            at,
+            key: get_key(r)?,
+            gpu: get_u32(r)? as usize,
+            packet: get_u64(r)?,
+        },
         _ => return Err(bad("unknown event tag")),
+    })
+}
+
+fn put_reason<W: Write>(w: &mut W, reason: WaitReason) -> io::Result<()> {
+    match reason {
+        WaitReason::Preempted => w.write_all(&[0]),
+        WaitReason::Yield => w.write_all(&[1]),
+        WaitReason::Sleep => w.write_all(&[2]),
+        WaitReason::Event { id } => {
+            w.write_all(&[3])?;
+            put_u64(w, id)
+        }
+        WaitReason::Gpu { gpu, packet } => {
+            w.write_all(&[4])?;
+            put_u32(w, gpu)?;
+            put_u64(w, packet)
+        }
+    }
+}
+
+fn get_reason<R: Read>(r: &mut R) -> io::Result<WaitReason> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => WaitReason::Preempted,
+        1 => WaitReason::Yield,
+        2 => WaitReason::Sleep,
+        3 => WaitReason::Event { id: get_u64(r)? },
+        4 => WaitReason::Gpu {
+            gpu: get_u32(r)?,
+            packet: get_u64(r)?,
+        },
+        _ => return Err(bad("unknown wait reason tag")),
     })
 }
 
@@ -299,12 +382,23 @@ mod tests {
             new: Some(ThreadKey { pid: 1, tid: 10 }),
             ready_since: Some(SimTime::ZERO),
         });
+        b.push(TraceEvent::GpuSubmit {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            key: ThreadKey { pid: 1, tid: 10 },
+            gpu: 0,
+            packet: 9,
+        });
         b.push(TraceEvent::GpuStart {
             at: SimTime::ZERO + SimDuration::from_millis(2),
             gpu: 0,
             engine: u32::MAX,
             packet: 9,
             pid: 1,
+        });
+        b.push(TraceEvent::WaitBegin {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            key: ThreadKey { pid: 1, tid: 10 },
+            reason: WaitReason::Gpu { gpu: 0, packet: 9 },
         });
         b.push(TraceEvent::GpuEnd {
             at: SimTime::ZERO + SimDuration::from_millis(3),
@@ -313,9 +407,26 @@ mod tests {
             packet: 9,
             pid: 1,
         });
+        b.push(TraceEvent::WaitEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(3),
+            key: ThreadKey { pid: 1, tid: 10 },
+            reason: WaitReason::Gpu { gpu: 0, packet: 9 },
+            waker: None,
+        });
         b.push(TraceEvent::Frame {
             at: SimTime::ZERO + SimDuration::from_millis(4),
             pid: 1,
+        });
+        b.push(TraceEvent::WaitBegin {
+            at: SimTime::ZERO + SimDuration::from_millis(4),
+            key: ThreadKey { pid: 1, tid: 10 },
+            reason: WaitReason::Event { id: 5 },
+        });
+        b.push(TraceEvent::WaitEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            key: ThreadKey { pid: 1, tid: 10 },
+            reason: WaitReason::Event { id: 5 },
+            waker: Some(ThreadKey { pid: 1, tid: 11 }),
         });
         b.push(TraceEvent::Marker {
             at: SimTime::ZERO + SimDuration::from_millis(5),

@@ -93,6 +93,75 @@ pub enum TraceEvent {
         /// Label text.
         label: String,
     },
+    /// A thread stopped making progress, with the reason — the wait-state
+    /// channel of the paper's ETW traces that manual inspection reads to
+    /// explain a low TLP. Emitted when the thread leaves the CPU for a
+    /// blocking reason, or when the scheduler preempts it.
+    WaitBegin {
+        /// Event timestamp.
+        at: SimTime,
+        /// The waiting thread.
+        key: ThreadKey,
+        /// Why the thread is not running.
+        reason: WaitReason,
+    },
+    /// A blocking wait ended: the thread is runnable again. `waker` names
+    /// the thread whose signal released it, when one is known (event
+    /// signals); timer and GPU wakes carry `None`.
+    WaitEnd {
+        /// Event timestamp.
+        at: SimTime,
+        /// The formerly waiting thread.
+        key: ThreadKey,
+        /// The reason the wait began.
+        reason: WaitReason,
+        /// The signalling thread, if the wake was another thread's doing.
+        waker: Option<ThreadKey>,
+    },
+    /// A thread queued a GPU work packet — the edge that ties CPU timeline
+    /// to GPU timeline in the wait-for graph.
+    GpuSubmit {
+        /// Submission time.
+        at: SimTime,
+        /// Submitting thread.
+        key: ThreadKey,
+        /// GPU device index.
+        gpu: usize,
+        /// Packet id.
+        packet: u64,
+    },
+}
+
+/// Why a thread is off the CPU (or runnable but not running), carried by
+/// [`TraceEvent::WaitBegin`] / [`TraceEvent::WaitEnd`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WaitReason {
+    /// Ready to run but preempted at a quantum expiry.
+    Preempted,
+    /// Voluntarily yielded the CPU (still runnable).
+    Yield,
+    /// Sleeping on a timer.
+    Sleep,
+    /// Blocked on a kernel event (counting semaphore).
+    Event {
+        /// The event's id.
+        id: u64,
+    },
+    /// Blocked on a previously submitted GPU packet.
+    Gpu {
+        /// GPU device index.
+        gpu: u32,
+        /// Packet id.
+        packet: u64,
+    },
+}
+
+impl WaitReason {
+    /// True for reasons where the thread is runnable the whole time
+    /// (preemption, yield) rather than blocked.
+    pub fn is_runnable(&self) -> bool {
+        matches!(self, WaitReason::Preempted | WaitReason::Yield)
+    }
 }
 
 impl TraceEvent {
@@ -106,7 +175,10 @@ impl TraceEvent {
             | TraceEvent::GpuStart { at, .. }
             | TraceEvent::GpuEnd { at, .. }
             | TraceEvent::Frame { at, .. }
-            | TraceEvent::Marker { at, .. } => *at,
+            | TraceEvent::Marker { at, .. }
+            | TraceEvent::WaitBegin { at, .. }
+            | TraceEvent::WaitEnd { at, .. }
+            | TraceEvent::GpuSubmit { at, .. } => *at,
         }
     }
 }

@@ -27,10 +27,14 @@
 //! its methodology from the system-wide TLP of the 2000/2010 studies.
 
 pub mod analysis;
+pub mod blame;
 pub mod chrome;
+pub mod critical;
 pub mod etl;
 pub mod event;
 pub mod export;
 
 pub use analysis::{ConcurrencyProfile, GpuUtil, LatencyStats, ProcessSummary, ScheduleStats};
-pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent};
+pub use blame::{BlameReport, Blocker, BlockerStat, ThreadTimeBreakdown};
+pub use critical::{critical_path, CriticalPath};
+pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
