@@ -1,0 +1,96 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented glue
+
+//! Criterion bench for the trace verifier and the happens-before analyzer:
+//! events/second over a large synthetic trace (the profiler bench's signal
+//! chain — context switches, event waits with wakers, GPU submissions).
+//! The trace is built once outside the timing loop, so the figures isolate
+//! the two passes from trace construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etwtrace::{hb, verify, EtlTrace, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
+use simcore::SimTime;
+
+const THREADS: u64 = 24;
+const ROUNDS: u64 = 50_000;
+
+fn key(tid: u64) -> ThreadKey {
+    ThreadKey { pid: 1, tid }
+}
+
+fn ms(t: u64) -> SimTime {
+    SimTime::from_nanos(t * 1_000_000)
+}
+
+/// A ~250k-event signal-chain trace (see `benches/profiler.rs`).
+fn synthetic_trace() -> EtlTrace {
+    let mut b = TraceBuilder::new(12);
+    b.push(TraceEvent::ProcessStart {
+        at: ms(0),
+        pid: 1,
+        name: "app.exe".into(),
+    });
+    for tid in 0..THREADS {
+        b.push(TraceEvent::ThreadStart {
+            at: ms(0),
+            key: key(tid),
+            name: format!("t{tid}"),
+        });
+    }
+    for r in 0..ROUNDS {
+        let runner = r % THREADS;
+        let next = (r + 1) % THREADS;
+        b.push(TraceEvent::CSwitch {
+            at: ms(r),
+            cpu: (runner % 12) as usize,
+            old: None,
+            new: Some(key(runner)),
+            ready_since: Some(ms(r)),
+        });
+        b.push(TraceEvent::WaitBegin {
+            at: ms(r),
+            key: key(next),
+            reason: WaitReason::Event { id: next },
+        });
+        if r % 16 == 0 {
+            b.push(TraceEvent::GpuSubmit {
+                at: ms(r),
+                key: key(runner),
+                gpu: 0,
+                packet: r,
+            });
+        }
+        b.push(TraceEvent::WaitEnd {
+            at: ms(r + 1),
+            key: key(next),
+            reason: WaitReason::Event { id: next },
+            waker: Some(key(runner)),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: ms(r + 1),
+            cpu: (runner % 12) as usize,
+            old: Some(key(runner)),
+            new: None,
+            ready_since: None,
+        });
+    }
+    b.finish(ms(0), ms(ROUNDS + 1))
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let trace = synthetic_trace();
+    let n = trace.events().len();
+    eprintln!("# synthetic trace: {n} events");
+    c.bench_function("verify_invariants_250k_events", |b| {
+        b.iter(|| verify::verify_trace(&trace))
+    });
+    c.bench_function("verify_happens_before_250k_events", |b| {
+        b.iter(|| hb::analyze(&trace, &hb::HbOptions::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verify
+}
+criterion_main!(benches);

@@ -24,6 +24,10 @@
 //! budget and writes the per-iteration scheduler/GPU/calendar metrics in the
 //! Prometheus text exposition format. The snapshots are deterministic, so the
 //! file is diffable across machines and runs.
+//!
+//! `--verify` reports the context's trace-verification tally after the run —
+//! every fresh simulation's trace goes through the invariant checker — and
+//! exits 1 with the full diagnostic reports if anything fired.
 
 use parastat::figures::{
     ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
@@ -42,6 +46,7 @@ fn main() {
     let mut metrics_app = "handbrake".to_string();
     let mut jobs: Option<usize> = None;
     let mut want_blame = false;
+    let mut want_verify = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +75,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--metrics-app needs an app substring"));
             }
             "--blame" => want_blame = true,
+            "--verify" => want_verify = true,
             "all" => artefacts.extend(ARTEFACTS.iter().map(|s| s.to_string())),
             other if ARTEFACTS.contains(&other) => artefacts.push(other.to_string()),
             other => usage(&format!("unknown artefact `{other}`")),
@@ -177,6 +183,16 @@ fn main() {
     }
     let (hits, misses) = ctx.cache_stats();
     eprintln!("# simulations: {misses} run, {hits} served from cache");
+    if want_verify {
+        let (traces, findings) = ctx.verify_stats();
+        eprintln!("# verification: {traces} traces checked, {findings} findings");
+        if findings > 0 {
+            for report in ctx.verify_reports() {
+                eprintln!("{report}");
+            }
+            std::process::exit(1);
+        }
+    }
     eprintln!(
         "# done; paper says the average TLP is {:.1} across the suite",
         paper::AVERAGE_TLP
@@ -242,9 +258,10 @@ fn emit(out_dir: &Path, name: &str, report: &str, csv: Option<String>) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <artefact>...|all [--blame] [--budget quick|standard|paper] [--jobs N] [--out DIR]"
+        "usage: repro <artefact>...|all [--blame] [--verify] [--budget quick|standard|paper] [--jobs N] [--out DIR]"
     );
     eprintln!("       repro --blame [--budget …]");
+    eprintln!("       repro <artefact> --verify   # exit 1 if any trace fails verification");
     eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);

@@ -9,12 +9,15 @@
 //! tracetool latency <trace.etl> <process-prefix>         # ready→run delays
 //! tracetool bottlenecks <trace.etl> <process-prefix>     # blocked-time blame
 //! tracetool critical-path <trace.etl> <process-prefix>   # what-if TLP bound
+//! tracetool verify <trace.etl>                           # invariant + HB check
 //! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
 //! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
 //! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
 //! ```
+//!
+//! `verify` exits non-zero when any diagnostic fires, so CI can gate on it.
 
-use etwtrace::{analysis, blame, chrome, critical, etl, export, EtlTrace, PidSet};
+use etwtrace::{analysis, blame, chrome, critical, etl, export, hb, verify, EtlTrace, PidSet};
 use machine::{Machine, MachineConfig};
 use simcore::SimDuration;
 use std::fs::File;
@@ -128,6 +131,19 @@ fn main() {
             let (trace, filter) = load_filtered(&args, "critical-path");
             print!("{}", critical::critical_path(&trace, &filter).render());
         }
+        Some("verify") => {
+            let trace = load(&args, 2);
+            let report = verify::verify_trace(&trace);
+            print!("{}", report.render());
+            let causal = hb::analyze(&trace, &hb::HbOptions::default());
+            print!("{}", causal.render());
+            if !report.is_clean() || !causal.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", usage_text());
+        }
         Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
         Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
         Some("export-chrome") => {
@@ -142,9 +158,8 @@ fn main() {
                 trace.events().len()
             );
         }
-        _ => usage(
-            "record|summary|tlp|latency|bottlenecks|critical-path|export-cpu|export-gpu|export-chrome",
-        ),
+        Some(unknown) => usage(&format!("unknown subcommand `{unknown}`")),
+        None => usage("missing subcommand"),
     }
 }
 
@@ -185,14 +200,27 @@ fn resolve_app(wanted: &str) -> AppId {
         .unwrap_or_else(|| usage(&format!("no app matches `{wanted}`")))
 }
 
+fn usage_text() -> String {
+    [
+        "usage: tracetool <subcommand> …",
+        "       tracetool record <app> <secs> <out.etl>      record an app trace",
+        "       tracetool summary <trace.etl>                per-process overview",
+        "       tracetool tlp <trace.etl> <prefix>           TLP / concurrency (Eq. 1)",
+        "       tracetool latency <trace.etl> <prefix>       ready→run latency",
+        "       tracetool bottlenecks <trace.etl> <prefix>   blocked-time blame",
+        "       tracetool critical-path <trace.etl> <prefix> what-if TLP bound",
+        "       tracetool verify <trace.etl>                 invariant + happens-before check",
+        "       tracetool export-cpu <trace.etl>             CPU Usage (Precise) CSV",
+        "       tracetool export-gpu <trace.etl>             GPU Utilization (FM) CSV",
+        "       tracetool export-chrome <trace.etl> <out>    Perfetto timeline JSON",
+        "       tracetool help                               this listing",
+        "",
+    ]
+    .join("\n")
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("tracetool: {msg}");
-    eprintln!("usage: tracetool record <app> <secs> <out.etl>");
-    eprintln!("       tracetool summary|export-cpu|export-gpu <trace.etl>");
-    eprintln!("       tracetool tlp <trace.etl> <process-prefix>");
-    eprintln!("       tracetool latency <trace.etl> <process-prefix>");
-    eprintln!("       tracetool bottlenecks <trace.etl> <process-prefix>");
-    eprintln!("       tracetool critical-path <trace.etl> <process-prefix>");
-    eprintln!("       tracetool export-chrome <trace.etl> <out.json>");
+    eprint!("{}", usage_text());
     std::process::exit(2);
 }

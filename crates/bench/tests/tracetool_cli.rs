@@ -1,0 +1,74 @@
+//! End-to-end CLI tests for `tracetool`: record → verify round trip, the
+//! usage listing, and exit codes for help / unknown subcommands.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tracetool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tracetool"))
+        .args(args)
+        .output()
+        .expect("spawn tracetool")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tracetool-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn record_then_verify_exits_zero_on_a_clean_trace() {
+    let etl = tmp("clean.etl");
+    let rec = tracetool(&["record", "vlc", "1", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+
+    let ver = tracetool(&["verify", etl.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&ver.stdout);
+    assert!(ver.status.success(), "verify failed: {ver:?}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+    assert!(stdout.contains("happens-before:"), "{stdout}");
+    assert!(stdout.contains("0 findings"), "{stdout}");
+    let _ = std::fs::remove_file(&etl);
+}
+
+#[test]
+fn help_lists_every_subcommand_on_stdout() {
+    let out = tracetool(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for sub in [
+        "record",
+        "summary",
+        "tlp",
+        "latency",
+        "bottlenecks",
+        "critical-path",
+        "verify",
+        "export-cpu",
+        "export-gpu",
+        "export-chrome",
+    ] {
+        assert!(stdout.contains(sub), "usage is missing `{sub}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = tracetool(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown subcommand `frobnicate`"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("usage: tracetool"), "{stderr}");
+}
+
+#[test]
+fn missing_subcommand_exits_nonzero() {
+    let out = tracetool(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing subcommand"), "{stderr}");
+}

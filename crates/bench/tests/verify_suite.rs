@@ -1,0 +1,59 @@
+//! The simulator's end-to-end cleanliness guarantee: every application in
+//! the 30-app suite produces a trace that sails through both the invariant
+//! checker and the happens-before pass — the in-process twin of CI's
+//! `tracetool verify` gate over the canned vlc trace.
+
+use etwtrace::{hb, verify};
+use machine::{Machine, MachineConfig};
+use simcore::SimDuration;
+use workloads::{build, AppId, WorkloadOpts};
+
+#[test]
+fn every_suite_app_verifies_clean() {
+    for app in AppId::ALL {
+        let mut m = Machine::new(MachineConfig::study_rig(12, true));
+        let opts = WorkloadOpts {
+            duration: SimDuration::from_secs(1),
+            ..WorkloadOpts::default()
+        };
+        build(app, &mut m, &opts);
+        m.run_for(SimDuration::from_secs(1));
+        let trace = m.into_trace();
+
+        let report = verify::verify_trace(&trace);
+        assert!(
+            report.is_clean(),
+            "{}: verifier findings\n{}",
+            app.display_name(),
+            report.render()
+        );
+        let causal = hb::analyze(&trace, &hb::HbOptions::default());
+        assert!(
+            causal.is_clean(),
+            "{}: happens-before findings\n{}",
+            app.display_name(),
+            causal.render()
+        );
+    }
+}
+
+/// The mirror of the CI golden job: record the canned vlc trace and assert
+/// the `verify` pass is clean, so the gate fails locally before it fails in
+/// CI.
+#[test]
+fn canned_vlc_trace_verifies_clean() {
+    let mut m = Machine::new(MachineConfig::study_rig(12, true));
+    let opts = WorkloadOpts {
+        duration: SimDuration::from_secs(2),
+        ..WorkloadOpts::default()
+    };
+    build(AppId::VlcMediaPlayer, &mut m, &opts);
+    m.run_for(SimDuration::from_secs(2));
+    let trace = m.into_trace();
+    let report = verify::verify_trace(&trace);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.events_checked > 0);
+    let causal = hb::analyze(&trace, &hb::HbOptions::default());
+    assert!(causal.is_clean(), "{}", causal.render());
+    assert!(causal.n_wake_edges > 0, "vlc must exercise event wakes");
+}

@@ -183,6 +183,9 @@ pub struct RunContext {
     cache: Mutex<HashMap<RunKey, Arc<SingleRun>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    verify_traces: AtomicU64,
+    verify_findings: AtomicU64,
+    verify_reports: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for RunContext {
@@ -210,6 +213,9 @@ impl RunContext {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            verify_traces: AtomicU64::new(0),
+            verify_findings: AtomicU64::new(0),
+            verify_reports: Mutex::new(Vec::new()),
         }
     }
 
@@ -231,6 +237,8 @@ impl RunContext {
     /// A context sized by the `PARASTAT_JOBS` environment variable, or by
     /// [`std::thread::available_parallelism`] when unset/unparsable.
     pub fn from_env() -> RunContext {
+        // lint:allow(env-read): PARASTAT_JOBS is the documented job-count
+        // override; parallelism cannot change any rendered artefact.
         let jobs = std::env::var(JOBS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
@@ -266,6 +274,54 @@ impl RunContext {
         self.cache.lock().expect("run cache poisoned").clear();
     }
 
+    /// Verification tally over every fresh simulation this context ran:
+    /// `(traces checked, total verifier + happens-before findings)`.
+    ///
+    /// Every [`Experiment::run_once`] already verifies its sealed trace and
+    /// records the result as `parastat_verify_findings_total`; the context
+    /// reads that counter back, so the tally is free and always on.
+    pub fn verify_stats(&self) -> (u64, u64) {
+        (
+            self.verify_traces.load(Ordering::Relaxed),
+            self.verify_findings.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Rendered diagnostic reports for every fresh run with findings
+    /// (empty on a healthy simulator).
+    pub fn verify_reports(&self) -> Vec<String> {
+        self.verify_reports
+            .lock()
+            .expect("verify reports poisoned")
+            .clone()
+    }
+
+    /// Reads one run's verification counter into the context tally; runs
+    /// with findings get a full re-verification so the rendered diagnostics
+    /// can be reported.
+    fn tally_verification(&self, run: &SingleRun, label: &str) {
+        self.verify_traces.fetch_add(1, Ordering::Relaxed);
+        let findings = run
+            .metrics
+            .registry
+            .counter_value("parastat_verify_findings_total", &[])
+            .unwrap_or(0);
+        if findings == 0 {
+            return;
+        }
+        self.verify_findings.fetch_add(findings, Ordering::Relaxed);
+        let verified = etwtrace::verify::verify_trace(&run.trace);
+        let causal = etwtrace::hb::analyze(&run.trace, &etwtrace::HbOptions::default());
+        let mut report = format!("{label}:\n{}", verified.render());
+        if !causal.is_clean() {
+            report.push_str(&causal.render());
+        }
+        self.verify_reports
+            .lock()
+            .expect("verify reports poisoned")
+            .push(report);
+    }
+
     /// Executes a batch of requests, memoized, returning results in
     /// submission order.
     ///
@@ -288,7 +344,15 @@ impl RunContext {
         self.hits
             .fetch_add((requests.len() - fresh.len()) as u64, Ordering::Relaxed);
         if !fresh.is_empty() {
+            let labels: Vec<(usize, String)> = fresh
+                .iter()
+                .map(|(i, req)| (*i, format!("{:?} seed={}", req.experiment.app, req.seed)))
+                .collect();
             let executed = self.runner.execute(fresh);
+            for ((idx, run), (lidx, label)) in executed.iter().zip(&labels) {
+                debug_assert_eq!(idx, lidx);
+                self.tally_verification(run, label);
+            }
             let mut cache = self.cache.lock().expect("run cache poisoned");
             for (idx, run) in executed {
                 cache.insert(keys[idx].clone(), Arc::new(run));

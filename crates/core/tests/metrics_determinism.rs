@@ -52,6 +52,7 @@ fn snapshot_covers_sched_gpu_and_calendar_families() {
         "sim_gpu_packets_total",
         "sim_calendar_events_scheduled_total",
         "sim_calendar_heap_peak",
+        "parastat_verify_findings_total",
     ] {
         assert!(text.contains(family), "missing family {family}:\n{text}");
     }
@@ -60,4 +61,12 @@ fn snapshot_covers_sched_gpu_and_calendar_families() {
         .counter("sim_sched_context_switches_total")
         .unwrap();
     assert!(switches > 0, "a transcode run must context-switch");
+    let findings = run
+        .metrics
+        .counter("parastat_verify_findings_total")
+        .unwrap();
+    assert_eq!(
+        findings, 0,
+        "the simulator must emit verifiably clean traces"
+    );
 }

@@ -38,14 +38,23 @@ fn run_subset(ctx: &RunContext) -> Vec<AppMeasurement> {
 
 #[test]
 fn pooled_csv_and_prometheus_match_serial_byte_for_byte() {
-    let serial = run_subset(&RunContext::serial());
-    let pooled = run_subset(&RunContext::pooled(4));
+    let serial_ctx = RunContext::serial();
+    let pooled_ctx = RunContext::pooled(4);
+    let serial = run_subset(&serial_ctx);
+    let pooled = run_subset(&pooled_ctx);
 
     assert_eq!(
         suite::table2_csv(&serial),
         suite::table2_csv(&pooled),
         "table2 CSV must not depend on the job count"
     );
+    // The verification tally is part of the determinism contract too: both
+    // contexts checked the same fresh traces and found nothing.
+    assert_eq!(serial_ctx.verify_stats(), pooled_ctx.verify_stats());
+    let (traces, findings) = serial_ctx.verify_stats();
+    assert_eq!(traces, (SUBSET.len() * 2) as u64);
+    assert_eq!(findings, 0, "{:?}", serial_ctx.verify_reports());
+    assert!(pooled_ctx.verify_reports().is_empty());
     assert_eq!(suite::render_table2(&serial), suite::render_table2(&pooled));
     for (s, p) in serial.iter().zip(&pooled) {
         assert_eq!(s.measured.metrics.len(), 2);

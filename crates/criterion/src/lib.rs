@@ -25,6 +25,8 @@ impl Bencher {
     /// Times `f`, running it once per configured sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let n = self.iters.max(1);
+        // lint:allow(wall-clock): the bench harness exists to measure host
+        // time; bench output never feeds simulation results.
         let start = Instant::now();
         for _ in 0..n {
             black_box(f());

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use simcore::SimTime;
 use simgpu::{presets, Completion, GpuDevice, Packet, PacketKind};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 fn arb_kind() -> impl Strategy<Value = PacketKind> {
     prop_oneof![
@@ -27,7 +27,10 @@ proptest! {
     ) {
         let mut gpu = GpuDevice::new(presets::gtx_1080_ti());
         let mut events = Vec::new();
-        let mut ids_by_queue: HashMap<usize, Vec<u64>> = HashMap::new();
+        // BTreeMap: the loop below iterates this map, and the workspace
+        // determinism lint (`cargo run -p xtask -- lint`) rejects ordered
+        // output derived from HashMap iteration.
+        let mut ids_by_queue: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for (queue, kind, gflop) in subs {
             let id = gpu.submit(SimTime::ZERO, queue, Packet::new(kind, gflop, 1), &mut events);
             ids_by_queue.entry(queue).or_default().push(id.0);

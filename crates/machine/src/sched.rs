@@ -394,8 +394,24 @@ impl Machine {
     }
 
     /// Seals and returns the trace, consuming the machine.
+    ///
+    /// Debug builds run the [`etwtrace::verify`] invariant checker over the
+    /// sealed stream: a scheduler bug that corrupts the emission contract
+    /// (unbalanced waits, double CPU occupancy, broken GPU lifecycles)
+    /// fails fast here instead of skewing downstream TLP/blame analysis.
     pub fn into_trace(self) -> EtlTrace {
-        self.trace.finish(SimTime::ZERO, self.now)
+        let trace = self.trace.finish(SimTime::ZERO, self.now);
+        #[cfg(debug_assertions)]
+        {
+            let report = etwtrace::verify::verify_trace(&trace);
+            debug_assert_eq!(
+                report.errors(),
+                0,
+                "machine emitted an invalid trace:\n{}",
+                report.render()
+            );
+        }
+        trace
     }
 
     /// The scheduler's embedded metrics (live view).

@@ -477,6 +477,8 @@ impl WallProfile {
     /// Begins a span. Free when disabled.
     #[inline]
     pub fn start(&self) -> SpanTimer {
+        // lint:allow(wall-clock): the opt-in self-profiler measures host
+        // time by design and never feeds simulation results.
         SpanTimer(self.enabled.then(Instant::now))
     }
 

@@ -465,11 +465,14 @@ pub struct ProcessSummary {
 
 /// Summarizes every process in the trace, sorted by CPU seconds descending.
 pub fn per_process_summary(trace: &EtlTrace) -> Vec<ProcessSummary> {
-    use std::collections::HashMap;
+    // BTreeMaps: `names` is iterated into the (sorted) output rows, and the
+    // workspace determinism lint rejects ordered output derived from
+    // HashMap iteration.
+    use std::collections::BTreeMap;
     let window = trace.window().as_secs_f64();
-    let mut names: HashMap<u64, String> = HashMap::new();
-    let mut threads: HashMap<u64, u64> = HashMap::new();
-    let mut cpu_seconds: HashMap<u64, f64> = HashMap::new();
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut threads: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut cpu_seconds: BTreeMap<u64, f64> = BTreeMap::new();
     // Replay context switches, attributing busy time per pid.
     let n = trace.n_logical_cpus();
     let mut per_cpu: Vec<Option<(u64, SimTime)>> = vec![None; n];

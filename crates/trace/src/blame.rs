@@ -411,20 +411,25 @@ impl Replay {
     }
 }
 
-/// Maps a blocking wait reason to its attribution target.
+/// Maps a blocking wait reason to its attribution target, via the shared
+/// object accessors on [`WaitReason`].
 fn blocker_of(reason: WaitReason, engines: &BTreeMap<(u32, u64), u32>) -> Blocker {
-    match reason {
-        WaitReason::Event { id } => Blocker::Event { id },
-        WaitReason::Gpu { gpu, packet } => Blocker::Gpu {
+    if let Some((gpu, packet)) = reason.gpu_packet() {
+        Blocker::Gpu {
             engine: engines
                 .get(&(gpu, packet))
                 .copied()
                 .unwrap_or(ENGINE_UNKNOWN),
-        },
-        WaitReason::Sleep => Blocker::Sleep,
-        WaitReason::Preempted | WaitReason::Yield => {
-            unreachable!("runnable reasons are not blockers")
         }
+    } else if let Some(id) = reason.event_id() {
+        Blocker::Event { id }
+    } else {
+        assert!(
+            !reason.is_runnable(),
+            "runnable reasons are not blockers: {}",
+            reason.label()
+        );
+        Blocker::Sleep
     }
 }
 

@@ -23,7 +23,7 @@
 //! configuration.
 
 use crate::analysis;
-use crate::event::{EtlTrace, PidSet, ThreadKey, TraceEvent, WaitReason};
+use crate::event::{EtlTrace, PidSet, ThreadKey, TraceEvent};
 use simcore::SimDuration;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -213,7 +213,7 @@ pub fn critical_path(trace: &EtlTrace, filter: &PidSet) -> CriticalPath {
                     threads.insert(w, wst);
                     threads.entry(key).or_default().pending_preds.push(node);
                 }
-                if let WaitReason::Gpu { gpu, packet } = reason {
+                if let Some((gpu, packet)) = reason.gpu_packet() {
                     // Packet submitted before the window still orders the
                     // chain; an on-the-spot node (dist 0) stands in for it.
                     let node = *packets.entry((gpu as usize, packet)).or_insert_with(|| {
@@ -327,7 +327,7 @@ pub fn critical_path(trace: &EtlTrace, filter: &PidSet) -> CriticalPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::TraceBuilder;
+    use crate::event::{TraceBuilder, WaitReason};
     use simcore::SimTime;
 
     fn key(tid: u64) -> ThreadKey {

@@ -162,6 +162,44 @@ impl WaitReason {
     pub fn is_runnable(&self) -> bool {
         matches!(self, WaitReason::Preempted | WaitReason::Yield)
     }
+
+    /// Short category label — the shared vocabulary of every analysis that
+    /// buckets waits (blame, critical path, verifier diagnostics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitReason::Preempted => "preempted",
+            WaitReason::Yield => "yield",
+            WaitReason::Sleep => "sleep",
+            WaitReason::Event { .. } => "event",
+            WaitReason::Gpu { .. } => "gpu",
+        }
+    }
+
+    /// Human-readable description including the waited-on object's identity
+    /// (`"event 7"`, `"gpu 0 packet 5"`), used verbatim in diagnostics.
+    pub fn describe(&self) -> String {
+        match *self {
+            WaitReason::Event { id } => format!("event {id}"),
+            WaitReason::Gpu { gpu, packet } => format!("gpu {gpu} packet {packet}"),
+            _ => self.label().to_string(),
+        }
+    }
+
+    /// The kernel event id, for event waits.
+    pub fn event_id(&self) -> Option<u64> {
+        match *self {
+            WaitReason::Event { id } => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The `(gpu, packet)` pair, for GPU waits.
+    pub fn gpu_packet(&self) -> Option<(u32, u64)> {
+        match *self {
+            WaitReason::Gpu { gpu, packet } => Some((gpu, packet)),
+            _ => None,
+        }
+    }
 }
 
 impl TraceEvent {
@@ -391,6 +429,22 @@ mod tests {
             at: SimTime::from_nanos(4),
             label: "b".into(),
         });
+    }
+
+    #[test]
+    fn wait_reason_helpers_agree() {
+        let e = WaitReason::Event { id: 7 };
+        let g = WaitReason::Gpu { gpu: 1, packet: 42 };
+        assert_eq!(e.label(), "event");
+        assert_eq!(e.describe(), "event 7");
+        assert_eq!(e.event_id(), Some(7));
+        assert_eq!(e.gpu_packet(), None);
+        assert_eq!(g.describe(), "gpu 1 packet 42");
+        assert_eq!(g.gpu_packet(), Some((1, 42)));
+        assert_eq!(g.event_id(), None);
+        assert_eq!(WaitReason::Sleep.describe(), "sleep");
+        assert_eq!(WaitReason::Preempted.label(), "preempted");
+        assert!(WaitReason::Yield.is_runnable());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! spreadsheet) can re-derive every metric from the raw trace.
 
 use crate::event::{EtlTrace, TraceEvent};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 fn time_us(t: simcore::SimTime) -> f64 {
@@ -51,7 +51,10 @@ pub fn cpu_usage_precise(trace: &EtlTrace) -> String {
 /// window end as their finish time, as WPA clips to the visible range.
 pub fn gpu_utilization_fm(trace: &EtlTrace) -> String {
     let names = process_names(trace);
-    let mut started: HashMap<(usize, u32, u64), (simcore::SimTime, u64)> = HashMap::new();
+    // BTreeMap: in-flight packets are drained below in iteration order, and
+    // `sort_by_key` is stable, so equal start times would otherwise leak
+    // HashMap ordering into the CSV.
+    let mut started: BTreeMap<(usize, u32, u64), (simcore::SimTime, u64)> = BTreeMap::new();
     let mut rows: Vec<(simcore::SimTime, simcore::SimTime, u64)> = Vec::new();
     for ev in trace.events() {
         match ev {

@@ -21,6 +21,11 @@
 //!   `chrome://tracing` for interactive timeline inspection.
 //! * [`etl`] — binary trace files (the `.etl` of the paper's Fig. 1):
 //!   save a recorded trace and reload it bit-exactly for offline analysis.
+//! * [`verify`] — streaming invariant checker over the raw event stream
+//!   (timestamp order, CPU occupancy, wait balance, GPU packet lifecycle)
+//!   with machine-readable diagnostics.
+//! * [`hb`] — vector-clock happens-before analysis over wake and GPU
+//!   submission edges: end-of-trace deadlocks, lost wakeups, yield storms.
 //!
 //! TLP here is **application-level**: analyzers take a [`PidSet`] filter and
 //! only count threads of those processes, exactly as the paper distinguishes
@@ -33,8 +38,12 @@ pub mod critical;
 pub mod etl;
 pub mod event;
 pub mod export;
+pub mod hb;
+pub mod verify;
 
 pub use analysis::{ConcurrencyProfile, GpuUtil, LatencyStats, ProcessSummary, ScheduleStats};
 pub use blame::{BlameReport, Blocker, BlockerStat, ThreadTimeBreakdown};
 pub use critical::{critical_path, CriticalPath};
 pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
+pub use hb::{analyze, HbOptions, HbReport};
+pub use verify::{verify_trace, DiagCode, Diagnostic, Severity, VerifyReport};

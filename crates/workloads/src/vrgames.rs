@@ -113,6 +113,8 @@ impl ThreadProgram for VrMain {
                     let now = ctx.now();
                     if let Some(prev_deadline) = self.pending_deadline.take() {
                         let made = now <= prev_deadline;
+                        // lint:allow(env-read): VR_DEBUG only gates trace
+                        // markers for debugging; it cannot change timing.
                         if std::env::var_os("VR_DEBUG").is_some() {
                             ctx.marker(&format!(
                                 "vr made={made} now={now} deadline={prev_deadline} clamped={}",
