@@ -13,11 +13,15 @@
 //! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
 //! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
 //! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
+//! tracetool pack <trace.etl> <out.etl>                   # re-encode as compact SETL v3
+//! tracetool unpack <trace.etl> <out.etl>                 # re-encode as flat v2
 //! ```
 //!
 //! `verify` exits non-zero when any diagnostic fires, so CI can gate on it.
 
-use etwtrace::{analysis, blame, chrome, critical, etl, export, hb, verify, EtlTrace, PidSet};
+use etwtrace::{
+    analysis, blame, chrome, critical, etl, export, hb, setl3, verify, EtlTrace, PidSet,
+};
 use machine::{Machine, MachineConfig};
 use simcore::SimDuration;
 use std::fs::File;
@@ -42,6 +46,8 @@ fn main() {
             build(app, &mut m, &opts);
             m.run_for(SimDuration::from_secs(secs));
             let trace = m.into_trace();
+            // lint:allow(fs-write): streamed whole-file trace export to a
+            // user-chosen path; never consumed by the persistent store.
             let file = File::create(out).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
             etl::write_etl(&trace, BufWriter::new(file)).expect("write trace");
             eprintln!("{} events → {out}", trace.events().len());
@@ -144,6 +150,8 @@ fn main() {
         Some("help") | Some("--help") | Some("-h") => {
             print!("{}", usage_text());
         }
+        Some("pack") => recode(&args, "pack", setl3::write_setl3),
+        Some("unpack") => recode(&args, "unpack", etl::write_etl),
         Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
         Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
         Some("export-chrome") => {
@@ -152,6 +160,8 @@ fn main() {
             };
             let trace = read(path);
             let json = chrome::chrome_trace(&trace);
+            // lint:allow(fs-write): whole-file timeline export to a
+            // user-chosen path.
             std::fs::write(out, &json).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
             eprintln!(
                 "{} events → {out} (open in https://ui.perfetto.dev)",
@@ -161,6 +171,35 @@ fn main() {
         Some(unknown) => usage(&format!("unknown subcommand `{unknown}`")),
         None => usage("missing subcommand"),
     }
+}
+
+/// `pack` / `unpack`: reads either trace generation (`etl::read_etl`
+/// sniffs the magic) and rewrites it through `encode`. Round trips are
+/// bit-exact on the event log; only the container bytes change.
+fn recode(
+    args: &[String],
+    cmd: &str,
+    encode: fn(&EtlTrace, BufWriter<File>) -> std::io::Result<()>,
+) {
+    let [_, path, out] = args else {
+        usage(&format!("{cmd} <trace.etl> <out.etl>"));
+    };
+    let trace = read(path);
+    // lint:allow(fs-write): streamed whole-file re-encode to a user-chosen
+    // path; the self-checksummed codec detects any torn write on read.
+    let file = File::create(out).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+    encode(&trace, BufWriter::new(file)).expect("write trace");
+    let before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let after = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "{} events, {before} → {after} bytes ({:.2}x) → {out}",
+        trace.events().len(),
+        if after > 0 {
+            before as f64 / after as f64
+        } else {
+            0.0
+        }
+    );
 }
 
 /// Parses `<cmd> <trace.etl> <process-prefix>` and resolves the filter.
@@ -213,6 +252,8 @@ fn usage_text() -> String {
         "       tracetool export-cpu <trace.etl>             CPU Usage (Precise) CSV",
         "       tracetool export-gpu <trace.etl>             GPU Utilization (FM) CSV",
         "       tracetool export-chrome <trace.etl> <out>    Perfetto timeline JSON",
+        "       tracetool pack <trace.etl> <out.etl>         re-encode as compact SETL v3",
+        "       tracetool unpack <trace.etl> <out.etl>       re-encode as flat SETL v2",
         "       tracetool help                               this listing",
         "",
     ]

@@ -48,8 +48,52 @@ fn help_lists_every_subcommand_on_stdout() {
         "export-cpu",
         "export-gpu",
         "export-chrome",
+        "pack",
+        "unpack",
     ] {
         assert!(stdout.contains(sub), "usage is missing `{sub}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn pack_shrinks_at_least_3x_and_round_trips_through_verify() {
+    let etl = tmp("pack-src.etl");
+    let packed = tmp("packed.etl");
+    let unpacked = tmp("unpacked.etl");
+    let rec = tracetool(&["record", "vlc", "2", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+
+    let pack = tracetool(&["pack", etl.to_str().unwrap(), packed.to_str().unwrap()]);
+    assert!(pack.status.success(), "pack failed: {pack:?}");
+    let before = std::fs::metadata(&etl).unwrap().len();
+    let after = std::fs::metadata(&packed).unwrap().len();
+    assert!(
+        after * 3 <= before,
+        "pack must shrink >=3x: {before} -> {after} bytes"
+    );
+
+    // The packed trace is a first-class citizen: every reader sniffs the
+    // magic, so verify works on it directly…
+    let ver = tracetool(&["verify", packed.to_str().unwrap()]);
+    assert!(ver.status.success(), "verify on packed failed: {ver:?}");
+
+    // …and unpack regenerates a flat v2 file identical to the original.
+    let unpack = tracetool(&[
+        "unpack",
+        packed.to_str().unwrap(),
+        unpacked.to_str().unwrap(),
+    ]);
+    assert!(unpack.status.success(), "unpack failed: {unpack:?}");
+    assert_eq!(
+        std::fs::read(&etl).unwrap(),
+        std::fs::read(&unpacked).unwrap(),
+        "pack|unpack must reproduce the v2 file byte for byte"
+    );
+    let ver = tracetool(&["verify", unpacked.to_str().unwrap()]);
+    assert!(ver.status.success(), "verify on unpacked failed: {ver:?}");
+
+    for p in [&etl, &packed, &unpacked] {
+        let _ = std::fs::remove_file(p);
     }
 }
 

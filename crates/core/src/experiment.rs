@@ -224,6 +224,21 @@ impl Experiment {
             &[],
             (verified.diagnostics.len() + causal.findings.len()) as u64,
         );
+        // Persistent-store provenance. These are *constants* by design: a
+        // snapshot produced by simulation cost exactly one store miss and
+        // zero hits/quarantines, and a snapshot replayed from disk is this
+        // same registry, bit for bit. Making them vary with live session
+        // state would break the byte-identical cold-vs-warm guarantee;
+        // session tallies live in `RunContext::store_stats` instead.
+        metrics
+            .registry
+            .counter("parastat_store_disk_hits_total", &[], 0);
+        metrics
+            .registry
+            .counter("parastat_store_disk_misses_total", &[], 1);
+        metrics
+            .registry
+            .counter("parastat_store_quarantined_total", &[], 0);
         SingleRun {
             trace,
             filter,

@@ -14,6 +14,11 @@
 //!   [`RunContext`]. Suite and figure builders submit batches here, so the
 //!   embarrassingly parallel protocol scales with host cores while staying
 //!   byte-identical to the serial run.
+//! * [`store`] — the persistent content-addressed run store (simstore):
+//!   a second memo tier under `target/simstore/` that survives the
+//!   process, so a warm `repro` sweep replays with zero simulations and
+//!   byte-identical artifacts. Entries are integrity-checked on load and
+//!   quarantined on any mismatch.
 //! * [`suite`] — the full 30-application Table II sweep.
 //! * [`bottleneck`] — the "why is TLP low" report: blocked-time blame and
 //!   critical-path what-if bounds over the same iterations as Table II.
@@ -43,9 +48,11 @@ pub mod figures;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod suite;
 
 pub use bottleneck::{render_blame, run_blame, AppBlame};
 pub use experiment::{Budget, Experiment, Measurement, RunMetrics, SingleRun};
 pub use runner::{RunContext, RunRequest, Runner, SerialRunner, ThreadPoolRunner};
+pub use store::{LoadOutcome, SimStore};
 pub use suite::{run_table2, AppMeasurement};

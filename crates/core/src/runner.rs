@@ -29,6 +29,7 @@
 //! order the serial path produced them.
 
 use crate::experiment::{Experiment, Measurement, SingleRun};
+use crate::store::{LoadOutcome, SimStore};
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -55,6 +56,14 @@ pub struct RunRequest {
 /// guarantee — produce identical [`SingleRun`]s.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RunKey(String);
+
+impl RunKey {
+    /// The canonical key string (what the persistent store hashes and
+    /// embeds in entries for collision detection).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
 
 impl RunRequest {
     /// Canonicalizes an experiment + seed into a request.
@@ -181,8 +190,13 @@ impl Runner for ThreadPoolRunner {
 pub struct RunContext {
     runner: Box<dyn Runner>,
     cache: Mutex<HashMap<RunKey, Arc<SingleRun>>>,
+    store: Option<SimStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    quarantined: AtomicU64,
+    store_notes: Mutex<Vec<String>>,
     verify_traces: AtomicU64,
     verify_findings: AtomicU64,
     verify_reports: Mutex<Vec<String>>,
@@ -211,8 +225,13 @@ impl RunContext {
         RunContext {
             runner,
             cache: Mutex::new(HashMap::new()),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            store_notes: Mutex::new(Vec::new()),
             verify_traces: AtomicU64::new(0),
             verify_findings: AtomicU64::new(0),
             verify_reports: Mutex::new(Vec::new()),
@@ -260,12 +279,60 @@ impl RunContext {
         self.cache.lock().expect("run cache poisoned").len()
     }
 
-    /// Cache hit / miss counters since construction.
+    /// Cache hit / miss counters since construction. A "miss" is an actual
+    /// simulation — runs replayed from the persistent store count in
+    /// [`RunContext::store_stats`] instead, so a fully warm store reports
+    /// zero misses.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Attaches a persistent [`SimStore`] as the second memo tier: lookups
+    /// go memory → disk → simulate, and fresh simulations are written back
+    /// (best-effort — store I/O failures never fail a run).
+    pub fn set_store(&mut self, store: SimStore) {
+        self.store = Some(store);
+    }
+
+    /// Detaches the persistent store.
+    pub fn clear_store(&mut self) {
+        self.store = None;
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&SimStore> {
+        self.store.as_ref()
+    }
+
+    /// Persistent-store session counters since construction:
+    /// `(disk hits, disk misses, quarantined entries)`. All zero when no
+    /// store is attached. Quarantined entries also count as disk misses —
+    /// the caller re-simulated.
+    pub fn store_stats(&self) -> (u64, u64, u64) {
+        (
+            self.disk_hits.load(Ordering::Relaxed),
+            self.disk_misses.load(Ordering::Relaxed),
+            self.quarantined.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One note per store anomaly this session (quarantines and failed
+    /// write-backs), for diagnostic output. Never part of any artifact.
+    pub fn store_notes(&self) -> Vec<String> {
+        self.store_notes
+            .lock()
+            .expect("store notes poisoned")
+            .clone()
+    }
+
+    fn push_store_note(&self, note: String) {
+        self.store_notes
+            .lock()
+            .expect("store notes poisoned")
+            .push(note);
     }
 
     /// Drops every memoized run (traces can be large; long `repro all`
@@ -340,9 +407,52 @@ impl RunContext {
                 }
             }
         }
-        self.misses.fetch_add(fresh.len() as u64, Ordering::Relaxed);
         self.hits
             .fetch_add((requests.len() - fresh.len()) as u64, Ordering::Relaxed);
+        // Second memo tier: replay memory misses from the persistent store.
+        // Every loaded run already passed the store's integrity pipeline
+        // (checksum, epoch, key, re-verification), so it joins the memory
+        // cache exactly as a fresh simulation would.
+        if let Some(store) = &self.store {
+            let mut unstored: Vec<Job> = Vec::with_capacity(fresh.len());
+            let mut loaded: Vec<(usize, SingleRun)> = Vec::new();
+            for (idx, req) in fresh {
+                match store.load(&keys[idx]) {
+                    LoadOutcome::Hit(run) => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        loaded.push((idx, *run));
+                    }
+                    LoadOutcome::Miss => {
+                        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                        unstored.push((idx, req));
+                    }
+                    LoadOutcome::Quarantined { reason } => {
+                        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                        self.quarantined.fetch_add(1, Ordering::Relaxed);
+                        self.push_store_note(format!(
+                            "quarantined {:?} seed={}: {reason}",
+                            req.experiment.app, req.seed
+                        ));
+                        unstored.push((idx, req));
+                    }
+                }
+            }
+            if !loaded.is_empty() {
+                for (idx, run) in &loaded {
+                    let label = format!(
+                        "{:?} seed={} (store)",
+                        requests[*idx].experiment.app, requests[*idx].seed
+                    );
+                    self.tally_verification(run, &label);
+                }
+                let mut cache = self.cache.lock().expect("run cache poisoned");
+                for (idx, run) in loaded {
+                    cache.insert(keys[idx].clone(), Arc::new(run));
+                }
+            }
+            fresh = unstored;
+        }
+        self.misses.fetch_add(fresh.len() as u64, Ordering::Relaxed);
         if !fresh.is_empty() {
             let labels: Vec<(usize, String)> = fresh
                 .iter()
@@ -352,6 +462,18 @@ impl RunContext {
             for ((idx, run), (lidx, label)) in executed.iter().zip(&labels) {
                 debug_assert_eq!(idx, lidx);
                 self.tally_verification(run, label);
+            }
+            // Best-effort write-back: a full disk or read-only store costs
+            // persistence, never correctness.
+            if let Some(store) = &self.store {
+                for (idx, run) in &executed {
+                    if let Err(e) = store.save(&keys[*idx], run) {
+                        self.push_store_note(format!(
+                            "write-back failed for {:?} seed={}: {e}",
+                            requests[*idx].experiment.app, requests[*idx].seed
+                        ));
+                    }
+                }
             }
             let mut cache = self.cache.lock().expect("run cache poisoned");
             for (idx, run) in executed {

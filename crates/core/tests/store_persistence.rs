@@ -1,0 +1,156 @@
+//! Persistent-store determinism: cold and warm runs, any job count, must
+//! render byte-identical artifacts — and a corrupted entry must cost one
+//! re-simulation, never a changed byte.
+
+use parastat::store::LoadOutcome;
+use parastat::{Budget, Experiment, RunContext, RunRequest, SimStore};
+use simcore::SimDuration;
+use std::path::{Path, PathBuf};
+use workloads::AppId;
+
+fn tmp_root(name: &str) -> PathBuf {
+    let mut root = std::env::temp_dir();
+    root.push(format!("simstore-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn experiments() -> Vec<Experiment> {
+    let budget = Budget {
+        duration: SimDuration::from_secs(2),
+        iterations: 2,
+    };
+    vec![
+        Experiment::new(AppId::VlcMediaPlayer).budget(budget),
+        Experiment::new(AppId::Handbrake)
+            .budget(budget)
+            .logical(4, true),
+    ]
+}
+
+fn render(ctx: &RunContext) -> String {
+    let mut out = String::new();
+    for m in ctx.run_experiments(&experiments()) {
+        out.push_str(&format!(
+            "{:?} tlp={} fractions={:?}\n",
+            m.app,
+            m.tlp.mean().to_bits(),
+            m.fractions()
+        ));
+        for metrics in &m.metrics {
+            out.push_str(&metrics.to_prometheus());
+        }
+    }
+    out
+}
+
+fn store_ctx(root: &Path, jobs: usize) -> RunContext {
+    let mut ctx = RunContext::pooled(jobs);
+    ctx.set_store(SimStore::open(root));
+    ctx
+}
+
+fn first_entry(root: &Path) -> PathBuf {
+    fn walk(dir: &Path) -> Option<PathBuf> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir).ok()?.flatten().collect();
+        entries.sort_by_key(|e| e.path());
+        for e in entries {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "quarantine") {
+                    continue;
+                }
+                if let Some(found) = walk(&p) {
+                    return Some(found);
+                }
+            } else if p.extension().is_some_and(|x| x == "run") {
+                return Some(p);
+            }
+        }
+        None
+    }
+    walk(root).expect("store has at least one entry")
+}
+
+#[test]
+fn warm_store_replays_with_zero_simulations_and_identical_bytes() {
+    let root = tmp_root("warm");
+
+    // Cold pass, serial: everything simulates and persists.
+    let cold = store_ctx(&root, 1);
+    let cold_render = render(&cold);
+    let (_, cold_misses) = cold.cache_stats();
+    let (dh, dm, q) = cold.store_stats();
+    assert_eq!(cold_misses, 4, "2 experiments x 2 iterations simulate");
+    assert_eq!((dh, q), (0, 0));
+    assert_eq!(dm, 4);
+
+    // Warm pass, pooled: zero simulations, 100% disk hits, same bytes.
+    let warm = store_ctx(&root, 4);
+    let warm_render = render(&warm);
+    let (_, warm_misses) = warm.cache_stats();
+    let (dh, dm, q) = warm.store_stats();
+    assert_eq!(warm_misses, 0, "warm store must not simulate");
+    assert_eq!((dh, dm, q), (4, 0, 0));
+    assert_eq!(
+        cold_render, warm_render,
+        "cold and warm artifacts must match"
+    );
+
+    // No-store reference: the store must be invisible in the artifacts.
+    let plain = RunContext::serial();
+    assert_eq!(render(&plain), cold_render);
+    assert_eq!(plain.store_stats(), (0, 0, 0));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_entry_requarantines_and_resimulates_identically() {
+    let root = tmp_root("corrupt");
+    let cold_render = render(&store_ctx(&root, 1));
+
+    // Flip one byte in one persisted entry.
+    let victim = first_entry(&root);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x80;
+    parastat::store::atomic_write(&victim, &bytes).unwrap();
+
+    let repair = store_ctx(&root, 2);
+    let repaired_render = render(&repair);
+    let (_, misses) = repair.cache_stats();
+    let (dh, dm, q) = repair.store_stats();
+    assert_eq!(q, 1, "exactly the poisoned entry is quarantined");
+    assert_eq!(misses, 1, "only the poisoned entry re-simulates");
+    assert_eq!((dh, dm), (3, 1));
+    assert_eq!(
+        repaired_render, cold_render,
+        "corruption must never leak into artifacts"
+    );
+    assert_eq!(repair.store_notes().len(), 1);
+    assert!(repair.store_notes()[0].contains("quarantined"));
+
+    // The re-simulation healed the store: next pass is fully warm.
+    let healed = store_ctx(&root, 1);
+    assert_eq!(render(&healed), cold_render);
+    assert_eq!(healed.store_stats(), (4, 0, 0));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn load_outcome_reflects_store_state() {
+    let root = tmp_root("outcome");
+    let store = SimStore::open(&root);
+    let exp = Experiment::new(AppId::VlcMediaPlayer).budget(Budget {
+        duration: SimDuration::from_secs(2),
+        iterations: 1,
+    });
+    let req = RunRequest::new(&exp, 42);
+    let key = req.cache_key();
+    assert!(matches!(store.load(&key), LoadOutcome::Miss));
+    store.save(&key, &req.execute()).unwrap();
+    assert!(matches!(store.load(&key), LoadOutcome::Hit(_)));
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -50,16 +50,32 @@ pub struct Criterion {
     sample_size: u64,
 }
 
+/// The `CRITERION_SAMPLE_SIZE` override, used by CI quick mode to cap how
+/// long a bench run takes. It wins over both the default and explicit
+/// [`Criterion::sample_size`] calls so one env var controls every group.
+fn env_sample_size() -> Option<u64> {
+    // lint:allow(env-read): CRITERION_SAMPLE_SIZE only trades bench
+    // precision for wall time (CI quick mode); bench output never feeds
+    // simulation results.
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: env_sample_size().unwrap_or(10),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets how many times each bench closure runs per measurement.
+    /// Sets how many times each bench closure runs per measurement
+    /// (`CRITERION_SAMPLE_SIZE`, when set, takes precedence).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = (n as u64).max(1);
+        self.sample_size = env_sample_size().unwrap_or((n as u64).max(1));
         self
     }
 

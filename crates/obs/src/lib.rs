@@ -261,9 +261,16 @@ struct Family {
 /// Components expose a `collect_metrics(&self, reg: &mut Registry)` method
 /// that records their embedded [`Counter`]/[`Gauge`]/[`LogHistogram`] state;
 /// the registry renders the union as Prometheus text exposition format.
+///
+/// Snapshots are also persistable: [`Registry::to_bytes`] /
+/// [`Registry::from_bytes`] round-trip the full state (including histogram
+/// buckets, min and max, which the Prometheus rendering drops), so the run
+/// store can replay a snapshot bit-exactly. Family names are stored as
+/// owned strings internally for exactly that reason; the recording API
+/// still takes `&'static str` to keep call sites honest about the schema.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Registry {
-    families: BTreeMap<&'static str, Family>,
+    families: BTreeMap<String, Family>,
 }
 
 /// Renders a label set as `key="value",…` with Prometheus escaping.
@@ -288,11 +295,14 @@ impl Registry {
         Registry::default()
     }
 
-    fn family(&mut self, name: &'static str, kind: FamilyKind) -> &mut Family {
-        let fam = self.families.entry(name).or_insert_with(|| Family {
-            kind,
-            series: BTreeMap::new(),
-        });
+    fn family(&mut self, name: &str, kind: FamilyKind) -> &mut Family {
+        let fam = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                kind,
+                series: BTreeMap::new(),
+            });
         assert!(
             fam.kind == kind,
             "metric family {name} registered with conflicting kinds"
@@ -396,6 +406,191 @@ impl Registry {
             }
         }
         out
+    }
+}
+
+/// Magic + revision prefix of the binary snapshot format.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"SOBS";
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Caps decode-side allocations for malformed input.
+const MAX_SNAPSHOT_ITEMS: u64 = 1 << 20;
+const MAX_SNAPSHOT_STR: u64 = 1 << 16;
+
+fn put_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_iv(out: &mut Vec<u8>, v: i64) {
+    // ZigZag: small magnitudes of either sign stay short.
+    put_uv(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uv(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor-based decode helpers over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).ok_or("length overflow")?;
+        if end > self.bytes.len() {
+            return Err("snapshot truncated".into());
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_uv(&mut self) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift >= 63 && b > 1 {
+                return Err("varint overflows u64".into());
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err("varint too long".into());
+            }
+        }
+    }
+
+    fn get_iv(&mut self) -> Result<i64, String> {
+        let z = self.get_uv()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn get_str(&mut self, max: u64) -> Result<String, String> {
+        let len = self.get_uv()?;
+        if len > max {
+            return Err("string too long".into());
+        }
+        String::from_utf8(self.take(len as usize)?.to_vec()).map_err(|_| "invalid utf-8".into())
+    }
+}
+
+impl Registry {
+    /// Serializes the snapshot into the compact binary form the persistent
+    /// run store embeds. Deterministic: same registry ⇒ same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        put_uv(&mut out, self.families.len() as u64);
+        for (name, fam) in &self.families {
+            put_str(&mut out, name);
+            out.push(match fam.kind {
+                FamilyKind::Counter => 0,
+                FamilyKind::Gauge => 1,
+                FamilyKind::Histogram => 2,
+            });
+            put_uv(&mut out, fam.series.len() as u64);
+            for (labels, value) in &fam.series {
+                put_str(&mut out, labels);
+                match value {
+                    SeriesValue::Counter(v) => put_uv(&mut out, *v),
+                    SeriesValue::Gauge(v) => put_iv(&mut out, *v),
+                    SeriesValue::Histogram(h) => {
+                        for b in &h.buckets {
+                            put_uv(&mut out, *b);
+                        }
+                        put_uv(&mut out, h.count);
+                        put_uv(&mut out, (h.sum >> 64) as u64);
+                        put_uv(&mut out, h.sum as u64);
+                        put_uv(&mut out, h.min);
+                        put_uv(&mut out, h.max);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a snapshot written by [`Registry::to_bytes`],
+    /// bit-exactly (`from_bytes(r.to_bytes()) == r`).
+    ///
+    /// # Errors
+    /// Returns a description of the first structural problem; never panics
+    /// on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Registry, String> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.take(4)? != SNAPSHOT_MAGIC {
+            return Err("not a registry snapshot".into());
+        }
+        if c.get_u8()? != SNAPSHOT_VERSION {
+            return Err("unsupported registry snapshot revision".into());
+        }
+        let n_families = c.get_uv()?;
+        if n_families > MAX_SNAPSHOT_ITEMS {
+            return Err("too many metric families".into());
+        }
+        let mut families = BTreeMap::new();
+        for _ in 0..n_families {
+            let name = c.get_str(MAX_SNAPSHOT_STR)?;
+            let kind = match c.get_u8()? {
+                0 => FamilyKind::Counter,
+                1 => FamilyKind::Gauge,
+                2 => FamilyKind::Histogram,
+                _ => return Err("unknown family kind".into()),
+            };
+            let n_series = c.get_uv()?;
+            if n_series > MAX_SNAPSHOT_ITEMS {
+                return Err("too many series".into());
+            }
+            let mut series = BTreeMap::new();
+            for _ in 0..n_series {
+                let labels = c.get_str(MAX_SNAPSHOT_STR)?;
+                let value = match kind {
+                    FamilyKind::Counter => SeriesValue::Counter(c.get_uv()?),
+                    FamilyKind::Gauge => SeriesValue::Gauge(c.get_iv()?),
+                    FamilyKind::Histogram => {
+                        let mut h = LogHistogram::default();
+                        for b in h.buckets.iter_mut() {
+                            *b = c.get_uv()?;
+                        }
+                        h.count = c.get_uv()?;
+                        h.sum = (u128::from(c.get_uv()?) << 64) | u128::from(c.get_uv()?);
+                        h.min = c.get_uv()?;
+                        h.max = c.get_uv()?;
+                        SeriesValue::Histogram(Box::new(h))
+                    }
+                };
+                if series.insert(labels, value).is_some() {
+                    return Err("duplicate series label set".into());
+                }
+            }
+            if families.insert(name, Family { kind, series }).is_some() {
+                return Err("duplicate metric family".into());
+            }
+        }
+        if c.at != bytes.len() {
+            return Err("trailing bytes after registry snapshot".into());
+        }
+        Ok(Registry { families })
     }
 }
 
@@ -600,6 +795,47 @@ mod tests {
         assert_eq!(reg.gauge_value("sim_y", &[]), Some(9));
         assert!(!reg.is_empty());
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_bit_exactly() {
+        let mut reg = Registry::new();
+        reg.counter("sim_b_total", &[("class", "x")], 2);
+        reg.counter("sim_b_total", &[], 7);
+        reg.gauge("sim_a_level", &[], -7);
+        reg.gauge("sim_a_level", &[("cpu", "3")], i64::MIN);
+        let mut h = LogHistogram::new();
+        for v in [0, 5, 900, u64::MAX] {
+            h.observe(v);
+        }
+        reg.histogram("sim_c_ns", &[("engine", "q0")], &h);
+        reg.histogram("sim_d_ns", &[], &LogHistogram::new()); // empty: min = u64::MAX
+        let bytes = reg.to_bytes();
+        let back = Registry::from_bytes(&bytes).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.to_prometheus(), reg.to_prometheus());
+        assert_eq!(back.to_bytes(), bytes);
+        // Empty registry round-trips too.
+        let empty = Registry::new();
+        assert_eq!(Registry::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_snapshots_error_cleanly() {
+        let mut reg = Registry::new();
+        reg.counter("sim_x_total", &[], 3);
+        let bytes = reg.to_bytes();
+        assert!(Registry::from_bytes(&[]).is_err());
+        assert!(Registry::from_bytes(b"NOPE").is_err());
+        for len in 0..bytes.len() {
+            assert!(
+                Registry::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Registry::from_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! tagged record per event. It is self-contained and versioned; no external
 //! serialization crate is needed.
 //!
+//! [`read_etl`] also accepts the compact binary v3 generation
+//! ([`crate::setl3`], magic `SETL3`) and dispatches on the magic, so every
+//! consumer reads old and new traces transparently; `tracetool pack` /
+//! `unpack` convert between the generations.
+//!
 //! Generic functions take `R: Read` / `W: Write` by value; pass `&mut r`
 //! for a reader you want to keep using.
 
@@ -37,7 +42,9 @@ pub fn write_etl<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace written by [`write_etl`].
+/// Reads a trace written by [`write_etl`] — or a v3 stream written by
+/// [`crate::setl3::write_setl3`]; the two generations are distinguished by
+/// their magic (`SETL` + binary version vs `SETL3`).
 ///
 /// # Errors
 /// Returns `InvalidData` for a bad magic/version or malformed records, and
@@ -48,7 +55,17 @@ pub fn read_etl<R: Read>(mut r: R) -> io::Result<EtlTrace> {
     if &magic != MAGIC {
         return Err(bad("not a SETL trace file"));
     }
-    let version = get_u32(&mut r)?;
+    // One more byte decides the generation: b'3' completes the `SETL3`
+    // magic; otherwise it is the low byte of the v1/v2 little-endian
+    // version word (1 or 2 — never 0x33).
+    let mut gen = [0u8; 1];
+    r.read_exact(&mut gen)?;
+    if gen[0] == b'3' {
+        return crate::setl3::read_setl3_after_magic(r);
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    let version = u32::from_le_bytes([gen[0], rest[0], rest[1], rest[2]]);
     if version == 0 || version > VERSION {
         return Err(bad("unsupported SETL version"));
     }
@@ -467,6 +484,14 @@ mod tests {
         write_etl(&demo_trace(), &mut buf2).unwrap();
         buf2.truncate(buf2.len() - 3);
         assert!(read_etl(buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_etl_dispatches_on_the_v3_magic() {
+        let trace = demo_trace();
+        let v3 = crate::setl3::encode(&trace);
+        let back = read_etl(v3.as_slice()).unwrap();
+        assert_eq!(trace, back);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   `chrome://tracing` for interactive timeline inspection.
 //! * [`etl`] — binary trace files (the `.etl` of the paper's Fig. 1):
 //!   save a recorded trace and reload it bit-exactly for offline analysis.
+//! * [`setl3`] — the compact v3 codec (varint deltas, interned strings,
+//!   per-record checksums) used by the persistent run store; `etl::read_etl`
+//!   reads both generations.
 //! * [`verify`] — streaming invariant checker over the raw event stream
 //!   (timestamp order, CPU occupancy, wait balance, GPU packet lifecycle)
 //!   with machine-readable diagnostics.
@@ -39,6 +42,7 @@ pub mod etl;
 pub mod event;
 pub mod export;
 pub mod hb;
+pub mod setl3;
 pub mod verify;
 
 pub use analysis::{ConcurrencyProfile, GpuUtil, LatencyStats, ProcessSummary, ScheduleStats};

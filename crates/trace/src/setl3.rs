@@ -1,0 +1,794 @@
+//! SETL v3 — the compact binary trace codec behind the persistent run
+//! store.
+//!
+//! The v1/v2 format ([`crate::etl`]) spends 8 bytes on every timestamp and
+//! 16 on every thread key; a 60 s trace is dominated by `CSwitch` records
+//! whose fields are tiny deltas. v3 shrinks the stream 3–6× while staying
+//! dependency-free and bit-exact:
+//!
+//! * **varints everywhere** — LEB128 unsigned integers for counts, ids and
+//!   keys;
+//! * **delta-encoded timestamps, per CPU** — `CSwitch` records store the
+//!   gap since the previous switch *on the same CPU*; every other record
+//!   stores the gap since the previous record in the stream. Both deltas
+//!   are non-negative because the trace log is time-ordered;
+//! * **interned strings** — process/thread names and marker labels are
+//!   collected into a front-loaded string table (first-appearance order)
+//!   and referenced by index;
+//! * **per-record checksums** — every record carries one FNV-1a check
+//!   byte, and the whole file ends in a 64-bit FNV-1a checksum, so a
+//!   flipped byte or truncation is always an `InvalidData` error, never a
+//!   silently wrong trace. (A single-byte change is guaranteed to change
+//!   FNV-1a — XOR-then-multiply-by-an-odd-prime is injective — so the
+//!   trailer alone catches every one-byte corruption; the record bytes
+//!   localize it.)
+//!
+//! The stream starts with the 5-byte magic `SETL3`. [`crate::etl::read_etl`]
+//! sniffs it and dispatches here, so every reader in the workspace accepts
+//! both generations transparently; `tracetool pack`/`unpack` convert
+//! between them.
+
+use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
+use simcore::SimTime;
+use std::io::{self, Read, Write};
+
+/// The 5-byte stream magic.
+pub const MAGIC: &[u8; 5] = b"SETL3";
+/// Codec revision within the v3 family (bump for incompatible changes).
+pub const VERSION: u8 = 1;
+
+/// Upper bound on string-table entries and string length, to keep malformed
+/// input from asking for absurd allocations.
+const MAX_STRINGS: u64 = 1 << 22;
+const MAX_STRING_LEN: u64 = 1 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Encodes `trace` as a SETL v3 stream.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_setl3<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
+    let buf = encode(trace);
+    w.write_all(&buf)
+}
+
+/// Encodes `trace` into an in-memory SETL v3 stream (checksummed and
+/// self-delimiting — safe to embed inside a larger container file).
+pub fn encode(trace: &EtlTrace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(trace.events().len() * 10 + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_uv(&mut out, trace.n_logical_cpus() as u64);
+    put_uv(&mut out, trace.start().as_nanos());
+    put_uv(&mut out, (trace.end() - trace.start()).as_nanos());
+
+    // String table, first-appearance order (deterministic).
+    let mut strings: Vec<&str> = Vec::new();
+    for ev in trace.events() {
+        if let Some(s) = event_string(ev) {
+            if !strings.contains(&s) {
+                strings.push(s);
+            }
+        }
+    }
+    put_uv(&mut out, strings.len() as u64);
+    for s in &strings {
+        put_uv(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    put_uv(&mut out, trace.events().len() as u64);
+    let mut clocks = Clocks::new(trace.n_logical_cpus(), trace.start());
+    let mut record = Vec::with_capacity(32);
+    for ev in trace.events() {
+        record.clear();
+        encode_event(&mut record, ev, &strings, &mut clocks);
+        out.extend_from_slice(&record);
+        out.push(fnv1a(FNV_OFFSET, &record) as u8);
+    }
+    let file_hash = fnv1a(FNV_OFFSET, &out);
+    out.extend_from_slice(&file_hash.to_le_bytes());
+    out
+}
+
+/// Decodes a SETL v3 stream, including the 5-byte magic.
+///
+/// # Errors
+/// Returns `InvalidData` for a bad magic/version, malformed records or any
+/// checksum mismatch, and propagates I/O errors from the reader.
+pub fn read_setl3<R: Read>(mut r: R) -> io::Result<EtlTrace> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a SETL3 trace stream"));
+    }
+    read_setl3_after_magic(r)
+}
+
+/// Decodes the remainder of a v3 stream once the 5-byte magic has already
+/// been consumed (the dispatch path in [`crate::etl::read_etl`]).
+///
+/// # Errors
+/// Same conditions as [`read_setl3`].
+pub fn read_setl3_after_magic<R: Read>(r: R) -> io::Result<EtlTrace> {
+    let mut r = HashingReader::new(r, fnv1a(FNV_OFFSET, MAGIC));
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(bad("unsupported SETL3 revision"));
+    }
+    let n_logical = get_uv(&mut r)? as usize;
+    let start = SimTime::from_nanos(get_uv(&mut r)?);
+    let window = get_uv(&mut r)?;
+    let end = SimTime::from_nanos(start.as_nanos().checked_add(window).ok_or_else(overflow)?);
+
+    let n_strings = get_uv(&mut r)?;
+    if n_strings > MAX_STRINGS {
+        return Err(bad("string table too large"));
+    }
+    let mut strings: Vec<String> = Vec::with_capacity(n_strings as usize);
+    for _ in 0..n_strings {
+        let len = get_uv(&mut r)?;
+        if len > MAX_STRING_LEN {
+            return Err(bad("string too long"));
+        }
+        let mut buf = vec![0u8; len as usize];
+        r.read_exact(&mut buf)?;
+        strings.push(String::from_utf8(buf).map_err(|_| bad("invalid utf-8 string"))?);
+    }
+
+    let count = get_uv(&mut r)?;
+    let mut builder = TraceBuilder::new(n_logical);
+    let mut clocks = Clocks::new(n_logical, start);
+    for _ in 0..count {
+        r.begin_record();
+        let ev = decode_event(&mut r, &strings, &mut clocks)?;
+        let expect = r.record_hash() as u8;
+        let mut check = [0u8; 1];
+        r.read_exact(&mut check)?;
+        if check[0] != expect {
+            return Err(bad("record checksum mismatch"));
+        }
+        builder.push(ev);
+    }
+    let file_hash = r.hash();
+    let mut trailer = [0u8; 8];
+    r.into_inner().read_exact(&mut trailer)?;
+    if u64::from_le_bytes(trailer) != file_hash {
+        return Err(bad("file checksum mismatch"));
+    }
+    if end < start {
+        return Err(bad("inverted trace window"));
+    }
+    Ok(builder.finish(start, end))
+}
+
+/// The interned string carried by an event, if any.
+fn event_string(ev: &TraceEvent) -> Option<&str> {
+    match ev {
+        TraceEvent::ProcessStart { name, .. } | TraceEvent::ThreadStart { name, .. } => Some(name),
+        TraceEvent::Marker { label, .. } => Some(label),
+        _ => None,
+    }
+}
+
+/// Timestamp reference clocks: one per CPU for `CSwitch`, one global for
+/// everything else. Encoder and decoder advance them identically, so the
+/// deltas round-trip bit-exactly.
+struct Clocks {
+    per_cpu: Vec<u64>,
+    global: u64,
+}
+
+impl Clocks {
+    fn new(n_logical: usize, start: SimTime) -> Clocks {
+        Clocks {
+            per_cpu: vec![start.as_nanos(); n_logical.max(1)],
+            global: start.as_nanos(),
+        }
+    }
+
+    /// The reference clock an event's delta is taken against.
+    fn reference(&mut self, cpu: Option<usize>) -> &mut u64 {
+        match cpu {
+            Some(c) if c < self.per_cpu.len() => &mut self.per_cpu[c],
+            _ => &mut self.global,
+        }
+    }
+}
+
+fn encode_at(out: &mut Vec<u8>, at: SimTime, cpu: Option<usize>, clocks: &mut Clocks) {
+    let clock = clocks.reference(cpu);
+    // The builder guarantees global time order, so per-CPU references (which
+    // only ever lag the global clock) can't produce a negative delta either.
+    let delta = at.as_nanos().saturating_sub(*clock);
+    *clock = at.as_nanos();
+    put_uv(out, delta);
+}
+
+fn decode_at<R: Read>(r: &mut R, cpu: Option<usize>, clocks: &mut Clocks) -> io::Result<SimTime> {
+    let delta = get_uv(r)?;
+    let clock = clocks.reference(cpu);
+    let at = clock.checked_add(delta).ok_or_else(overflow)?;
+    *clock = at;
+    Ok(SimTime::from_nanos(at))
+}
+
+/// Looks up `s` in the interned table (the encoder always inserts first).
+fn string_index(strings: &[&str], s: &str) -> u64 {
+    strings
+        .iter()
+        .position(|t| *t == s)
+        .expect("encoder interns every event string") as u64
+}
+
+fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, strings: &[&str], clocks: &mut Clocks) {
+    match ev {
+        TraceEvent::ProcessStart { at, pid, name } => {
+            out.push(0);
+            encode_at(out, *at, None, clocks);
+            put_uv(out, *pid);
+            put_uv(out, string_index(strings, name));
+        }
+        TraceEvent::ThreadStart { at, key, name } => {
+            out.push(1);
+            encode_at(out, *at, None, clocks);
+            put_key(out, *key);
+            put_uv(out, string_index(strings, name));
+        }
+        TraceEvent::ThreadEnd { at, key } => {
+            out.push(2);
+            encode_at(out, *at, None, clocks);
+            put_key(out, *key);
+        }
+        TraceEvent::CSwitch {
+            at,
+            cpu,
+            old,
+            new,
+            ready_since,
+        } => {
+            out.push(3);
+            put_uv(out, *cpu as u64);
+            encode_at(out, *at, Some(*cpu), clocks);
+            put_opt_key(out, *old);
+            put_opt_key(out, *new);
+            // `ready_since` precedes the switch-in, so it's a backwards
+            // delta from `at`; 0 marks `None`, `d+1` marks `at - d`.
+            match ready_since {
+                None => put_uv(out, 0),
+                Some(t) => put_uv(out, at.as_nanos().saturating_sub(t.as_nanos()) + 1),
+            }
+        }
+        TraceEvent::GpuStart {
+            at,
+            gpu,
+            engine,
+            packet,
+            pid,
+        } => {
+            out.push(4);
+            encode_at(out, *at, None, clocks);
+            put_uv(out, *gpu as u64);
+            put_uv(out, *engine as u64);
+            put_uv(out, *packet);
+            put_uv(out, *pid);
+        }
+        TraceEvent::GpuEnd {
+            at,
+            gpu,
+            engine,
+            packet,
+            pid,
+        } => {
+            out.push(5);
+            encode_at(out, *at, None, clocks);
+            put_uv(out, *gpu as u64);
+            put_uv(out, *engine as u64);
+            put_uv(out, *packet);
+            put_uv(out, *pid);
+        }
+        TraceEvent::Frame { at, pid } => {
+            out.push(6);
+            encode_at(out, *at, None, clocks);
+            put_uv(out, *pid);
+        }
+        TraceEvent::Marker { at, label } => {
+            out.push(7);
+            encode_at(out, *at, None, clocks);
+            put_uv(out, string_index(strings, label));
+        }
+        TraceEvent::WaitBegin { at, key, reason } => {
+            out.push(8);
+            encode_at(out, *at, None, clocks);
+            put_key(out, *key);
+            put_reason(out, *reason);
+        }
+        TraceEvent::WaitEnd {
+            at,
+            key,
+            reason,
+            waker,
+        } => {
+            out.push(9);
+            encode_at(out, *at, None, clocks);
+            put_key(out, *key);
+            put_reason(out, *reason);
+            put_opt_key(out, *waker);
+        }
+        TraceEvent::GpuSubmit {
+            at,
+            key,
+            gpu,
+            packet,
+        } => {
+            out.push(10);
+            encode_at(out, *at, None, clocks);
+            put_key(out, *key);
+            put_uv(out, *gpu as u64);
+            put_uv(out, *packet);
+        }
+    }
+}
+
+fn decode_event<R: Read>(
+    r: &mut R,
+    strings: &[String],
+    clocks: &mut Clocks,
+) -> io::Result<TraceEvent> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::ProcessStart {
+                at,
+                pid: get_uv(r)?,
+                name: get_interned(r, strings)?,
+            }
+        }
+        1 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::ThreadStart {
+                at,
+                key: get_key(r)?,
+                name: get_interned(r, strings)?,
+            }
+        }
+        2 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::ThreadEnd {
+                at,
+                key: get_key(r)?,
+            }
+        }
+        3 => {
+            let cpu = get_uv(r)? as usize;
+            let at = decode_at(r, Some(cpu), clocks)?;
+            let old = get_opt_key(r)?;
+            let new = get_opt_key(r)?;
+            let ready = get_uv(r)?;
+            let ready_since = if ready == 0 {
+                None
+            } else {
+                Some(SimTime::from_nanos(
+                    at.as_nanos()
+                        .checked_sub(ready - 1)
+                        .ok_or_else(|| bad("ready_since before time zero"))?,
+                ))
+            };
+            TraceEvent::CSwitch {
+                at,
+                cpu,
+                old,
+                new,
+                ready_since,
+            }
+        }
+        4 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::GpuStart {
+                at,
+                gpu: get_uv(r)? as usize,
+                engine: get_u32v(r)?,
+                packet: get_uv(r)?,
+                pid: get_uv(r)?,
+            }
+        }
+        5 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::GpuEnd {
+                at,
+                gpu: get_uv(r)? as usize,
+                engine: get_u32v(r)?,
+                packet: get_uv(r)?,
+                pid: get_uv(r)?,
+            }
+        }
+        6 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::Frame {
+                at,
+                pid: get_uv(r)?,
+            }
+        }
+        7 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::Marker {
+                at,
+                label: get_interned(r, strings)?,
+            }
+        }
+        8 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::WaitBegin {
+                at,
+                key: get_key(r)?,
+                reason: get_reason(r)?,
+            }
+        }
+        9 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::WaitEnd {
+                at,
+                key: get_key(r)?,
+                reason: get_reason(r)?,
+                waker: get_opt_key(r)?,
+            }
+        }
+        10 => {
+            let at = decode_at(r, None, clocks)?;
+            TraceEvent::GpuSubmit {
+                at,
+                key: get_key(r)?,
+                gpu: get_uv(r)? as usize,
+                packet: get_uv(r)?,
+            }
+        }
+        _ => return Err(bad("unknown event tag")),
+    })
+}
+
+fn put_reason(out: &mut Vec<u8>, reason: WaitReason) {
+    match reason {
+        WaitReason::Preempted => out.push(0),
+        WaitReason::Yield => out.push(1),
+        WaitReason::Sleep => out.push(2),
+        WaitReason::Event { id } => {
+            out.push(3);
+            put_uv(out, id);
+        }
+        WaitReason::Gpu { gpu, packet } => {
+            out.push(4);
+            put_uv(out, gpu as u64);
+            put_uv(out, packet);
+        }
+    }
+}
+
+fn get_reason<R: Read>(r: &mut R) -> io::Result<WaitReason> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => WaitReason::Preempted,
+        1 => WaitReason::Yield,
+        2 => WaitReason::Sleep,
+        3 => WaitReason::Event { id: get_uv(r)? },
+        4 => WaitReason::Gpu {
+            gpu: get_u32v(r)?,
+            packet: get_uv(r)?,
+        },
+        _ => return Err(bad("unknown wait reason tag")),
+    })
+}
+
+fn get_interned<R: Read>(r: &mut R, strings: &[String]) -> io::Result<String> {
+    let idx = get_uv(r)? as usize;
+    strings
+        .get(idx)
+        .cloned()
+        .ok_or_else(|| bad("string index out of range"))
+}
+
+fn put_key(out: &mut Vec<u8>, key: ThreadKey) {
+    put_uv(out, key.pid);
+    put_uv(out, key.tid);
+}
+
+fn get_key<R: Read>(r: &mut R) -> io::Result<ThreadKey> {
+    Ok(ThreadKey {
+        pid: get_uv(r)?,
+        tid: get_uv(r)?,
+    })
+}
+
+/// `None` → `0`; `Some(key)` → `pid + 1`, then `tid`.
+fn put_opt_key(out: &mut Vec<u8>, key: Option<ThreadKey>) {
+    match key {
+        None => put_uv(out, 0),
+        Some(k) => {
+            put_uv(out, k.pid.checked_add(1).expect("pid < u64::MAX"));
+            put_uv(out, k.tid);
+        }
+    }
+}
+
+fn get_opt_key<R: Read>(r: &mut R) -> io::Result<Option<ThreadKey>> {
+    let tag = get_uv(r)?;
+    if tag == 0 {
+        return Ok(None);
+    }
+    Ok(Some(ThreadKey {
+        pid: tag - 1,
+        tid: get_uv(r)?,
+    }))
+}
+
+/// LEB128 unsigned varint encode.
+fn put_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 unsigned varint decode (at most 10 bytes).
+fn get_uv<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(bad("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(bad("varint too long"));
+        }
+    }
+}
+
+fn get_u32v<R: Read>(r: &mut R) -> io::Result<u32> {
+    u32::try_from(get_uv(r)?).map_err(|_| bad("value exceeds u32"))
+}
+
+/// A reader that FNV-hashes every byte it yields: the whole-stream hash for
+/// the trailer check, plus a per-record sub-hash for the record check byte.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+    record: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R, seed: u64) -> Self {
+        HashingReader {
+            inner,
+            hash: seed,
+            record: FNV_OFFSET,
+        }
+    }
+
+    fn begin_record(&mut self) {
+        self.record = FNV_OFFSET;
+    }
+
+    fn record_hash(&self) -> u64 {
+        self.record
+    }
+
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        self.record = fnv1a(self.record, &buf[..n]);
+        Ok(n)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn overflow() -> io::Error {
+    bad("timestamp overflows u64 nanoseconds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn demo_trace() -> EtlTrace {
+        let key = ThreadKey { pid: 1, tid: 10 };
+        let mut b = TraceBuilder::new(4);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 1,
+            name: "app.exe".into(),
+        });
+        b.push(TraceEvent::ThreadStart {
+            at: SimTime::ZERO,
+            key,
+            name: "main".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(1),
+            cpu: 2,
+            old: None,
+            new: Some(key),
+            ready_since: Some(SimTime::ZERO),
+        });
+        b.push(TraceEvent::GpuSubmit {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            key,
+            gpu: 0,
+            packet: 9,
+        });
+        b.push(TraceEvent::GpuStart {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 9,
+            pid: 1,
+        });
+        b.push(TraceEvent::WaitBegin {
+            at: SimTime::ZERO + SimDuration::from_millis(2),
+            key,
+            reason: WaitReason::Gpu { gpu: 0, packet: 9 },
+        });
+        b.push(TraceEvent::GpuEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(3),
+            gpu: 0,
+            engine: u32::MAX,
+            packet: 9,
+            pid: 1,
+        });
+        b.push(TraceEvent::WaitEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(3),
+            key,
+            reason: WaitReason::Gpu { gpu: 0, packet: 9 },
+            waker: None,
+        });
+        b.push(TraceEvent::Frame {
+            at: SimTime::ZERO + SimDuration::from_millis(4),
+            pid: 1,
+        });
+        b.push(TraceEvent::WaitBegin {
+            at: SimTime::ZERO + SimDuration::from_millis(4),
+            key,
+            reason: WaitReason::Event { id: 5 },
+        });
+        b.push(TraceEvent::WaitEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            key,
+            reason: WaitReason::Event { id: 5 },
+            waker: Some(ThreadKey { pid: 1, tid: 11 }),
+        });
+        b.push(TraceEvent::Marker {
+            at: SimTime::ZERO + SimDuration::from_millis(5),
+            label: "phase: export 🚀".into(),
+        });
+        b.push(TraceEvent::CSwitch {
+            at: SimTime::ZERO + SimDuration::from_millis(6),
+            cpu: 2,
+            old: Some(key),
+            new: None,
+            ready_since: None,
+        });
+        b.push(TraceEvent::ThreadEnd {
+            at: SimTime::ZERO + SimDuration::from_millis(6),
+            key,
+        });
+        b.finish(SimTime::ZERO, SimTime::ZERO + SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let trace = demo_trace();
+        let buf = encode(&trace);
+        let back = read_setl3(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn v3_is_smaller_than_v2() {
+        let trace = demo_trace();
+        let v3 = encode(&trace);
+        let mut v2 = Vec::new();
+        crate::etl::write_etl(&trace, &mut v2).unwrap();
+        assert!(
+            v3.len() < v2.len(),
+            "v3 {} bytes, v2 {} bytes",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let trace = demo_trace();
+        let buf = encode(&trace);
+        for i in 0..buf.len() {
+            let mut mutated = buf.clone();
+            mutated[i] ^= 0x40;
+            let result = read_setl3(mutated.as_slice());
+            // Either the decode errors (checksum / structure) — never a
+            // silently different trace. Byte flips that happen to decode to
+            // the same trace are impossible: FNV-1a is injective per byte.
+            assert!(result.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let trace = demo_trace();
+        let buf = encode(&trace);
+        for len in 0..buf.len() {
+            assert!(
+                read_setl3(&buf[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_revision_is_rejected() {
+        let trace = demo_trace();
+        let mut buf = encode(&trace);
+        buf[5] = 99; // revision byte after the 5-byte magic
+        assert!(read_setl3(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varints_roundtrip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_uv(&mut buf, v);
+            assert_eq!(get_uv(&mut buf.as_slice()).unwrap(), v, "value {v}");
+        }
+        // A 10-byte varint with excess high bits must not wrap silently.
+        let too_big = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert!(get_uv(&mut too_big.as_slice()).is_err());
+    }
+}

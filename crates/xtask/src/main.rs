@@ -2,9 +2,19 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- bench-gate [--update] [--runs N] [--threshold PCT]
+//!                                  [--sample-size N] [--bench NAME]...
 //! ```
 //!
-//! The only subcommand today is `lint`: a source-level determinism lint for
+//! `bench-gate` is the perf-regression gate: it runs the selected criterion
+//! benches (default: the fast kernel/analysis ones) `--runs` times, takes
+//! the per-bench median `ns/iter`, and compares against the committed
+//! baseline `BENCH_repro.json` at the workspace root. Any bench more than
+//! `--threshold` percent (default 25) slower than its baseline fails the
+//! gate. `--update` rewrites the baseline instead; `--sample-size` forwards
+//! `CRITERION_SAMPLE_SIZE` to the bench processes (CI quick mode).
+//!
+//! `lint` is a source-level determinism lint for
 //! the whole workspace. The simulator's headline guarantee is that every
 //! artifact is byte-identical for a given (configuration, seed) whatever
 //! the job count or host — which only holds while the code never consults
@@ -21,16 +31,23 @@
 //! * **unordered-iter** — iterating a `HashMap`/`HashSet` local. Hash
 //!   iteration order is randomized per process; anything it feeds is
 //!   nondeterministic. Accounting that reaches output must use `BTreeMap`.
+//! * **fs-write** — direct `fs::write` / `File::create` /
+//!   `OpenOptions::new`. A torn or half-flushed file can poison the
+//!   persistent run store or a golden artifact; durable writes must go
+//!   through the store's temp-file + `rename` helper
+//!   (`parastat::store::atomic_write`). Export/report sites that overwrite
+//!   whole files on purpose carry an annotation saying so.
 //!
 //! Sanctioned sites carry an inline annotation on the same or preceding
 //! line — `// lint:allow(wall-clock): why` — which doubles as
 //! documentation. Comments and string literals are stripped before needle
 //! matching, so prose mentioning `Instant::now` doesn't trip the lint.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// The three rule identifiers, as spelled inside `lint:allow(...)`.
-const RULES: [&str; 3] = ["wall-clock", "env-read", "unordered-iter"];
+/// The four rule identifiers, as spelled inside `lint:allow(...)`.
+const RULES: [&str; 4] = ["wall-clock", "env-read", "unordered-iter", "fs-write"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +65,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("bench-gate") => bench_gate(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
     }
@@ -56,7 +74,272 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("xtask: {msg}");
     eprintln!("usage: cargo run -p xtask -- lint");
+    eprintln!("       cargo run -p xtask -- bench-gate [--update] [--runs N] [--threshold PCT]");
+    eprintln!("                                        [--sample-size N] [--bench NAME]...");
     std::process::exit(2);
+}
+
+/// Benches the gate runs by default: the pure-CPU kernel and trace-analysis
+/// benches, which are fast and steady enough for a CI smoke signal. The
+/// simulation-sweep benches (`experiments`, `runner`, `simulator`) take
+/// minutes and are left to explicit `--bench` selection.
+const GATE_BENCHES: [&str; 3] = ["hash_kernels", "profiler", "verify"];
+
+/// The committed baseline file, relative to the workspace root.
+const BASELINE_FILE: &str = "BENCH_repro.json";
+
+fn bench_gate(args: &[String]) {
+    let mut update = false;
+    let mut runs = 3usize;
+    let mut threshold_pct = 25.0f64;
+    let mut sample_size: Option<u64> = None;
+    let mut benches: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--update" => update = true,
+            "--runs" => {
+                runs = value("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("invalid --runs"));
+            }
+            "--threshold" => {
+                threshold_pct = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage("invalid --threshold"));
+            }
+            "--sample-size" => {
+                sample_size = Some(
+                    value("--sample-size")
+                        .parse()
+                        .unwrap_or_else(|_| usage("invalid --sample-size")),
+                );
+            }
+            "--bench" => benches.push(value("--bench")),
+            other => usage(&format!("unknown bench-gate flag `{other}`")),
+        }
+    }
+    if runs == 0 {
+        usage("--runs must be at least 1");
+    }
+    if benches.is_empty() {
+        benches = GATE_BENCHES.iter().map(|s| s.to_string()).collect();
+    }
+    let root = workspace_root();
+    let baseline_path = root.join(BASELINE_FILE);
+
+    let mut samples: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for run in 0..runs {
+        for bench in &benches {
+            eprintln!("bench-gate: run {}/{runs} of `{bench}`…", run + 1);
+            let mut cmd = std::process::Command::new("cargo");
+            cmd.current_dir(&root)
+                .args(["bench", "-q", "-p", "repro-bench", "--features", "bench"])
+                .args(["--bench", bench]);
+            if let Some(n) = sample_size {
+                cmd.env("CRITERION_SAMPLE_SIZE", n.to_string());
+            }
+            let out = cmd.output().unwrap_or_else(|e| {
+                eprintln!("bench-gate: failed to spawn cargo: {e}");
+                std::process::exit(1);
+            });
+            if !out.status.success() {
+                eprintln!("bench-gate: `cargo bench --bench {bench}` failed:");
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                std::process::exit(1);
+            }
+            for (name, ns) in parse_bench_lines(&String::from_utf8_lossy(&out.stdout)) {
+                samples.entry(name).or_default().push(ns);
+            }
+        }
+    }
+    let current: BTreeMap<String, u64> = samples
+        .into_iter()
+        .map(|(name, mut ns)| {
+            ns.sort_unstable();
+            (name, median(&ns))
+        })
+        .collect();
+    if current.is_empty() {
+        eprintln!("bench-gate: no `bench:` lines parsed — did the benches run?");
+        std::process::exit(1);
+    }
+
+    if update {
+        std::fs::write(&baseline_path, render_baseline(&current)).unwrap_or_else(|e| {
+            eprintln!("bench-gate: cannot write {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "bench-gate: wrote {} entries to {}",
+            current.len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench-gate: cannot read {} ({e}); run with --update to create it",
+            baseline_path.display()
+        );
+        std::process::exit(1);
+    });
+    let baseline = parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("bench-gate: {}: {e}", baseline_path.display());
+        std::process::exit(1);
+    });
+    let (regressions, notes) = compare_baseline(&baseline, &current, threshold_pct);
+    for note in &notes {
+        eprintln!("bench-gate: note: {note}");
+    }
+    for (name, ns) in &current {
+        match baseline.get(name) {
+            Some(base) => eprintln!(
+                "bench-gate: {name}: {ns} ns/iter (baseline {base}, {:+.1}%)",
+                delta_pct(*base, *ns)
+            ),
+            None => eprintln!("bench-gate: {name}: {ns} ns/iter (no baseline)"),
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "bench-gate: ok — {} benches within {threshold_pct}% of baseline",
+            current.len()
+        );
+    } else {
+        for r in &regressions {
+            eprintln!("bench-gate: REGRESSION: {r}");
+        }
+        eprintln!(
+            "bench-gate: {} regression(s) beyond {threshold_pct}%; if intentional, re-run with --update",
+            regressions.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `(name, ns_per_iter)` pairs from the criterion stub's
+/// `bench: <name> <ns> ns/iter (<n> iters)` stdout lines.
+fn parse_bench_lines(stdout: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in stdout.lines() {
+        let Some(rest) = line.trim().strip_prefix("bench: ") else {
+            continue;
+        };
+        let mut fields = rest.split_whitespace();
+        let (Some(name), Some(ns), Some("ns/iter")) = (fields.next(), fields.next(), fields.next())
+        else {
+            continue;
+        };
+        if let Ok(ns) = ns.parse::<u64>() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// Median of a sorted, non-empty slice (mean of the middle pair when even).
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+fn delta_pct(base: u64, now: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (now as f64 - base as f64) / base as f64 * 100.0
+}
+
+/// Renders the baseline map as one-entry-per-line JSON, sorted by name, so
+/// diffs of the committed file stay reviewable.
+fn render_baseline(medians: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in medians.iter().enumerate() {
+        let comma = if i + 1 == medians.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat `{"name": ns, …}` baseline JSON. Only the exact shape
+/// `render_baseline` produces (string keys, unsigned integer values) is
+/// accepted — this is a checked-in artifact, not arbitrary input.
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("baseline is not a JSON object")?;
+    let mut map = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry `{entry}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("malformed key in `{entry}`"))?;
+        let ns: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed value in `{entry}`"))?;
+        if map.insert(key.to_string(), ns).is_some() {
+            return Err(format!("duplicate bench `{key}`"));
+        }
+    }
+    Ok(map)
+}
+
+/// Compares current medians against the baseline. Returns `(regressions,
+/// notes)`: a regression is a shared bench more than `threshold_pct`
+/// slower; benches present on only one side are notes (the gate compares
+/// the intersection, so `--bench` subsets work).
+fn compare_baseline(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    threshold_pct: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+    for (name, &now) in current {
+        match baseline.get(name) {
+            Some(&base) => {
+                let limit = base as f64 * (1.0 + threshold_pct / 100.0);
+                if now as f64 > limit {
+                    regressions.push(format!(
+                        "{name}: {now} ns/iter vs baseline {base} ({:+.1}%)",
+                        delta_pct(base, now)
+                    ));
+                }
+            }
+            None => notes.push(format!(
+                "`{name}` has no baseline entry (new bench? --update to record it)"
+            )),
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            notes.push(format!("baseline entry `{name}` was not measured this run"));
+        }
+    }
+    (regressions, notes)
 }
 
 /// The workspace root, resolved from this crate's manifest directory
@@ -161,6 +444,15 @@ fn lint_source(path: &str, source: &str) -> Vec<String> {
                     "env-read",
                     i,
                     format!("{call} makes results depend on ambient environment; only PARASTAT_JOBS-style annotated knobs are sanctioned"),
+                );
+            }
+        }
+        for call in ["fs::write(", "File::create(", "OpenOptions::new("] {
+            if line.contains(call) {
+                report(
+                    "fs-write",
+                    i,
+                    format!("direct {call}…) can leave a torn file; durable data must go through the atomic temp-file + rename helper (parastat::store::atomic_write), or annotate a sanctioned whole-file export site"),
                 );
             }
         }
@@ -479,6 +771,78 @@ mod tests {
     fn needles_inside_comments_and_strings_are_ignored() {
         let src = "// calls Instant::now somewhere\nlet s = \"env::var\";\n";
         assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fs_write_fires_and_annotation_suppresses() {
+        for bad in [
+            "std::fs::write(path, bytes).unwrap();\n",
+            "let f = File::create(out)?;\n",
+            "let f = OpenOptions::new().append(true).open(p)?;\n",
+        ] {
+            let findings = lint_source("x.rs", bad);
+            assert_eq!(findings.len(), 1, "{bad:?} -> {findings:?}");
+            assert!(findings[0].contains("fs-write"));
+        }
+        // Reads and the rename-based helper are not write sites.
+        for ok in [
+            "let b = std::fs::read(path)?;\n",
+            "std::fs::rename(&tmp, path)?;\n",
+            "atomic_write(&path, &bytes)?;\n",
+            "// lint:allow(fs-write): whole-file export\nstd::fs::write(p, s)?;\n",
+        ] {
+            assert!(lint_source("x.rs", ok).is_empty(), "{ok:?}");
+        }
+    }
+
+    #[test]
+    fn bench_lines_parse_and_medians_are_stable() {
+        let stdout = "\
+warming up\n\
+bench: sha256/compress_64B                                     123 ns/iter (20 iters)\n\
+bench: verify_invariants_250k_events                       4567890 ns/iter (10 iters)\n\
+not a bench line\n";
+        let parsed = parse_bench_lines(stdout);
+        assert_eq!(
+            parsed,
+            vec![
+                ("sha256/compress_64B".to_string(), 123),
+                ("verify_invariants_250k_events".to_string(), 4_567_890),
+            ]
+        );
+        assert_eq!(median(&[5]), 5);
+        assert_eq!(median(&[1, 3, 9]), 3);
+        assert_eq!(median(&[2, 4]), 3);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert("b/one".to_string(), 150u64);
+        m.insert("a_two".to_string(), 9u64);
+        let text = render_baseline(&m);
+        assert_eq!(parse_baseline(&text).unwrap(), m);
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse_baseline("{\"a\": -1}").is_err());
+        assert_eq!(parse_baseline("{}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_threshold() {
+        let base: BTreeMap<String, u64> = [("fast", 100u64), ("slow", 1000), ("gone", 5)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let now: BTreeMap<String, u64> = [("fast", 124u64), ("slow", 1300), ("new", 7)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let (regressions, notes) = compare_baseline(&base, &now, 25.0);
+        // fast: +24% passes; slow: +30% fails; new/gone are notes only.
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("slow:"), "{regressions:?}");
+        assert_eq!(notes.len(), 2, "{notes:?}");
     }
 
     #[test]
