@@ -35,6 +35,21 @@
 //! artifacts. Setting `PARASTAT_STORE` implies `--store`; `--no-store` wins
 //! over both. `--store-stats` prints the disk hit/miss/quarantine tally and
 //! any anomaly notes after the run.
+//!
+//! `--self-trace <path>` turns the span tracer on for the whole invocation
+//! and writes the flight-recorder snapshot as Perfetto-loadable chrome JSON
+//! on exit: one track per thread, with spans for pool workers, the three
+//! memo tiers, store/codec I/O and every analyzer pass. Tracing never
+//! changes any artifact byte — the tables stay byte-identical with it on
+//! or off.
+//!
+//! `--doctor` also enables tracing and prints the one-shot health report
+//! (pool occupancy, cache hit rates, tier latencies, codec throughput,
+//! slowest spans, store footprint) after the run. With no artefact given it
+//! probes with the Table II suite under the selected budget.
+//!
+//! On panic, the flight recorder dumps the last spans and counters to
+//! `target/flight-recorder/repro.json` so crashed CI runs leave a trace.
 
 use parastat::figures::{
     ablation, compare, discussion, gpu, scaling, smt, stability, tables, validation, vr, web,
@@ -56,12 +71,21 @@ fn main() {
     let mut want_verify = false;
     let mut store_flag: Option<bool> = None;
     let mut want_store_stats = false;
+    let mut self_trace: Option<PathBuf> = None;
+    let mut want_doctor = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--store" => store_flag = Some(true),
             "--no-store" => store_flag = Some(false),
             "--store-stats" => want_store_stats = true,
+            "--self-trace" => {
+                self_trace = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--self-trace needs a path")),
+                ));
+            }
+            "--doctor" => want_doctor = true,
             "--budget" => {
                 budget_name = it.next().unwrap_or_else(|| usage("--budget needs a value"));
             }
@@ -93,8 +117,17 @@ fn main() {
             other => usage(&format!("unknown artefact `{other}`")),
         }
     }
-    if artefacts.is_empty() && metrics_out.is_none() && !want_blame {
+    if artefacts.is_empty() && metrics_out.is_none() && !want_blame && !want_doctor {
         usage("no artefact given");
+    }
+    // The flight recorder is always armed: a panicking run leaves its last
+    // spans and counters behind for post-mortem, even without --self-trace.
+    simobs::span::install_crash_dump(
+        PathBuf::from("target/flight-recorder/repro.json"),
+        etwtrace::chrome::self_trace_json,
+    );
+    if self_trace.is_some() || want_doctor {
+        simobs::span::set_enabled(true);
     }
     let b = budget(&budget_name);
     // One context for the whole invocation: artefacts that share a
@@ -119,6 +152,7 @@ fn main() {
         b.iterations,
         ctx.jobs()
     );
+    let ran_any = !artefacts.is_empty() || metrics_out.is_some() || want_blame;
     if let Some(path) = &metrics_out {
         write_metrics(&ctx, path, &metrics_app, b);
     }
@@ -199,6 +233,23 @@ fn main() {
         eprintln!("# blame");
         let rows = bottleneck::run_blame(&ctx, b);
         emit(&out_dir, "blame", &bottleneck::render_blame(&rows), None);
+    }
+    if want_doctor {
+        if !ran_any {
+            eprintln!("# doctor: probing with the 30-application suite…");
+            let _ = table2(b);
+        }
+        println!("{}", parastat::doctor::doctor_report_now(&ctx));
+    }
+    if let Some(path) = &self_trace {
+        let json = etwtrace::chrome::self_trace_json(&simobs::span::snapshot());
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).expect("create self-trace directory");
+        }
+        // lint:allow(fs-write): diagnostic self-trace export to a
+        // user-chosen path; never a deterministic artifact.
+        fs::write(path, json).expect("write self-trace");
+        eprintln!("# self-trace → {}", path.display());
     }
     let (hits, misses) = ctx.cache_stats();
     eprintln!("# simulations: {misses} run, {hits} served from cache");
@@ -299,6 +350,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("       repro --blame [--budget …]");
     eprintln!("       repro <artefact> --verify   # exit 1 if any trace fails verification");
     eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
+    eprintln!("       repro <artefact> --self-trace <path>   # Perfetto-loadable span trace of the run itself");
+    eprintln!("       repro --doctor [<artefact>...]   # one-shot pipeline health report");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);
 }

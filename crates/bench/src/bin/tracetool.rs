@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! tracetool record <app-substring> <seconds> <out.etl>   # UIforETW step
+//! tracetool info <trace.etl>                             # container + record census
 //! tracetool summary <trace.etl>                          # task-manager view
 //! tracetool tlp <trace.etl> <process-prefix>             # Equation 1
 //! tracetool latency <trace.etl> <process-prefix>         # ready→run delays
@@ -18,6 +19,11 @@
 //! ```
 //!
 //! `verify` exits non-zero when any diagnostic fires, so CI can gate on it.
+//!
+//! `info` summarizes a trace file without materializing it: container
+//! generation, event/record counts, string-table size, window duration and
+//! the per-CPU context-switch histogram — all through the streaming
+//! decoder, so checksums are still enforced.
 
 use etwtrace::{
     analysis, blame, chrome, critical, etl, export, hb, setl3, verify, EtlTrace, PidSet,
@@ -29,6 +35,12 @@ use std::io::BufWriter;
 use workloads::{build, AppId, WorkloadOpts};
 
 fn main() {
+    // Arm the flight recorder: a panicking analysis leaves its last spans
+    // behind under target/flight-recorder/ for post-mortem.
+    simobs::span::install_crash_dump(
+        std::path::PathBuf::from("target/flight-recorder/tracetool.json"),
+        chrome::self_trace_json,
+    );
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => {
@@ -51,6 +63,16 @@ fn main() {
             let file = File::create(out).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
             etl::write_etl(&trace, BufWriter::new(file)).expect("write trace");
             eprintln!("{} events → {out}", trace.events().len());
+        }
+        Some("info") => {
+            if args.len() != 2 {
+                usage("info <trace.etl>");
+            }
+            let path = &args[1];
+            let file = File::open(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            let info = etl::trace_info(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            print!("{}", info.render());
         }
         Some("summary") => {
             let trace = load(&args, 2);
@@ -243,6 +265,7 @@ fn usage_text() -> String {
     [
         "usage: tracetool <subcommand> …",
         "       tracetool record <app> <secs> <out.etl>      record an app trace",
+        "       tracetool info <trace.etl>                   container + record census",
         "       tracetool summary <trace.etl>                per-process overview",
         "       tracetool tlp <trace.etl> <prefix>           TLP / concurrency (Eq. 1)",
         "       tracetool latency <trace.etl> <prefix>       ready→run latency",

@@ -1,0 +1,64 @@
+//! Self-observability must be free of side effects on the science: every
+//! deterministic artifact (Table II markdown + CSV, Prometheus metrics)
+//! must be byte-identical with the span tracer on or off, at any job
+//! count. The tracer only ever *reads* pipeline state and stamps
+//! wall-clock spans into its own rings — these tests are the contract
+//! that it stays that way.
+
+use parastat::suite;
+use parastat::{Budget, RunContext};
+use simcore::SimDuration;
+use simobs::span;
+
+/// Runs the full 30-application suite and renders every deterministic
+/// artifact byte-for-byte: the Table II markdown, the CSV, and the
+/// concatenated Prometheus exposition of every iteration's metrics.
+fn artifacts(jobs: usize, tracing: bool) -> (String, String, String) {
+    span::reset();
+    span::set_enabled(tracing);
+    let ctx = RunContext::pooled(jobs);
+    let b = Budget {
+        duration: SimDuration::from_secs(2),
+        iterations: 1,
+    };
+    let rows = suite::run_table2(&ctx, b);
+    span::set_enabled(false);
+    if tracing {
+        // Sanity: tracing actually happened, otherwise the comparison
+        // proves nothing.
+        let record = span::snapshot();
+        assert!(
+            !record.stats.is_empty(),
+            "tracer was enabled but recorded no spans"
+        );
+    }
+    span::reset();
+    let md = suite::render_table2(&rows);
+    let csv = suite::table2_csv(&rows);
+    let prom: String = rows
+        .iter()
+        .flat_map(|r| r.measured.metrics.iter())
+        .map(|m| m.to_prometheus())
+        .collect();
+    (md, csv, prom)
+}
+
+#[test]
+fn artifacts_are_byte_identical_with_tracing_on_or_off_at_any_job_count() {
+    let baseline = artifacts(1, false);
+    for (jobs, tracing) in [(1, true), (4, false), (4, true)] {
+        let got = artifacts(jobs, tracing);
+        assert_eq!(
+            baseline.0, got.0,
+            "table2 markdown diverged at jobs={jobs} tracing={tracing}"
+        );
+        assert_eq!(
+            baseline.1, got.1,
+            "table2 csv diverged at jobs={jobs} tracing={tracing}"
+        );
+        assert_eq!(
+            baseline.2, got.2,
+            "prometheus metrics diverged at jobs={jobs} tracing={tracing}"
+        );
+    }
+}

@@ -39,6 +39,7 @@ fn help_lists_every_subcommand_on_stdout() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     for sub in [
         "record",
+        "info",
         "summary",
         "tlp",
         "latency",
@@ -93,6 +94,60 @@ fn pack_shrinks_at_least_3x_and_round_trips_through_verify() {
     assert!(ver.status.success(), "verify on unpacked failed: {ver:?}");
 
     for p in [&etl, &packed, &unpacked] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn info_summarizes_both_container_generations() {
+    let etl = tmp("info-src.etl");
+    let packed = tmp("info-packed.etl");
+    let rec = tracetool(&["record", "vlc", "2", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+    let pack = tracetool(&["pack", etl.to_str().unwrap(), packed.to_str().unwrap()]);
+    assert!(pack.status.success(), "pack failed: {pack:?}");
+
+    let flat = tracetool(&["info", etl.to_str().unwrap()]);
+    assert!(flat.status.success(), "info on flat failed: {flat:?}");
+    let flat_out = String::from_utf8_lossy(&flat.stdout);
+    assert!(flat_out.contains("SETL v2 (flat)"), "{flat_out}");
+    assert!(flat_out.contains("records by type:"), "{flat_out}");
+    assert!(flat_out.contains("CSwitches per CPU:"), "{flat_out}");
+    assert!(
+        flat_out.contains("none (flat container)"),
+        "flat traces have no string table: {flat_out}"
+    );
+
+    let compact = tracetool(&["info", packed.to_str().unwrap()]);
+    assert!(
+        compact.status.success(),
+        "info on packed failed: {compact:?}"
+    );
+    let compact_out = String::from_utf8_lossy(&compact.stdout);
+    assert!(compact_out.contains("SETL3 r1 (compact)"), "{compact_out}");
+    assert!(compact_out.contains("string table  :"), "{compact_out}");
+
+    // Same trace, so everything below the container line must agree.
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("events"))
+            .take_while(|l| !l.starts_with("string table"))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(tail(&flat_out), tail(&compact_out));
+
+    // A corrupt compact trace is rejected, not summarized: checksums are
+    // enforced on the streaming path too.
+    let mut bytes = std::fs::read(&packed).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    // lint:allow(fs-write): deliberately planting a corrupt temp trace.
+    std::fs::write(&packed, &bytes).unwrap();
+    let bad = tracetool(&["info", packed.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(2), "corrupt trace must be rejected");
+
+    for p in [&etl, &packed] {
         let _ = std::fs::remove_file(p);
     }
 }

@@ -45,6 +45,8 @@ pub struct AppBlame {
 /// Iterations reuse the context's memo cache, so running this next to
 /// [`crate::suite::run_table2`] with the same budget re-simulates nothing.
 pub fn run_blame_for(ctx: &RunContext, apps: &[AppId], budget: Budget) -> Vec<AppBlame> {
+    let mut sp = simobs::span::span("suite", "blame");
+    sp.add_events(apps.len() as u64);
     let experiments: Vec<_> = apps
         .iter()
         .map(|&app| table2_experiment(app, budget))

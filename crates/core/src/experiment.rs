@@ -183,6 +183,7 @@ impl Experiment {
     /// Runs a single iteration and returns the raw trace + process filter —
     /// the input to the timeline figures (Figs. 5–7, 9, 13).
     pub fn run_once(&self, seed: u64) -> SingleRun {
+        let mut sp = simobs::span::span("sim", "run_once");
         let mut m = Machine::new(self.machine_config(seed));
         let mut opts = self.opts.clone();
         opts.duration = self.budget.duration;
@@ -239,6 +240,7 @@ impl Experiment {
         metrics
             .registry
             .counter("parastat_store_quarantined_total", &[], 0);
+        sp.add_events(trace.events().len() as u64);
         SingleRun {
             trace,
             filter,

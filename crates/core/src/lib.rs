@@ -42,6 +42,7 @@
 //! ```
 
 pub mod bottleneck;
+pub mod doctor;
 pub mod energy;
 pub mod experiment;
 pub mod figures;

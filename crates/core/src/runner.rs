@@ -30,6 +30,7 @@
 
 use crate::experiment::{Experiment, Measurement, SingleRun};
 use crate::store::{LoadOutcome, SimStore};
+use simobs::span;
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -122,8 +123,13 @@ pub struct SerialRunner;
 
 impl Runner for SerialRunner {
     fn execute(&self, jobs: Vec<Job>) -> Vec<(usize, SingleRun)> {
+        let mut worker = span::span("pool", "worker");
+        worker.add_events(jobs.len() as u64);
         jobs.into_iter()
-            .map(|(idx, req)| (idx, req.execute()))
+            .map(|(idx, req)| {
+                let _work = span::span("pool", "work");
+                (idx, req.execute())
+            })
             .collect()
     }
 }
@@ -155,11 +161,22 @@ impl Runner for ThreadPoolRunner {
         let jobs = &jobs;
         std::thread::scope(|s| {
             for _ in 0..self.jobs.min(jobs.len()) {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((idx, req)) = jobs.get(i) else { break };
-                    let run = req.execute();
-                    *slots[i].lock().expect("result slot poisoned") = Some((*idx, run));
+                s.spawn(|| {
+                    // One span per worker lifetime, one per claimed job:
+                    // worker wall time minus the sum of its work spans is
+                    // the steal/idle overhead the doctor reports as pool
+                    // occupancy.
+                    let mut worker = span::span("pool", "worker");
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((idx, req)) = jobs.get(i) else { break };
+                        worker.add_events(1);
+                        let run = {
+                            let _work = span::span("pool", "work");
+                            req.execute()
+                        };
+                        *slots[i].lock().expect("result slot poisoned") = Some((*idx, run));
+                    }
                 });
             }
         });
@@ -399,6 +416,8 @@ impl RunContext {
         let keys: Vec<RunKey> = requests.iter().map(RunRequest::cache_key).collect();
         let mut fresh: Vec<Job> = Vec::new();
         {
+            let mut tier = span::span("tier", "memory");
+            tier.add_events(requests.len() as u64);
             let cache = self.cache.lock().expect("run cache poisoned");
             let mut scheduled: HashSet<&RunKey> = HashSet::new();
             for (i, (req, key)) in requests.iter().zip(&keys).enumerate() {
@@ -409,26 +428,33 @@ impl RunContext {
         }
         self.hits
             .fetch_add((requests.len() - fresh.len()) as u64, Ordering::Relaxed);
+        span::counter_add("memo_hits", (requests.len() - fresh.len()) as u64);
         // Second memo tier: replay memory misses from the persistent store.
         // Every loaded run already passed the store's integrity pipeline
         // (checksum, epoch, key, re-verification), so it joins the memory
         // cache exactly as a fresh simulation would.
         if let Some(store) = &self.store {
+            let mut tier = span::span("tier", "disk");
+            tier.add_events(fresh.len() as u64);
             let mut unstored: Vec<Job> = Vec::with_capacity(fresh.len());
             let mut loaded: Vec<(usize, SingleRun)> = Vec::new();
             for (idx, req) in fresh {
                 match store.load(&keys[idx]) {
                     LoadOutcome::Hit(run) => {
                         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        span::counter_add("disk_hits", 1);
                         loaded.push((idx, *run));
                     }
                     LoadOutcome::Miss => {
                         self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                        span::counter_add("disk_misses", 1);
                         unstored.push((idx, req));
                     }
                     LoadOutcome::Quarantined { reason } => {
                         self.disk_misses.fetch_add(1, Ordering::Relaxed);
                         self.quarantined.fetch_add(1, Ordering::Relaxed);
+                        span::counter_add("disk_misses", 1);
+                        span::counter_add("store_quarantined", 1);
                         self.push_store_note(format!(
                             "quarantined {:?} seed={}: {reason}",
                             req.experiment.app, req.seed
@@ -453,12 +479,17 @@ impl RunContext {
             fresh = unstored;
         }
         self.misses.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        span::counter_add("memo_misses", fresh.len() as u64);
         if !fresh.is_empty() {
             let labels: Vec<(usize, String)> = fresh
                 .iter()
                 .map(|(i, req)| (*i, format!("{:?} seed={}", req.experiment.app, req.seed)))
                 .collect();
-            let executed = self.runner.execute(fresh);
+            let executed = {
+                let mut tier = span::span("tier", "simulate");
+                tier.add_events(fresh.len() as u64);
+                self.runner.execute(fresh)
+            };
             for ((idx, run), (lidx, label)) in executed.iter().zip(&labels) {
                 debug_assert_eq!(idx, lidx);
                 self.tally_verification(run, label);

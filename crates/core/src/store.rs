@@ -152,6 +152,7 @@ impl SimStore {
     /// Looks a key up in the store, running the full integrity pipeline.
     /// Never panics and never returns a partially-decoded run.
     pub fn load(&self, key: &RunKey) -> LoadOutcome {
+        let mut sp = simobs::span::span("store", "load");
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -162,6 +163,7 @@ impl SimStore {
                 return self.reject(&path, &format!("unreadable entry: {e}"));
             }
         };
+        sp.add_bytes(bytes.len() as u64);
         match self.decode(key, &bytes) {
             Ok(run) => LoadOutcome::Hit(Box::new(run)),
             Err(reason) => self.reject(&path, &reason),
@@ -176,11 +178,14 @@ impl SimStore {
     /// # Errors
     /// Propagates I/O errors from the temp-file write or the rename.
     pub fn save(&self, key: &RunKey, run: &SingleRun) -> io::Result<()> {
+        let mut sp = simobs::span::span("store", "save");
         let path = self.entry_path(key);
         if path.exists() {
             return Ok(());
         }
-        atomic_write(&path, &self.encode(key, run))
+        let bytes = self.encode(key, run);
+        sp.add_bytes(bytes.len() as u64);
+        atomic_write(&path, &bytes)
     }
 
     /// Moves a bad entry into the quarantine directory (best-effort: a

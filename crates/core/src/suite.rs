@@ -38,6 +38,8 @@ pub fn table2_experiment(app: AppId, budget: Budget) -> Experiment {
 /// so the sweep scales with the context's job count while the reassembled
 /// rows stay in Table II order.
 pub fn run_table2(ctx: &RunContext, budget: Budget) -> Vec<AppMeasurement> {
+    let mut sp = simobs::span::span("suite", "table2");
+    sp.add_events(AppId::ALL.len() as u64);
     let experiments: Vec<Experiment> = AppId::ALL
         .iter()
         .map(|&app| table2_experiment(app, budget))

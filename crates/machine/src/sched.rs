@@ -11,7 +11,7 @@ use etwtrace::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent};
 use simcore::{EventCalendar, Rng, SimDuration, SimTime};
 use simcpu::ComputeKind;
 use simgpu::{Completion, EngineKind, GpuDevice, Packet};
-use simobs::{Registry, WallProfile};
+use simobs::{span, Registry};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Internal calendar events.
@@ -114,8 +114,6 @@ pub struct Machine {
     /// Set when occupancy changed; compute completions need re-pricing.
     dirty: bool,
     metrics: SchedMetrics,
-    /// Opt-in wall-clock self-profiling of the DES phases.
-    profile: WallProfile,
 }
 
 /// Tolerance on remaining ops when deciding a compute segment is finished
@@ -152,7 +150,6 @@ impl Machine {
             rng,
             dirty: false,
             metrics: SchedMetrics::default(),
-            profile: WallProfile::disabled(),
         }
     }
 
@@ -370,18 +367,22 @@ impl Machine {
             let (et, ev) = self.calendar.pop().expect("peeked");
             debug_assert!(et >= self.now);
             self.now = et;
-            let span = self.profile.start();
+            // Aggregate-only phase timers: when the self-tracer is enabled
+            // these fold into per-phase stats without ring slots (this loop
+            // runs per event — full spans here would flood the recorder);
+            // when disabled each is one branch.
+            let t = span::phase_start();
             self.sync();
-            self.profile.record("sync", span);
-            let span = self.profile.start();
+            span::phase_record("machine", "sync", t);
+            let t = span::phase_start();
             self.handle(ev);
-            self.profile.record("handle", span);
-            let span = self.profile.start();
+            span::phase_record("machine", "handle", t);
+            let t = span::phase_start();
             self.dispatch();
-            self.profile.record("dispatch", span);
-            let span = self.profile.start();
+            span::phase_record("machine", "dispatch", t);
+            let t = span::phase_start();
             self.reprice_if_dirty();
-            self.profile.record("reprice", span);
+            span::phase_record("machine", "reprice", t);
         }
         self.now = t;
         self.sync();
@@ -430,19 +431,6 @@ impl Machine {
         for (i, gpu) in self.gpus.iter().enumerate() {
             gpu.collect_metrics(i, reg);
         }
-    }
-
-    /// Turns on wall-clock self-profiling of the event-loop phases
-    /// (`sync` / `handle` / `dispatch` / `reprice`). Wall times are reported
-    /// via [`Machine::self_profile`], never through [`Machine::collect_metrics`],
-    /// so enabling this cannot perturb deterministic snapshots.
-    pub fn enable_self_profiling(&mut self) {
-        self.profile.enable();
-    }
-
-    /// Accumulated wall-clock spans (empty unless profiling is enabled).
-    pub fn self_profile(&self) -> &WallProfile {
-        &self.profile
     }
 
     // ---- event handling ------------------------------------------------
@@ -1198,6 +1186,8 @@ mod tests {
 
     #[test]
     fn self_profile_disabled_by_default_and_opt_in() {
+        // DES phase timing goes to the process-wide self-tracer
+        // (`simobs::span`), recorded only while its global gate is on.
         let mut m = study_machine(4);
         let pid = m.add_process("prof.exe");
         m.spawn(
@@ -1210,8 +1200,12 @@ mod tests {
             }),
         );
         m.run_for(SimDuration::from_millis(10));
-        assert!(m.self_profile().phases().is_empty());
-        m.enable_self_profiling();
+        assert!(
+            span::snapshot().stats_for("machine").is_empty(),
+            "phase stats recorded while the tracer was disabled"
+        );
+        span::set_enabled(true);
+        let mut m = study_machine(4);
         let pid2 = m.add_process("prof2.exe");
         m.spawn(
             pid2,
@@ -1223,9 +1217,14 @@ mod tests {
             }),
         );
         m.run_for(SimDuration::from_millis(10));
-        let names: Vec<&str> = m.self_profile().phases().iter().map(|(n, _)| *n).collect();
+        span::set_enabled(false);
+        let stats = span::snapshot();
         for phase in ["sync", "handle", "dispatch", "reprice"] {
-            assert!(names.contains(&phase), "missing {phase}: {names:?}");
+            let stat = stats.stats.get(&("machine", phase));
+            assert!(
+                stat.is_some_and(|s| s.count > 0),
+                "missing machine/{phase} phase stat"
+            );
         }
     }
 

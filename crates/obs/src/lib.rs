@@ -9,8 +9,9 @@
 //!   primitives the hot layers embed directly in their state structs;
 //! * [`Registry`] — a point-in-time snapshot collected *after* a run,
 //!   rendered as Prometheus text exposition format;
-//! * [`WallProfile`] — an opt-in span API for self-profiling DES phases
-//!   with wall-clock time.
+//! * [`span`] — the runtime-gated hierarchical span tracer and flight
+//!   recorder that turns the same lens on the pipeline itself (runner,
+//!   cache tiers, codecs, analyzers).
 //!
 //! ## Determinism
 //!
@@ -20,13 +21,14 @@
 //! Two runs with identical config and seed therefore produce **byte-identical**
 //! [`Registry::to_prometheus`] output — an invariant the test-suite asserts.
 //!
-//! Wall-clock self-profiling is deliberately segregated in [`WallProfile`],
-//! which is *never* rendered into a [`Registry`], so enabling it cannot break
-//! the determinism guarantee.
+//! Wall-clock self-profiling is deliberately segregated in [`span`], whose
+//! data is *never* merged into a run's deterministic [`Registry`] snapshot,
+//! so enabling it cannot break the determinism guarantee.
+
+pub mod span;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// A monotonically increasing event count.
 ///
@@ -401,6 +403,23 @@ impl Registry {
                         let _ = writeln!(out, "{name}_bucket{{{le}}} {}", h.count());
                         let _ = writeln!(out, "{}_sum{} {}", name, braced(labels), h.sum());
                         let _ = writeln!(out, "{}_count{} {}", name, braced(labels), h.count());
+                        // Quantile gauges up to p99.9: log₂-bucket upper
+                        // bounds, so exactly as deterministic as the buckets
+                        // themselves. Latency summaries used to stop at p95,
+                        // which hid exactly the tail this crate exists to
+                        // expose.
+                        for (suffix, q) in
+                            [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)]
+                        {
+                            let _ = writeln!(
+                                out,
+                                "{}_{}{} {}",
+                                name,
+                                suffix,
+                                braced(labels),
+                                h.quantile(q)
+                            );
+                        }
                     }
                 }
             }
@@ -612,111 +631,6 @@ fn merged(labels: &str, extra: &str) -> String {
     }
 }
 
-/// An in-flight wall-clock measurement (see [`WallProfile::start`]).
-///
-/// Carries `None` when profiling is disabled, making disabled spans free of
-/// any `Instant::now()` syscall.
-#[derive(Debug)]
-pub struct SpanTimer(Option<Instant>);
-
-/// Accumulated wall-clock time per named phase.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PhaseStat {
-    /// Total wall-clock nanoseconds spent in the phase.
-    pub wall_ns: u128,
-    /// Number of recorded spans.
-    pub spans: u64,
-}
-
-/// Opt-in wall-clock self-profiling of DES phases.
-///
-/// Usage: `let t = profile.start(); …work…; profile.record("phase", t);`.
-/// The split start/record API (instead of a drop guard) keeps the borrow of
-/// the profile short, so the profiled code can freely borrow the same struct.
-///
-/// Wall-clock data is intentionally **not** collectable into a [`Registry`]:
-/// registries guarantee deterministic output and wall-time is not
-/// deterministic.
-#[derive(Clone, Debug, Default)]
-pub struct WallProfile {
-    enabled: bool,
-    /// Linear scan by name: the simulator has a handful of phases, and a
-    /// `Vec` keeps report order = first-recorded order.
-    phases: Vec<(&'static str, PhaseStat)>,
-}
-
-impl WallProfile {
-    /// A disabled profile: `start`/`record` are no-ops.
-    pub fn disabled() -> Self {
-        WallProfile::default()
-    }
-
-    /// An enabled profile.
-    pub fn enabled() -> Self {
-        WallProfile {
-            enabled: true,
-            phases: Vec::new(),
-        }
-    }
-
-    /// Turns profiling on (existing data is kept).
-    pub fn enable(&mut self) {
-        self.enabled = true;
-    }
-
-    /// True when spans are being recorded.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Begins a span. Free when disabled.
-    #[inline]
-    pub fn start(&self) -> SpanTimer {
-        // lint:allow(wall-clock): the opt-in self-profiler measures host
-        // time by design and never feeds simulation results.
-        SpanTimer(self.enabled.then(Instant::now))
-    }
-
-    /// Ends a span, attributing its elapsed wall time to `name`.
-    #[inline]
-    pub fn record(&mut self, name: &'static str, timer: SpanTimer) {
-        let Some(started) = timer.0 else { return };
-        let ns = started.elapsed().as_nanos();
-        match self.phases.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, stat)) => {
-                stat.wall_ns += ns;
-                stat.spans += 1;
-            }
-            None => self.phases.push((
-                name,
-                PhaseStat {
-                    wall_ns: ns,
-                    spans: 1,
-                },
-            )),
-        }
-    }
-
-    /// Accumulated stats per phase, in first-recorded order.
-    pub fn phases(&self) -> &[(&'static str, PhaseStat)] {
-        &self.phases
-    }
-
-    /// Human-readable report, one line per phase.
-    pub fn report(&self) -> String {
-        let mut out = String::new();
-        for (name, stat) in &self.phases {
-            let _ = writeln!(
-                out,
-                "{name:<24} {:>12.3} ms across {} spans",
-                stat.wall_ns as f64 / 1e6,
-                stat.spans
-            );
-        }
-        out
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,19 +764,22 @@ mod tests {
     }
 
     #[test]
-    fn disabled_profile_records_nothing() {
-        let mut p = WallProfile::disabled();
-        let t = p.start();
-        p.record("phase", t);
-        assert!(p.phases().is_empty());
-
-        let mut p = WallProfile::enabled();
-        let t = p.start();
-        p.record("phase", t);
-        let t = p.start();
-        p.record("phase", t);
-        assert_eq!(p.phases().len(), 1);
-        assert_eq!(p.phases()[0].1.spans, 2);
-        assert!(p.report().contains("phase"));
+    fn histogram_quantile_gauges_are_rendered() {
+        let mut reg = Registry::new();
+        let mut h = LogHistogram::new();
+        for v in [5u64, 900, 900, 900] {
+            h.observe(v);
+        }
+        reg.histogram("sim_c_ns", &[("engine", "q0")], &h);
+        let text = reg.to_prometheus();
+        for suffix in ["p50", "p95", "p99", "p999"] {
+            assert!(
+                text.contains(&format!("sim_c_ns_{suffix}{{engine=\"q0\"}}")),
+                "missing {suffix} gauge in:\n{text}"
+            );
+        }
+        // All tail quantiles sit in 900's bucket (bound 1023, clamped to
+        // the observed max).
+        assert!(text.contains("sim_c_ns_p999{engine=\"q0\"} 900"), "{text}");
     }
 }

@@ -61,6 +61,8 @@ impl ConcurrencyProfile {
 /// consecutive events the number of CPUs running filtered threads is
 /// constant and its duration accumulates in that bin.
 pub fn concurrency(trace: &EtlTrace, filter: &PidSet) -> ConcurrencyProfile {
+    let mut sp = simobs::span::span("analyzer", "tlp");
+    sp.add_events(trace.events().len() as u64);
     let n = trace.n_logical_cpus();
     let mut hist = Histogram::new(n);
     let mut per_cpu: Vec<Option<u64>> = vec![None; n];

@@ -202,6 +202,8 @@ enum St {
 /// Fully idle intervals (no app thread running) are not charged, mirroring
 /// the non-idle normalization of the paper's TLP (Equation 1).
 pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
+    let mut sp = simobs::span::span("analyzer", "blame");
+    sp.add_events(trace.events().len() as u64);
     let n_logical = trace.n_logical_cpus();
     // Pre-pass 1: packet → engine, from the device's execution records.
     let mut engines: BTreeMap<(u32, u64), u32> = BTreeMap::new();

@@ -271,6 +271,68 @@ pub fn chrome_trace(trace: &EtlTrace) -> String {
     out
 }
 
+/// Synthetic process id of the pipeline's own flight-recorder track,
+/// deliberately distinct from [`CPU_PID`] and the [`GPU_PID_BASE`] range so
+/// a self-trace can be opened next to (or merged with) a simulated trace.
+const SELF_PID: u64 = 2000;
+
+/// Renders a [`simobs::span::FlightRecord`] as Chrome trace-event JSON: the
+/// pipeline's own spans as one Perfetto process ("parastat self-trace")
+/// with one thread row per recording thread, byte/event payloads in slice
+/// args, and the diagnostic counters as one instant event.
+///
+/// Timestamps are microseconds since the tracer's process-local epoch —
+/// wall-clock, hence diagnostic-only and outside the determinism contract.
+pub fn self_trace_json(record: &simobs::span::FlightRecord) -> String {
+    let mut em = Emitter { events: Vec::new() };
+    for span in &record.spans {
+        let mut args = format!(",\"args\":{{\"depth\":{}", span.depth);
+        if span.bytes > 0 {
+            let _ = write!(args, ",\"bytes\":{}", span.bytes);
+        }
+        if span.events > 0 {
+            let _ = write!(args, ",\"events\":{}", span.events);
+        }
+        args.push('}');
+        em.events.push(format!(
+            "{{\"name\":\"{}/{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}{}}}",
+            json_escape(span.cat),
+            json_escape(span.name),
+            span.start_ns as f64 / 1e3,
+            span.dur_ns as f64 / 1e3,
+            SELF_PID,
+            span.thread,
+            args
+        ));
+    }
+    if !record.counters.is_empty() {
+        let body: Vec<String> = record
+            .counters
+            .iter()
+            .map(|(name, v)| format!("\"{}\":{}", json_escape(name), v))
+            .collect();
+        em.events.push(format!(
+            "{{\"name\":\"counters\",\"ph\":\"i\",\"ts\":0.000,\"pid\":{},\"tid\":0,\"s\":\"g\",\"args\":{{{}}}}}",
+            SELF_PID,
+            body.join(",")
+        ));
+    }
+    em.metadata("process_name", SELF_PID, None, "parastat self-trace");
+    let tids: BTreeSet<u32> = record.spans.iter().map(|s| s.thread).collect();
+    for tid in tids {
+        em.metadata(
+            "thread_name",
+            SELF_PID,
+            Some(u64::from(tid)),
+            &format!("thread {tid}"),
+        );
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&em.events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +459,32 @@ mod tests {
         assert_eq!(slices, 2);
         let instants = json.matches("\"ph\":\"i\"").count();
         assert_eq!(instants, 2); // frame + marker
+    }
+
+    #[test]
+    fn self_trace_renders_spans_counters_and_track_names() {
+        let mut record = simobs::span::FlightRecord::default();
+        record.spans.push(simobs::span::SpanRecord {
+            cat: "codec",
+            name: "read_setl3",
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            depth: 1,
+            thread: 3,
+            bytes: 4096,
+            events: 120,
+        });
+        record.counters.insert("memo_hits", 7);
+        let json = self_trace_json(&record);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(
+            json.contains(
+                "{\"name\":\"codec/read_setl3\",\"ph\":\"X\",\"ts\":1.500,\"dur\":2.000,\"pid\":2000,\"tid\":3,\"args\":{\"depth\":1,\"bytes\":4096,\"events\":120}}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"args\":{\"memo_hits\":7}"), "{json}");
+        assert!(json.contains("\"args\":{\"name\":\"parastat self-trace\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"thread 3\"}"));
     }
 }

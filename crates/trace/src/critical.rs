@@ -177,6 +177,8 @@ impl Graph {
 /// Builds the wait-for graph for the `filter` application and extracts the
 /// critical path and what-if TLP bound. See the module docs for the model.
 pub fn critical_path(trace: &EtlTrace, filter: &PidSet) -> CriticalPath {
+    let mut sp = simobs::span::span("analyzer", "critical");
+    sp.add_events(trace.events().len() as u64);
     let mut graph = Graph {
         nodes: Vec::new(),
         n_edges: 0,

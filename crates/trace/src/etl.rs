@@ -17,6 +17,8 @@
 
 use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
 use simcore::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"SETL";
@@ -30,6 +32,8 @@ const VERSION: u32 = 2;
 /// # Errors
 /// Propagates I/O errors from the writer.
 pub fn write_etl<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
+    let mut sp = simobs::span::span("codec", "write_etl");
+    sp.add_events(trace.events().len() as u64);
     w.write_all(MAGIC)?;
     put_u32(&mut w, VERSION)?;
     put_u32(&mut w, trace.n_logical_cpus() as u32)?;
@@ -63,6 +67,7 @@ pub fn read_etl<R: Read>(mut r: R) -> io::Result<EtlTrace> {
     if gen[0] == b'3' {
         return crate::setl3::read_setl3_after_magic(r);
     }
+    let mut sp = simobs::span::span("codec", "read_etl");
     let mut rest = [0u8; 3];
     r.read_exact(&mut rest)?;
     let version = u32::from_le_bytes([gen[0], rest[0], rest[1], rest[2]]);
@@ -76,11 +81,138 @@ pub fn read_etl<R: Read>(mut r: R) -> io::Result<EtlTrace> {
         return Err(bad("inverted trace window"));
     }
     let count = get_u64(&mut r)?;
+    sp.add_events(count);
     let mut builder = TraceBuilder::new(n_logical);
     for _ in 0..count {
         builder.push(read_event(&mut r)?);
     }
     Ok(builder.finish(start, end))
+}
+
+/// Stream-level facts about a trace file, computed without materializing
+/// the event vector — `tracetool info`'s one-pass triage summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Container generation and revision, e.g. `"SETL v2 (flat)"`.
+    pub container: &'static str,
+    /// Logical CPU count the trace was recorded with.
+    pub n_logical: usize,
+    /// Trace window start (nanoseconds of virtual time).
+    pub start_ns: u64,
+    /// Trace window end.
+    pub end_ns: u64,
+    /// Total records in the stream.
+    pub events: u64,
+    /// `(entries, payload bytes)` of the interned string table — v3 only.
+    pub string_table: Option<(u64, u64)>,
+    /// Record count per type name, alphabetical.
+    pub records_by_kind: BTreeMap<&'static str, u64>,
+    /// Context switches per CPU — the per-CPU event histogram.
+    pub cswitch_per_cpu: Vec<u64>,
+}
+
+impl TraceInfo {
+    fn fold(&mut self, ev: &TraceEvent) {
+        *self.records_by_kind.entry(ev.kind_name()).or_insert(0) += 1;
+        if let TraceEvent::CSwitch { cpu, .. } = ev {
+            if *cpu >= self.cswitch_per_cpu.len() {
+                self.cswitch_per_cpu.resize(cpu + 1, 0);
+            }
+            self.cswitch_per_cpu[*cpu] += 1;
+        }
+    }
+
+    /// Trace window length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Renders the summary as aligned `key : value` text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "container     : {}", self.container);
+        let _ = writeln!(out, "events        : {}", self.events);
+        let _ = writeln!(out, "logical CPUs  : {}", self.n_logical);
+        let _ = writeln!(
+            out,
+            "window        : {} ns .. {} ns ({:.3} s)",
+            self.start_ns,
+            self.end_ns,
+            self.duration_ns() as f64 / 1e9
+        );
+        match self.string_table {
+            Some((entries, bytes)) => {
+                let _ = writeln!(out, "string table  : {entries} entries, {bytes} bytes");
+            }
+            None => {
+                let _ = writeln!(out, "string table  : none (flat container)");
+            }
+        }
+        let _ = writeln!(out, "records by type:");
+        for (kind, n) in &self.records_by_kind {
+            let _ = writeln!(out, "  {kind:<14} {n}");
+        }
+        let _ = writeln!(out, "CSwitches per CPU:");
+        for (cpu, n) in self.cswitch_per_cpu.iter().enumerate() {
+            let _ = writeln!(out, "  cpu{cpu:<3} {n}");
+        }
+        out
+    }
+}
+
+/// Summarizes a trace file in one streaming pass — both generations, same
+/// magic sniffing as [`read_etl`], full checksum verification on v3 — while
+/// folding counts instead of building an [`EtlTrace`].
+///
+/// # Errors
+/// Same conditions as [`read_etl`].
+pub fn trace_info<R: Read>(mut r: R) -> io::Result<TraceInfo> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a SETL trace file"));
+    }
+    let mut gen = [0u8; 1];
+    r.read_exact(&mut gen)?;
+    let mut sp = simobs::span::span("codec", "trace_info");
+    let mut info = TraceInfo::default();
+    if gen[0] == b'3' {
+        let mut stream = crate::setl3::V3Stream::open(r)?;
+        info.container = "SETL3 r1 (compact)";
+        info.n_logical = stream.header.n_logical;
+        info.start_ns = stream.header.start.as_nanos();
+        info.end_ns = stream.header.end.as_nanos();
+        info.events = stream.header.count;
+        info.string_table = Some((stream.header.n_strings, stream.header.string_bytes));
+        info.cswitch_per_cpu = vec![0; stream.header.n_logical];
+        while let Some(ev) = stream.next_event()? {
+            info.fold(&ev);
+        }
+        sp.add_events(info.events);
+        sp.add_bytes(stream.bytes_read());
+        return Ok(info);
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    let version = u32::from_le_bytes([gen[0], rest[0], rest[1], rest[2]]);
+    info.container = match version {
+        1 => "SETL v1 (flat)",
+        2 => "SETL v2 (flat)",
+        _ => return Err(bad("unsupported SETL version")),
+    };
+    info.n_logical = get_u32(&mut r)? as usize;
+    info.start_ns = get_u64(&mut r)?;
+    info.end_ns = get_u64(&mut r)?;
+    if info.end_ns < info.start_ns {
+        return Err(bad("inverted trace window"));
+    }
+    info.events = get_u64(&mut r)?;
+    info.cswitch_per_cpu = vec![0; info.n_logical];
+    for _ in 0..info.events {
+        info.fold(&read_event(&mut r)?);
+    }
+    sp.add_events(info.events);
+    Ok(info)
 }
 
 fn write_event<W: Write>(w: &mut W, ev: &TraceEvent) -> io::Result<()> {
@@ -492,6 +624,44 @@ mod tests {
         let v3 = crate::setl3::encode(&trace);
         let back = read_etl(v3.as_slice()).unwrap();
         assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn trace_info_summarizes_both_generations() {
+        let trace = demo_trace();
+        let mut v2 = Vec::new();
+        write_etl(&trace, &mut v2).unwrap();
+        let info = trace_info(v2.as_slice()).unwrap();
+        assert_eq!(info.container, "SETL v2 (flat)");
+        assert_eq!(info.events, trace.events().len() as u64);
+        assert_eq!(info.n_logical, 4);
+        assert_eq!(info.records_by_kind["CSwitch"], 2);
+        assert_eq!(info.cswitch_per_cpu, vec![0, 0, 2, 0]);
+        assert_eq!(info.string_table, None);
+        assert_eq!(info.duration_ns(), 10_000_000);
+
+        let v3 = crate::setl3::encode(&trace);
+        let info3 = trace_info(v3.as_slice()).unwrap();
+        assert_eq!(info3.container, "SETL3 r1 (compact)");
+        assert_eq!(info3.events, info.events);
+        assert_eq!(info3.records_by_kind, info.records_by_kind);
+        assert_eq!(info3.cswitch_per_cpu, info.cswitch_per_cpu);
+        // app.exe, main, and the marker label are interned.
+        let (entries, bytes) = info3.string_table.unwrap();
+        assert_eq!(entries, 3);
+        assert!(bytes > 0);
+        let rendered = info3.render();
+        assert!(rendered.contains("SETL3"), "{rendered}");
+        assert!(rendered.contains("CSwitch"), "{rendered}");
+        assert!(rendered.contains("cpu2"), "{rendered}");
+
+        // The streaming info pass still enforces v3 checksums.
+        let mut corrupt = v3.clone();
+        let at = corrupt.len() - 12;
+        corrupt[at] ^= 0x40;
+        assert!(trace_info(corrupt.as_slice()).is_err());
+        // And rejects garbage like the full reader does.
+        assert!(trace_info(&b"NOPE"[..]).is_err());
     }
 
     #[test]

@@ -219,6 +219,23 @@ impl TraceEvent {
             | TraceEvent::GpuSubmit { at, .. } => *at,
         }
     }
+
+    /// The record-type name, as printed by `tracetool info`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::ProcessStart { .. } => "ProcessStart",
+            TraceEvent::ThreadStart { .. } => "ThreadStart",
+            TraceEvent::ThreadEnd { .. } => "ThreadEnd",
+            TraceEvent::CSwitch { .. } => "CSwitch",
+            TraceEvent::GpuStart { .. } => "GpuStart",
+            TraceEvent::GpuEnd { .. } => "GpuEnd",
+            TraceEvent::Frame { .. } => "Frame",
+            TraceEvent::Marker { .. } => "Marker",
+            TraceEvent::WaitBegin { .. } => "WaitBegin",
+            TraceEvent::WaitEnd { .. } => "WaitEnd",
+            TraceEvent::GpuSubmit { .. } => "GpuSubmit",
+        }
+    }
 }
 
 /// A set of process ids used to filter analyses to one application.

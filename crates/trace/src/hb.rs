@@ -165,6 +165,8 @@ impl Analyzer {
 
 /// Runs the happens-before pass over a sealed trace.
 pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
+    let mut sp = simobs::span::span("analyzer", "hb");
+    sp.add_events(trace.events().len() as u64);
     let mut a = Analyzer {
         opts: *opts,
         threads: BTreeMap::new(),

@@ -66,6 +66,8 @@ pub fn write_setl3<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
 /// Encodes `trace` into an in-memory SETL v3 stream (checksummed and
 /// self-delimiting — safe to embed inside a larger container file).
 pub fn encode(trace: &EtlTrace) -> Vec<u8> {
+    let mut sp = simobs::span::span("codec", "encode_setl3");
+    sp.add_events(trace.events().len() as u64);
     let mut out = Vec::with_capacity(trace.events().len() * 10 + 64);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -99,6 +101,7 @@ pub fn encode(trace: &EtlTrace) -> Vec<u8> {
     }
     let file_hash = fnv1a(FNV_OFFSET, &out);
     out.extend_from_slice(&file_hash.to_le_bytes());
+    sp.add_bytes(out.len() as u64);
     out
 }
 
@@ -122,56 +125,142 @@ pub fn read_setl3<R: Read>(mut r: R) -> io::Result<EtlTrace> {
 /// # Errors
 /// Same conditions as [`read_setl3`].
 pub fn read_setl3_after_magic<R: Read>(r: R) -> io::Result<EtlTrace> {
-    let mut r = HashingReader::new(r, fnv1a(FNV_OFFSET, MAGIC));
-    let mut version = [0u8; 1];
-    r.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(bad("unsupported SETL3 revision"));
+    let mut sp = simobs::span::span("codec", "read_setl3");
+    let mut stream = V3Stream::open(r)?;
+    let mut builder = TraceBuilder::new(stream.header.n_logical);
+    while let Some(ev) = stream.next_event()? {
+        builder.push(ev);
     }
-    let n_logical = get_uv(&mut r)? as usize;
-    let start = SimTime::from_nanos(get_uv(&mut r)?);
-    let window = get_uv(&mut r)?;
-    let end = SimTime::from_nanos(start.as_nanos().checked_add(window).ok_or_else(overflow)?);
+    sp.add_events(stream.header.count);
+    sp.add_bytes(stream.bytes_read());
+    Ok(builder.finish(stream.header.start, stream.header.end))
+}
 
-    let n_strings = get_uv(&mut r)?;
-    if n_strings > MAX_STRINGS {
-        return Err(bad("string table too large"));
-    }
-    let mut strings: Vec<String> = Vec::with_capacity(n_strings as usize);
-    for _ in 0..n_strings {
-        let len = get_uv(&mut r)?;
-        if len > MAX_STRING_LEN {
-            return Err(bad("string too long"));
+/// Parsed v3 stream preamble: dimensions, window, string table and record
+/// count. Available before any record has been decoded.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct V3Header {
+    pub n_logical: usize,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// String-table entries.
+    pub n_strings: u64,
+    /// Total payload bytes of the string table (excluding length prefixes).
+    pub string_bytes: u64,
+    /// Number of records in the stream.
+    pub count: u64,
+}
+
+/// A streaming v3 decoder: parses the header up front, then yields one
+/// event at a time without materializing the whole trace. Shared by
+/// [`read_setl3_after_magic`] (which feeds a [`TraceBuilder`]) and the
+/// `tracetool info` triage path (which only folds counts).
+///
+/// Checksums are still enforced in full: per-record check bytes as records
+/// are pulled, and the 64-bit file trailer when the last record has been
+/// consumed.
+pub(crate) struct V3Stream<R: Read> {
+    r: HashingReader<R>,
+    pub header: V3Header,
+    strings: Vec<String>,
+    clocks: Clocks,
+    yielded: u64,
+    bytes: u64,
+    finished: bool,
+}
+
+impl<R: Read> V3Stream<R> {
+    /// Parses the revision byte, dimensions and string table. The reader
+    /// must be positioned just past the 5-byte magic.
+    pub fn open(r: R) -> io::Result<Self> {
+        let mut r = HashingReader::new(r, fnv1a(FNV_OFFSET, MAGIC));
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(bad("unsupported SETL3 revision"));
         }
-        let mut buf = vec![0u8; len as usize];
-        r.read_exact(&mut buf)?;
-        strings.push(String::from_utf8(buf).map_err(|_| bad("invalid utf-8 string"))?);
+        let n_logical = get_uv(&mut r)? as usize;
+        let start = SimTime::from_nanos(get_uv(&mut r)?);
+        let window = get_uv(&mut r)?;
+        let end = SimTime::from_nanos(start.as_nanos().checked_add(window).ok_or_else(overflow)?);
+        if end < start {
+            return Err(bad("inverted trace window"));
+        }
+
+        let n_strings = get_uv(&mut r)?;
+        if n_strings > MAX_STRINGS {
+            return Err(bad("string table too large"));
+        }
+        let mut strings: Vec<String> = Vec::with_capacity(n_strings as usize);
+        let mut string_bytes = 0u64;
+        for _ in 0..n_strings {
+            let len = get_uv(&mut r)?;
+            if len > MAX_STRING_LEN {
+                return Err(bad("string too long"));
+            }
+            string_bytes += len;
+            let mut buf = vec![0u8; len as usize];
+            r.read_exact(&mut buf)?;
+            strings.push(String::from_utf8(buf).map_err(|_| bad("invalid utf-8 string"))?);
+        }
+
+        let count = get_uv(&mut r)?;
+        let clocks = Clocks::new(n_logical, start);
+        Ok(V3Stream {
+            r,
+            header: V3Header {
+                n_logical,
+                start,
+                end,
+                n_strings,
+                string_bytes,
+                count,
+            },
+            strings,
+            clocks,
+            yielded: 0,
+            bytes: 0,
+            finished: false,
+        })
     }
 
-    let count = get_uv(&mut r)?;
-    let mut builder = TraceBuilder::new(n_logical);
-    let mut clocks = Clocks::new(n_logical, start);
-    for _ in 0..count {
-        r.begin_record();
-        let ev = decode_event(&mut r, &strings, &mut clocks)?;
-        let expect = r.record_hash() as u8;
+    /// The next event, or `None` once every record has been yielded and the
+    /// file trailer has verified.
+    pub fn next_event(&mut self) -> io::Result<Option<TraceEvent>> {
+        if self.yielded == self.header.count {
+            if !self.finished {
+                self.finished = true;
+                let file_hash = self.r.hash();
+                let mut trailer = [0u8; 8];
+                self.r.read_exact(&mut trailer)?;
+                self.bytes = self.r.hashed_bytes();
+                if u64::from_le_bytes(trailer) != file_hash {
+                    return Err(bad("file checksum mismatch"));
+                }
+            }
+            return Ok(None);
+        }
+        self.r.begin_record();
+        let ev = decode_event(&mut self.r, &self.strings, &mut self.clocks)?;
+        let expect = self.r.record_hash() as u8;
         let mut check = [0u8; 1];
-        r.read_exact(&mut check)?;
+        self.r.read_exact(&mut check)?;
         if check[0] != expect {
             return Err(bad("record checksum mismatch"));
         }
-        builder.push(ev);
+        self.yielded += 1;
+        Ok(Some(ev))
     }
-    let file_hash = r.hash();
-    let mut trailer = [0u8; 8];
-    r.into_inner().read_exact(&mut trailer)?;
-    if u64::from_le_bytes(trailer) != file_hash {
-        return Err(bad("file checksum mismatch"));
+
+    /// Bytes consumed so far (including the already-sniffed magic, and the
+    /// trailer once the stream is drained).
+    pub fn bytes_read(&self) -> u64 {
+        if self.finished {
+            self.bytes + MAGIC.len() as u64
+        } else {
+            self.r.hashed_bytes() + MAGIC.len() as u64
+        }
     }
-    if end < start {
-        return Err(bad("inverted trace window"));
-    }
-    Ok(builder.finish(start, end))
 }
 
 /// The interned string carried by an event, if any.
@@ -580,6 +669,7 @@ struct HashingReader<R> {
     inner: R,
     hash: u64,
     record: u64,
+    bytes: u64,
 }
 
 impl<R: Read> HashingReader<R> {
@@ -588,6 +678,7 @@ impl<R: Read> HashingReader<R> {
             inner,
             hash: seed,
             record: FNV_OFFSET,
+            bytes: 0,
         }
     }
 
@@ -603,8 +694,9 @@ impl<R: Read> HashingReader<R> {
         self.hash
     }
 
-    fn into_inner(self) -> R {
-        self.inner
+    /// Bytes pulled through the reader so far.
+    fn hashed_bytes(&self) -> u64 {
+        self.bytes
     }
 }
 
@@ -613,6 +705,7 @@ impl<R: Read> Read for HashingReader<R> {
         let n = self.inner.read(buf)?;
         self.hash = fnv1a(self.hash, &buf[..n]);
         self.record = fnv1a(self.record, &buf[..n]);
+        self.bytes += n as u64;
         Ok(n)
     }
 }

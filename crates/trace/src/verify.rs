@@ -754,6 +754,8 @@ impl Verifier {
 /// Verifies a sealed trace: every event in stream order, then the
 /// end-of-trace checks against the observation window.
 pub fn verify_trace(trace: &EtlTrace) -> VerifyReport {
+    let mut sp = simobs::span::span("analyzer", "verify");
+    sp.add_events(trace.events().len() as u64);
     let mut v = Verifier::new(trace.n_logical_cpus());
     for ev in trace.events() {
         v.push(ev);

@@ -14,6 +14,11 @@
 //! gate. `--update` rewrites the baseline instead; `--sample-size` forwards
 //! `CRITERION_SAMPLE_SIZE` to the bench processes (CI quick mode).
 //!
+//! Benches named `self_trace/on/<x>` additionally gate against their
+//! `self_trace/off/<x>` twin from the *same* run: the span tracer enabled
+//! may cost at most 5% over disabled. Same-run pairing makes the overhead
+//! rule immune to machine-to-machine baseline drift.
+//!
 //! `lint` is a source-level determinism lint for
 //! the whole workspace. The simulator's headline guarantee is that every
 //! artifact is byte-identical for a given (configuration, seed) whatever
@@ -22,8 +27,8 @@
 //! rejects:
 //!
 //! * **wall-clock** — `Instant::now` / `SystemTime::now`. Wall time must
-//!   stay confined to the opt-in self-profiler (`simobs::WallProfile`) and
-//!   the vendored criterion stub, which never feed simulation results.
+//!   stay confined to the span tracer's single clock site (`simobs::span`)
+//!   and the vendored criterion stub, which never feed simulation results.
 //! * **env-read** — `env::var` / `env::var_os`. The only sanctioned
 //!   environment knob is `PARASTAT_JOBS` (job count — cannot change
 //!   results) plus debug toggles that gate logging only. `env::args` (CLI
@@ -83,7 +88,11 @@ fn usage(msg: &str) -> ! {
 /// benches, which are fast and steady enough for a CI smoke signal. The
 /// simulation-sweep benches (`experiments`, `runner`, `simulator`) take
 /// minutes and are left to explicit `--bench` selection.
-const GATE_BENCHES: [&str; 3] = ["hash_kernels", "profiler", "verify"];
+const GATE_BENCHES: [&str; 4] = ["hash_kernels", "profiler", "verify", "self_trace"];
+
+/// Maximum cost of the enabled span tracer over its disabled twin, as a
+/// percentage, for `self_trace/on/<x>` vs `self_trace/off/<x>` pairs.
+const SELF_TRACE_MAX_PCT: f64 = 5.0;
 
 /// The committed baseline file, relative to the workspace root.
 const BASELINE_FILE: &str = "BENCH_repro.json";
@@ -194,7 +203,8 @@ fn bench_gate(args: &[String]) {
         eprintln!("bench-gate: {}: {e}", baseline_path.display());
         std::process::exit(1);
     });
-    let (regressions, notes) = compare_baseline(&baseline, &current, threshold_pct);
+    let (mut regressions, notes) = compare_baseline(&baseline, &current, threshold_pct);
+    regressions.extend(compare_self_trace_pairs(&current, SELF_TRACE_MAX_PCT));
     for note in &notes {
         eprintln!("bench-gate: note: {note}");
     }
@@ -340,6 +350,36 @@ fn compare_baseline(
         }
     }
     (regressions, notes)
+}
+
+/// Enforces the self-trace overhead rule on `self_trace/on/<x>` /
+/// `self_trace/off/<x>` pairs measured in the same invocation: enabled may
+/// be at most `max_pct` slower than disabled. An `on` entry without its
+/// `off` twin is itself a failure — the rule cannot be silently skipped by
+/// renaming one side.
+fn compare_self_trace_pairs(current: &BTreeMap<String, u64>, max_pct: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for (name, &on) in current {
+        let Some(suffix) = name.strip_prefix("self_trace/on/") else {
+            continue;
+        };
+        let off_name = format!("self_trace/off/{suffix}");
+        match current.get(&off_name) {
+            Some(&off) if off > 0 => {
+                let limit = off as f64 * (1.0 + max_pct / 100.0);
+                if on as f64 > limit {
+                    regressions.push(format!(
+                        "self-trace overhead on `{suffix}`: {on} ns/iter enabled vs {off} disabled ({:+.1}%, limit +{max_pct}%)",
+                        delta_pct(off, on)
+                    ));
+                }
+            }
+            _ => regressions.push(format!(
+                "`{name}` was measured without its `{off_name}` twin; cannot check overhead"
+            )),
+        }
+    }
+    regressions
 }
 
 /// The workspace root, resolved from this crate's manifest directory
@@ -843,6 +883,26 @@ not a bench line\n";
         assert_eq!(regressions.len(), 1, "{regressions:?}");
         assert!(regressions[0].starts_with("slow:"), "{regressions:?}");
         assert_eq!(notes.len(), 2, "{notes:?}");
+    }
+
+    #[test]
+    fn self_trace_pairs_gate_on_same_run_overhead() {
+        let current: BTreeMap<String, u64> = [
+            ("self_trace/off/fast", 1000u64),
+            ("self_trace/on/fast", 1049),
+            ("self_trace/off/slow", 1000),
+            ("self_trace/on/slow", 1051),
+            ("self_trace/on/orphan", 10),
+            ("unrelated_bench", 5),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let regressions = compare_self_trace_pairs(&current, 5.0);
+        // fast: +4.9% passes; slow: +5.1% fails; orphan has no twin.
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert!(regressions.iter().any(|r| r.contains("`slow`")));
+        assert!(regressions.iter().any(|r| r.contains("orphan")));
     }
 
     #[test]
