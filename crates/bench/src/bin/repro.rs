@@ -48,6 +48,20 @@
 //! slowest spans, store footprint) after the run. With no artefact given it
 //! probes with the Table II suite under the selected budget.
 //!
+//! `--timeline` folds every application's Table II trace (iteration 0)
+//! through the streaming timeline pass and emits `timeline.md` (per-app
+//! bucket tables) plus `timeline.csv` (one row per app × bucket). Combined
+//! with `--doctor`, the health report gains a `timelines` section naming
+//! each app's lowest-TLP intervals and their dominant wait reason.
+//!
+//! `--baseline <dir>` runs a fixed reference configuration (VLC under the
+//! quick budget, iteration 0 — always the same regardless of `--budget`),
+//! folds its metrics registry plus timeline summary into one snapshot, and
+//! diffs it against `<dir>/baseline.prom`, exiting 1 on any drift beyond
+//! the threshold. `--baseline <dir> --update` rewrites the snapshot
+//! instead — that is how the committed baseline under
+//! `crates/bench/tests/golden/` is refreshed after an intended change.
+//!
 //! On panic, the flight recorder dumps the last spans and counters to
 //! `target/flight-recorder/repro.json` so crashed CI runs leave a trace.
 
@@ -73,9 +87,20 @@ fn main() {
     let mut want_store_stats = false;
     let mut self_trace: Option<PathBuf> = None;
     let mut want_doctor = false;
+    let mut want_timeline = false;
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut baseline_update = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--timeline" => want_timeline = true,
+            "--baseline" => {
+                baseline_dir = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage("--baseline needs a directory")),
+                ));
+            }
+            "--update" => baseline_update = true,
             "--store" => store_flag = Some(true),
             "--no-store" => store_flag = Some(false),
             "--store-stats" => want_store_stats = true,
@@ -117,8 +142,17 @@ fn main() {
             other => usage(&format!("unknown artefact `{other}`")),
         }
     }
-    if artefacts.is_empty() && metrics_out.is_none() && !want_blame && !want_doctor {
+    if artefacts.is_empty()
+        && metrics_out.is_none()
+        && !want_blame
+        && !want_doctor
+        && !want_timeline
+        && baseline_dir.is_none()
+    {
         usage("no artefact given");
+    }
+    if baseline_update && baseline_dir.is_none() {
+        usage("--update only makes sense with --baseline <dir>");
     }
     // The flight recorder is always armed: a panicking run leaves its last
     // spans and counters behind for post-mortem, even without --self-trace.
@@ -152,7 +186,7 @@ fn main() {
         b.iterations,
         ctx.jobs()
     );
-    let ran_any = !artefacts.is_empty() || metrics_out.is_some() || want_blame;
+    let ran_any = !artefacts.is_empty() || metrics_out.is_some() || want_blame || want_timeline;
     if let Some(path) = &metrics_out {
         write_metrics(&ctx, path, &metrics_app, b);
     }
@@ -234,12 +268,66 @@ fn main() {
         let rows = bottleneck::run_blame(&ctx, b);
         emit(&out_dir, "blame", &bottleneck::render_blame(&rows), None);
     }
+    let mut timelines: Vec<(String, etwtrace::Timeline)> = Vec::new();
+    if want_timeline {
+        eprintln!("# timeline: folding every app's iteration-0 trace…");
+        timelines = run_timelines(&ctx, b);
+        let mut report = String::new();
+        let mut csv = String::from("app,");
+        for (i, (name, tl)) in timelines.iter().enumerate() {
+            report.push_str(&format!("## {name}\n\n{}\n", tl.render()));
+            let body = tl.to_csv();
+            let mut lines = body.lines();
+            let header = lines.next().unwrap_or_default();
+            if i == 0 {
+                csv.push_str(header);
+                csv.push('\n');
+            }
+            for line in lines {
+                csv.push_str(&format!("{name},{line}\n"));
+            }
+        }
+        emit(&out_dir, "timeline", &report, Some(csv));
+    }
+    let mut regression = false;
+    if let Some(dir) = &baseline_dir {
+        let snap = baseline_snapshot(&ctx);
+        let path = dir.join("baseline.prom");
+        if baseline_update {
+            fs::create_dir_all(dir).expect("create baseline directory");
+            // lint:allow(fs-write): whole-file baseline snapshot to a
+            // user-chosen path, refreshed only on explicit --update.
+            fs::write(&path, &snap).expect("write baseline");
+            eprintln!("# baseline → {}", path.display());
+        } else {
+            let committed = fs::read_to_string(&path).unwrap_or_else(|e| {
+                usage(&format!(
+                    "{}: {e} (run with --update to create it)",
+                    path.display()
+                ))
+            });
+            let report = etwtrace::diff_metrics(
+                &etwtrace::parse_prometheus(&committed),
+                &etwtrace::parse_prometheus(&snap),
+                etwtrace::DiffConfig::default(),
+            );
+            print!("{}", report.render());
+            regression = report.is_regression();
+        }
+    }
     if want_doctor {
         if !ran_any {
             eprintln!("# doctor: probing with the 30-application suite…");
             let _ = table2(b);
         }
-        println!("{}", parastat::doctor::doctor_report_now(&ctx));
+        println!(
+            "{}",
+            parastat::doctor::doctor_report_with_timelines(
+                &ctx,
+                &simobs::span::snapshot(),
+                &timelines
+            )
+        );
     }
     if let Some(path) = &self_trace {
         let json = etwtrace::chrome::self_trace_json(&simobs::span::snapshot());
@@ -278,6 +366,52 @@ fn main() {
         "# done; paper says the average TLP is {:.1} across the suite",
         paper::AVERAGE_TLP
     );
+    if regression {
+        std::process::exit(1);
+    }
+}
+
+/// One iteration-0 trace per application, folded through the streaming
+/// timeline pass. Uses the same canonical Table II experiments, so the memo
+/// cache shares these simulations with `table2`/`fig2`/`fig3` and the
+/// result is byte-identical at any `--jobs`.
+fn run_timelines(ctx: &RunContext, b: Budget) -> Vec<(String, etwtrace::Timeline)> {
+    let exps: Vec<_> = workloads::AppId::ALL
+        .iter()
+        .map(|&app| suite::table2_experiment(app, b))
+        .collect();
+    let reqs = exps
+        .iter()
+        .map(|e| parastat::RunRequest::new(e, e.base_seed))
+        .collect();
+    let runs = ctx.run_singles(reqs);
+    workloads::AppId::ALL
+        .iter()
+        .zip(runs)
+        .map(|(&app, run)| {
+            (
+                app.display_name().to_string(),
+                etwtrace::fold_trace(&run.trace, 24),
+            )
+        })
+        .collect()
+}
+
+/// The reference snapshot `--baseline` diffs against: VLC under the quick
+/// budget, iteration 0 — deliberately independent of `--budget`, so the
+/// committed baseline compares like-for-like no matter how the rest of the
+/// invocation was configured. The snapshot is the run's Prometheus registry
+/// plus the 16-bucket timeline summary, one exposition document.
+fn baseline_snapshot(ctx: &RunContext) -> String {
+    eprintln!("# baseline: VLC, quick budget, iteration 0…");
+    let exp = Experiment::new(workloads::AppId::VlcMediaPlayer).budget(Budget::quick());
+    let runs = ctx.run_singles(vec![parastat::RunRequest::new(&exp, exp.base_seed)]);
+    let run = &runs[0];
+    let mut text = run.metrics.to_prometheus();
+    for (k, v) in etwtrace::fold_trace(&run.trace, 16).metrics() {
+        text.push_str(&format!("{k} {v}\n"));
+    }
+    text
 }
 
 /// Runs one experiment and dumps its per-iteration metrics snapshots as
@@ -352,6 +486,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("       repro --metrics-out <path> [--metrics-app SUBSTR] [--budget …]");
     eprintln!("       repro <artefact> --self-trace <path>   # Perfetto-loadable span trace of the run itself");
     eprintln!("       repro --doctor [<artefact>...]   # one-shot pipeline health report");
+    eprintln!("       repro --timeline [--budget …]   # per-app bucketed TLP/wait/GPU series");
+    eprintln!("       repro --baseline <dir> [--update]   # diff against <dir>/baseline.prom; exit 1 on drift");
     eprintln!("artefacts: {}", ARTEFACTS.join(" "));
     std::process::exit(2);
 }

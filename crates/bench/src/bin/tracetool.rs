@@ -11,6 +11,8 @@
 //! tracetool bottlenecks <trace.etl> <process-prefix>     # blocked-time blame
 //! tracetool critical-path <trace.etl> <process-prefix>   # what-if TLP bound
 //! tracetool verify <trace.etl>                           # invariant + HB check
+//! tracetool timeline <trace.etl> [--buckets N] [--csv|--json]  # bucketed series
+//! tracetool diff <A> <B> [--threshold PCT]               # run-diff regression report
 //! tracetool export-cpu <trace.etl>                       # CPU Usage (Precise) CSV
 //! tracetool export-gpu <trace.etl>                       # GPU Utilization (FM) CSV
 //! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
@@ -18,12 +20,16 @@
 //! tracetool unpack <trace.etl> <out.etl>                 # re-encode as flat v2
 //! ```
 //!
-//! `verify` exits non-zero when any diagnostic fires, so CI can gate on it.
+//! Exit codes are uniform across subcommands so CI can gate on them:
+//! 0 = clean, 1 = findings (verify diagnostics, diff regression),
+//! 2 = usage error or corrupt input.
 //!
 //! `info` summarizes a trace file without materializing it: container
-//! generation, event/record counts, string-table size, window duration and
-//! the per-CPU context-switch histogram — all through the streaming
-//! decoder, so checksums are still enforced.
+//! generation, event/record counts, string-table size, window duration,
+//! the per-CPU context-switch histogram and the per-wait-reason census —
+//! all through the streaming decoder, so checksums are still enforced.
+//! `timeline` streams the same way: both trace generations fold into the
+//! bucketed series without ever materializing the event vector.
 
 use etwtrace::{
     analysis, blame, chrome, critical, etl, export, hb, setl3, verify, EtlTrace, PidSet,
@@ -169,6 +175,67 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("timeline") => {
+            let mut path = None;
+            let mut buckets = 24usize;
+            let mut format = "text";
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--buckets" => {
+                        buckets = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage("--buckets needs a positive integer"));
+                    }
+                    "--csv" => format = "csv",
+                    "--json" => format = "json",
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string())
+                    }
+                    other => usage(&format!("unexpected argument `{other}`")),
+                }
+            }
+            let path =
+                path.unwrap_or_else(|| usage("timeline <trace.etl> [--buckets N] [--csv|--json]"));
+            let file = File::open(&path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            let tl = etwtrace::timeline::read_timeline(std::io::BufReader::new(file), buckets)
+                .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            match format {
+                "csv" => print!("{}", tl.to_csv()),
+                "json" => println!("{}", tl.to_json()),
+                _ => print!("{}", tl.render()),
+            }
+        }
+        Some("diff") => {
+            let mut paths = Vec::new();
+            let mut cfg = etwtrace::DiffConfig::default();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--threshold" => {
+                        let pct: f64 = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&p| p >= 0.0)
+                            .unwrap_or_else(|| usage("--threshold needs a percentage"));
+                        cfg.rel_threshold = pct / 100.0;
+                    }
+                    other if !other.starts_with('-') => paths.push(other.to_string()),
+                    other => usage(&format!("unexpected argument `{other}`")),
+                }
+            }
+            let [base, current] = &paths[..] else {
+                usage("diff <baseline> <current> [--threshold PCT]");
+            };
+            let report =
+                etwtrace::diff_metrics(&load_metric_set(base), &load_metric_set(current), cfg);
+            print!("{}", report.render());
+            if report.is_regression() {
+                std::process::exit(1);
+            }
+        }
         Some("help") | Some("--help") | Some("-h") => {
             print!("{}", usage_text());
         }
@@ -244,6 +311,29 @@ fn load(args: &[String], arity: usize) -> EtlTrace {
     read(&args[1])
 }
 
+/// Loads one `diff` operand as a metric map. Trace files (either SETL
+/// generation, sniffed by magic) fold through the streaming timeline pass
+/// into [`etwtrace::Timeline::metrics`]; anything else parses as
+/// Prometheus text exposition. That makes `diff` work uniformly over
+/// `.etl` files and `repro --metrics` registry snapshots.
+fn load_metric_set(path: &str) -> std::collections::BTreeMap<String, f64> {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    if bytes.starts_with(b"SETL") {
+        let tl = etwtrace::timeline::read_timeline(&bytes[..], 16)
+            .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+        tl.metrics()
+    } else {
+        let text = String::from_utf8_lossy(&bytes);
+        let map = etwtrace::parse_prometheus(&text);
+        if map.is_empty() {
+            usage(&format!(
+                "{path}: no metrics found (not a trace or registry)"
+            ));
+        }
+        map
+    }
+}
+
 fn read(path: &str) -> EtlTrace {
     let file = File::open(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
     etl::read_etl(std::io::BufReader::new(file)).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
@@ -272,12 +362,19 @@ fn usage_text() -> String {
         "       tracetool bottlenecks <trace.etl> <prefix>   blocked-time blame",
         "       tracetool critical-path <trace.etl> <prefix> what-if TLP bound",
         "       tracetool verify <trace.etl>                 invariant + happens-before check",
+        "       tracetool timeline <trace.etl> [--buckets N] [--csv|--json]",
+        "                                                    bucketed TLP/wait/GPU series",
+        "       tracetool diff <base> <current> [--threshold PCT]",
+        "                                                    run-diff regression report",
         "       tracetool export-cpu <trace.etl>             CPU Usage (Precise) CSV",
         "       tracetool export-gpu <trace.etl>             GPU Utilization (FM) CSV",
         "       tracetool export-chrome <trace.etl> <out>    Perfetto timeline JSON",
         "       tracetool pack <trace.etl> <out.etl>         re-encode as compact SETL v3",
         "       tracetool unpack <trace.etl> <out.etl>       re-encode as flat SETL v2",
         "       tracetool help                               this listing",
+        "",
+        "exit codes: 0 clean, 1 findings (verify diagnostics, diff regression),",
+        "            2 usage error or corrupt input",
         "",
     ]
     .join("\n")

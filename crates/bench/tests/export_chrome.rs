@@ -51,6 +51,7 @@ fn chrome_export_round_trips_and_covers_the_trace() {
     let mut slices = 0usize;
     let mut gpu_slices = 0usize;
     let mut instants = 0usize;
+    let mut counters = 0usize;
     for ev in &events {
         let ph = field(ev, "ph").expect("ph");
         let name = field(ev, "name").expect("name");
@@ -73,6 +74,14 @@ fn chrome_export_round_trips_and_covers_the_trace() {
             }
             "i" => instants += 1,
             "M" => assert!(name == "process_name" || name == "thread_name"),
+            "C" => {
+                // Timeline counter tracks live on their own synthetic pid
+                // and always carry a finite numeric value.
+                assert_eq!(pid, 3000, "counters live in the timeline track: {ev}");
+                let value: f64 = field(ev, "value").expect("value").parse().expect("number");
+                assert!(value.is_finite());
+                counters += 1;
+            }
             other => panic!("unexpected phase {other}: {ev}"),
         }
     }
@@ -98,6 +107,9 @@ fn chrome_export_round_trips_and_covers_the_trace() {
     assert_eq!(slices, switch_ins + packets);
     assert_eq!(gpu_slices, packets);
     assert_eq!(instants, frames);
+    // Four counter series (TLP, ready queue, blocked threads, GPU busy %),
+    // one sample per timeline bucket plus a closing sample each.
+    assert!(counters > 0 && counters % 4 == 0, "got {counters} counters");
 
     // Determinism: exporting the same trace twice is byte-identical.
     assert_eq!(json, chrome::chrome_trace(&trace));

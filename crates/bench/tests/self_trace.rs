@@ -1,19 +1,22 @@
 //! Self-observability must be free of side effects on the science: every
-//! deterministic artifact (Table II markdown + CSV, Prometheus metrics)
-//! must be byte-identical with the span tracer on or off, at any job
-//! count. The tracer only ever *reads* pipeline state and stamps
-//! wall-clock spans into its own rings — these tests are the contract
-//! that it stays that way.
+//! deterministic artifact (Table II markdown + CSV, Prometheus metrics,
+//! timeline renders, run-diff reports) must be byte-identical with the
+//! span tracer on or off, at any job count. The tracer only ever *reads*
+//! pipeline state and stamps wall-clock spans into its own rings — these
+//! tests are the contract that it stays that way.
 
 use parastat::suite;
-use parastat::{Budget, RunContext};
+use parastat::{Budget, Experiment, RunContext, RunRequest};
 use simcore::SimDuration;
 use simobs::span;
+use workloads::AppId;
 
 /// Runs the full 30-application suite and renders every deterministic
-/// artifact byte-for-byte: the Table II markdown, the CSV, and the
-/// concatenated Prometheus exposition of every iteration's metrics.
-fn artifacts(jobs: usize, tracing: bool) -> (String, String, String) {
+/// artifact byte-for-byte: the Table II markdown, the CSV, the
+/// concatenated Prometheus exposition of every iteration's metrics, the
+/// timeline render of one app's trace, and a self-diff report over the
+/// metric set (which must also be regression-free).
+fn artifacts(jobs: usize, tracing: bool) -> (String, String, String, String, String) {
     span::reset();
     span::set_enabled(tracing);
     let ctx = RunContext::pooled(jobs);
@@ -22,6 +25,16 @@ fn artifacts(jobs: usize, tracing: bool) -> (String, String, String) {
         iterations: 1,
     };
     let rows = suite::run_table2(&ctx, b);
+    // Timeline + diff are analyzers too: they must not perturb anything,
+    // and their own outputs must not depend on tracing or the job count.
+    let exp = Experiment::new(AppId::VlcMediaPlayer).budget(b);
+    let runs = ctx.run_singles(vec![RunRequest::new(&exp, exp.base_seed)]);
+    let timeline = etwtrace::fold_trace(&runs[0].trace, 12);
+    let tl_text = format!("{}{}", timeline.render(), timeline.to_csv());
+    let metric_set = timeline.metrics();
+    let diff = etwtrace::diff_metrics(&metric_set, &metric_set, etwtrace::DiffConfig::default());
+    assert!(!diff.is_regression(), "self-diff can never regress");
+    let diff_text = diff.render();
     span::set_enabled(false);
     if tracing {
         // Sanity: tracing actually happened, otherwise the comparison
@@ -40,7 +53,7 @@ fn artifacts(jobs: usize, tracing: bool) -> (String, String, String) {
         .flat_map(|r| r.measured.metrics.iter())
         .map(|m| m.to_prometheus())
         .collect();
-    (md, csv, prom)
+    (md, csv, prom, tl_text, diff_text)
 }
 
 #[test]
@@ -59,6 +72,14 @@ fn artifacts_are_byte_identical_with_tracing_on_or_off_at_any_job_count() {
         assert_eq!(
             baseline.2, got.2,
             "prometheus metrics diverged at jobs={jobs} tracing={tracing}"
+        );
+        assert_eq!(
+            baseline.3, got.3,
+            "timeline render diverged at jobs={jobs} tracing={tracing}"
+        );
+        assert_eq!(
+            baseline.4, got.4,
+            "diff report diverged at jobs={jobs} tracing={tracing}"
         );
     }
 }

@@ -1,5 +1,7 @@
 //! End-to-end CLI tests for `tracetool`: record → verify round trip, the
-//! usage listing, and exit codes for help / unknown subcommands.
+//! usage listing, the timeline golden output, the diff exit-code contract
+//! (0 clean / 1 regression / 2 corrupt-or-usage), and exit codes for
+//! help / unknown subcommands.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -46,6 +48,8 @@ fn help_lists_every_subcommand_on_stdout() {
         "bottlenecks",
         "critical-path",
         "verify",
+        "timeline",
+        "diff",
         "export-cpu",
         "export-gpu",
         "export-chrome",
@@ -54,6 +58,11 @@ fn help_lists_every_subcommand_on_stdout() {
     ] {
         assert!(stdout.contains(sub), "usage is missing `{sub}`:\n{stdout}");
     }
+    // The exit-code contract is part of the help text.
+    assert!(
+        stdout.contains("exit codes: 0 clean, 1 findings"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -148,6 +157,99 @@ fn info_summarizes_both_container_generations() {
     assert_eq!(bad.status.code(), Some(2), "corrupt trace must be rejected");
 
     for p in [&etl, &packed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn timeline_matches_the_committed_golden_output() {
+    let etl = tmp("timeline.etl");
+    let rec = tracetool(&["record", "vlc", "2", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+
+    // Default bucket count, text renderer: must reproduce the committed
+    // golden byte for byte (the simulation is seeded and deterministic).
+    let out = tracetool(&["timeline", etl.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = include_str!("golden/timeline_vlc.txt");
+    assert_eq!(stdout, golden, "timeline output drifted from the golden");
+
+    // CSV and JSON renderers agree on the headline numbers.
+    let csv = tracetool(&["timeline", etl.to_str().unwrap(), "--csv"]);
+    assert!(csv.status.success());
+    let csv_out = String::from_utf8_lossy(&csv.stdout);
+    assert!(csv_out.starts_with("bucket,start_ns,end_ns"), "{csv_out}");
+    assert_eq!(csv_out.lines().count(), 25, "header + 24 buckets");
+
+    // Bad arguments are usage errors.
+    let bad = tracetool(&["timeline", etl.to_str().unwrap(), "--buckets", "0"]);
+    assert_eq!(bad.status.code(), Some(2));
+
+    // A corrupt compact trace is rejected with exit 2: the streaming fold
+    // enforces checksums like every other reader.
+    let packed = tmp("timeline-packed.etl");
+    let pack = tracetool(&["pack", etl.to_str().unwrap(), packed.to_str().unwrap()]);
+    assert!(pack.status.success(), "pack failed: {pack:?}");
+    let ok = tracetool(&["timeline", packed.to_str().unwrap()]);
+    assert_eq!(ok.status.code(), Some(0), "v3 streams through the fold");
+    let mut bytes = std::fs::read(&packed).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    // lint:allow(fs-write): deliberately planting a corrupt temp trace.
+    std::fs::write(&packed, &bytes).unwrap();
+    let corrupt = tracetool(&["timeline", packed.to_str().unwrap()]);
+    assert_eq!(corrupt.status.code(), Some(2), "corrupt trace must exit 2");
+
+    for p in [&etl, &packed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn diff_exit_codes_pin_the_regression_contract() {
+    let etl = tmp("diff.etl");
+    let rec = tracetool(&["record", "vlc", "1", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+
+    // Identical inputs: exit 0, verdict ok.
+    let same = tracetool(&["diff", etl.to_str().unwrap(), etl.to_str().unwrap()]);
+    assert_eq!(same.status.code(), Some(0), "{same:?}");
+    let stdout = String::from_utf8_lossy(&same.stdout);
+    assert!(stdout.contains("verdict       : ok"), "{stdout}");
+
+    // Inject a synthetic regression into a registry snapshot: the drifted
+    // metric must be named and the exit code must be 1.
+    let base = tmp("diff-base.prom");
+    let cur = tmp("diff-cur.prom");
+    // lint:allow(fs-write): temp fixture files for the subprocess under test.
+    std::fs::write(&base, "timeline_tlp_mean 2.0\nsched_switches_total 100\n").unwrap();
+    // lint:allow(fs-write): temp fixture files for the subprocess under test.
+    std::fs::write(&cur, "timeline_tlp_mean 1.2\nsched_switches_total 100\n").unwrap();
+    let reg = tracetool(&["diff", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(reg.status.code(), Some(1), "{reg:?}");
+    let stdout = String::from_utf8_lossy(&reg.stdout);
+    assert!(stdout.contains("REGRESSED     : 1"), "{stdout}");
+    assert!(stdout.contains("timeline_tlp_mean"), "{stdout}");
+    assert!(stdout.contains("verdict       : REGRESSION"), "{stdout}");
+
+    // A wider threshold lets the same drift pass.
+    let ok = tracetool(&[
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "50",
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+
+    // Trace vs its own registry-equivalent: a trace operand folds through
+    // the timeline, so diffing a trace against itself is clean too.
+    // Missing files are usage errors (exit 2).
+    let gone = tracetool(&["diff", etl.to_str().unwrap(), "/no/such/file.prom"]);
+    assert_eq!(gone.status.code(), Some(2), "{gone:?}");
+
+    for p in [&etl, &base, &cur] {
         let _ = std::fs::remove_file(p);
     }
 }

@@ -129,10 +129,59 @@ fn stat_line(name: &str, s: &SpanStat) -> String {
     line
 }
 
+/// Renders the time-resolved section for one named workload timeline: the
+/// whole-window TLP plus the lowest-TLP intervals and the wait reason that
+/// dominated each — the "where did the parallelism go" view.
+pub fn timeline_section(name: &str, tl: &etwtrace::Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {name}: {} buckets over {}, TLP {:.2}, {} events",
+        tl.buckets.len(),
+        human_ns(tl.duration_ns()),
+        tl.tlp_mean(),
+        tl.events
+    );
+    let mut ranked: Vec<&etwtrace::timeline::Bucket> =
+        tl.buckets.iter().filter(|b| b.width_ns() > 0).collect();
+    ranked.sort_by(|a, b| {
+        a.tlp_mean()
+            .total_cmp(&b.tlp_mean())
+            .then(a.start_ns.cmp(&b.start_ns))
+    });
+    for b in ranked.iter().take(3) {
+        let wait = b
+            .dominant_wait()
+            .map(|(reason, ns)| format!("dominant wait: {reason} {}", human_ns(ns)))
+            .unwrap_or_else(|| "no recorded waits".to_string());
+        let _ = writeln!(
+            out,
+            "    low-TLP {:>9} .. {:>9}  tlp {:.2}  busy {:.1}%  {}",
+            human_ns(b.start_ns),
+            human_ns(b.end_ns),
+            b.tlp_mean(),
+            b.busy_percent(tl.n_logical),
+            wait
+        );
+    }
+    out
+}
+
 /// Renders the full doctor report from a flight-record snapshot plus the
 /// context's session counters. Pure over its inputs except for the store
 /// directory walk.
 pub fn doctor_report(ctx: &RunContext, record: &FlightRecord) -> String {
+    doctor_report_with_timelines(ctx, record, &[])
+}
+
+/// [`doctor_report`] plus a `timelines` section naming each workload's
+/// lowest-TLP intervals. `repro --doctor --timeline` feeds this the
+/// per-app folds it just computed.
+pub fn doctor_report_with_timelines(
+    ctx: &RunContext,
+    record: &FlightRecord,
+    timelines: &[(String, etwtrace::Timeline)],
+) -> String {
     let mut out = String::new();
     out.push_str("parastat doctor\n===============\n");
 
@@ -214,6 +263,14 @@ pub fn doctor_report(ctx: &RunContext, record: &FlightRecord) -> String {
         let _ = writeln!(out, "{}", stat_line(name, &s));
     }
 
+    // Time-resolved view: where the workloads lost their parallelism.
+    if !timelines.is_empty() {
+        out.push_str("\ntimelines\n");
+        for (name, tl) in timelines {
+            out.push_str(&timeline_section(name, tl));
+        }
+    }
+
     // The tail: slowest individual spans still in the rings.
     out.push_str("\nslowest spans\n");
     let slowest = record.slowest(8);
@@ -260,6 +317,28 @@ mod tests {
     use crate::store::SimStore;
     use simcore::SimDuration;
     use workloads::AppId;
+
+    #[test]
+    fn timeline_section_names_the_lowest_tlp_interval() {
+        let ctx = RunContext::serial();
+        let exp = Experiment::new(AppId::VlcMediaPlayer).budget(Budget {
+            duration: SimDuration::from_secs(2),
+            iterations: 1,
+        });
+        let runs = ctx.run_singles(vec![crate::runner::RunRequest::new(&exp, exp.base_seed)]);
+        let tl = etwtrace::fold_trace(&runs[0].trace, 8);
+        let section = timeline_section("vlc", &tl);
+        assert!(section.contains("vlc: 8 buckets"), "{section}");
+        assert!(section.contains("low-TLP"), "{section}");
+        assert!(section.contains("dominant wait:"), "{section}");
+
+        let report =
+            doctor_report_with_timelines(&ctx, &span::snapshot(), &[("vlc".to_string(), tl)]);
+        assert!(report.contains("\ntimelines\n"), "{report}");
+        assert!(report.contains("vlc: 8 buckets"), "{report}");
+        // The plain report stays timeline-free.
+        assert!(!doctor_report_now(&ctx).contains("\ntimelines\n"));
+    }
 
     #[test]
     fn footprint_of_missing_root_is_empty() {

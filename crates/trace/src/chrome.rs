@@ -17,6 +17,10 @@
 //! * `pid 1000 + g` — "GPU g": one thread row per engine (`Queue e`, or
 //!   `NVENC` for the video encoder). Each packet becomes an `"X"` slice.
 //! * Frames and markers are global `"i"` instants.
+//! * `pid 3000` — "timeline counters": `"C"` counter tracks sampled from
+//!   the bucketed [`crate::timeline`] pass (TLP, ready-queue depth,
+//!   blocked threads, GPU busy %), so the aggregate series scroll in
+//!   Perfetto next to the per-CPU spans they summarize.
 
 use crate::event::{EtlTrace, ThreadKey, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -102,6 +106,16 @@ impl Emitter {
             pid,
             tid,
             args
+        ));
+    }
+
+    fn counter(&mut self, name: &str, ts_us: f64, pid: u64, value: f64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":{},\"args\":{{\"value\":{:.4}}}}}",
+            json_escape(name),
+            ts_us,
+            pid,
+            value
         ));
     }
 
@@ -265,11 +279,55 @@ pub fn chrome_trace(trace: &EtlTrace) -> String {
         );
     }
 
+    // Counter tracks: the bucketed timeline pass as "C" series, one sample
+    // per bucket start plus a closing sample at the window end so the last
+    // step renders at full width.
+    let timeline = crate::timeline::fold_trace(trace, COUNTER_BUCKETS);
+    em.metadata("process_name", TIMELINE_PID, None, "timeline counters");
+    for b in &timeline.buckets {
+        let ts = b.start_ns as f64 / 1e3;
+        em.counter("TLP", ts, TIMELINE_PID, b.tlp_mean());
+        em.counter("ready queue", ts, TIMELINE_PID, b.ready_mean());
+        em.counter(
+            "blocked threads",
+            ts,
+            TIMELINE_PID,
+            if b.width_ns() == 0 {
+                0.0
+            } else {
+                b.acc.wait_total_ns() as f64 / b.width_ns() as f64
+            },
+        );
+        em.counter("GPU busy %", ts, TIMELINE_PID, b.gpu_percent());
+    }
+    if let Some(last) = timeline.buckets.last() {
+        let ts = timeline.end_ns as f64 / 1e3;
+        em.counter("TLP", ts, TIMELINE_PID, last.tlp_mean());
+        em.counter("ready queue", ts, TIMELINE_PID, last.ready_mean());
+        em.counter(
+            "blocked threads",
+            ts,
+            TIMELINE_PID,
+            if last.width_ns() == 0 {
+                0.0
+            } else {
+                last.acc.wait_total_ns() as f64 / last.width_ns() as f64
+            },
+        );
+        em.counter("GPU busy %", ts, TIMELINE_PID, last.gpu_percent());
+    }
+
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(&em.events.join(",\n"));
     out.push_str("\n]}\n");
     out
 }
+
+/// Synthetic process id of the timeline counter tracks.
+const TIMELINE_PID: u64 = 3000;
+/// Buckets the counter tracks sample the trace into — enough resolution to
+/// show phase structure without bloating the JSON.
+const COUNTER_BUCKETS: usize = 120;
 
 /// Synthetic process id of the pipeline's own flight-recorder track,
 /// deliberately distinct from [`CPU_PID`] and the [`GPU_PID_BASE`] range so
@@ -459,6 +517,26 @@ mod tests {
         assert_eq!(slices, 2);
         let instants = json.matches("\"ph\":\"i\"").count();
         assert_eq!(instants, 2); // frame + marker
+    }
+
+    #[test]
+    fn timeline_counter_tracks_are_emitted() {
+        let json = chrome_trace(&demo());
+        assert!(
+            json.contains("\"args\":{\"name\":\"timeline counters\"}"),
+            "{json}"
+        );
+        // Four series, one sample per bucket plus one closing sample each.
+        let counters = json.matches("\"ph\":\"C\"").count();
+        assert_eq!(counters, 4 * (COUNTER_BUCKETS + 1));
+        for series in ["TLP", "ready queue", "blocked threads", "GPU busy %"] {
+            assert!(
+                json.contains(&format!("{{\"name\":\"{series}\",\"ph\":\"C\"")),
+                "missing counter series {series}"
+            );
+        }
+        // All counter samples live on the dedicated synthetic pid.
+        assert!(json.contains(&format!("\"ph\":\"C\",\"ts\":0.000,\"pid\":{TIMELINE_PID}")));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Run-diff regression reports: a machine-readable comparator over two
+//! runs' metric sets — Prometheus registry snapshots, timeline summaries
+//! ([`crate::timeline::Timeline::metrics`]), or any mix of the two.
+//!
+//! Every simulation in this workspace is deterministic, so two runs of the
+//! same configuration should produce *identical* metrics; any drift beyond
+//! the configured threshold is a regression regardless of direction (a
+//! "better" TLP from an unintended scheduler change is just as much a
+//! reproducibility bug as a worse one). A metric present in the baseline
+//! but missing from the current run is also a regression — silently
+//! disappearing telemetry must not pass CI. Metrics that only exist in the
+//! current run are informational: registries legitimately grow.
+//!
+//! `tracetool diff A B` and `repro --baseline <dir>` surface this module
+//! on the command line; both exit 1 when [`DiffReport::is_regression`]
+//! holds and 0 otherwise, so CI gates on the exit code alone.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tolerances for [`diff_metrics`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Relative drift above which a changed metric regresses (0.10 = 10%).
+    pub rel_threshold: f64,
+    /// Denominator floor for the relative delta, so metrics whose baseline
+    /// is 0 still produce a finite, comparable drift figure.
+    pub abs_floor: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rel_threshold: 0.10,
+            abs_floor: 1e-9,
+        }
+    }
+}
+
+/// One metric present in both runs with different values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Metric name (exposition-format, labels included).
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative drift: `(current - base) / max(|base|, floor)`.
+    pub rel: f64,
+}
+
+/// The comparison result: every drifted metric, split by severity.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Metrics present in both runs.
+    pub compared: usize,
+    /// Threshold the report was computed under.
+    pub rel_threshold: f64,
+    /// Drifted metrics within the threshold (informational).
+    pub changed: Vec<Delta>,
+    /// Drifted metrics beyond the threshold — regressions.
+    pub regressions: Vec<Delta>,
+    /// Metrics that disappeared — regressions.
+    pub only_in_base: Vec<String>,
+    /// Metrics that appeared — informational.
+    pub only_in_current: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when CI should fail: any metric drifted beyond the threshold
+    /// or vanished from the current run.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty() || !self.only_in_base.is_empty()
+    }
+
+    /// Renders the report as aligned text, worst drift first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run diff");
+        let _ = writeln!(out, "========");
+        let _ = writeln!(
+            out,
+            "compared      : {} metrics (threshold ±{:.1}%)",
+            self.compared,
+            self.rel_threshold * 100.0
+        );
+        if !self.regressions.is_empty() {
+            let _ = writeln!(out, "REGRESSED     : {}", self.regressions.len());
+            for d in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "  {}  {} -> {}  ({:+.2}%)",
+                    d.name,
+                    fmt_val(d.base),
+                    fmt_val(d.current),
+                    d.rel * 100.0
+                );
+            }
+        }
+        if !self.only_in_base.is_empty() {
+            let _ = writeln!(
+                out,
+                "MISSING       : {} metrics absent from the current run",
+                self.only_in_base.len()
+            );
+            for name in &self.only_in_base {
+                let _ = writeln!(out, "  {name}");
+            }
+        }
+        if !self.changed.is_empty() {
+            let _ = writeln!(out, "within threshold: {}", self.changed.len());
+            for d in &self.changed {
+                let _ = writeln!(
+                    out,
+                    "  {}  {} -> {}  ({:+.2}%)",
+                    d.name,
+                    fmt_val(d.base),
+                    fmt_val(d.current),
+                    d.rel * 100.0
+                );
+            }
+        }
+        if !self.only_in_current.is_empty() {
+            let _ = writeln!(
+                out,
+                "new metrics   : {} (informational)",
+                self.only_in_current.len()
+            );
+            for name in &self.only_in_current {
+                let _ = writeln!(out, "  {name}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "verdict       : {}",
+            if self.is_regression() {
+                "REGRESSION"
+            } else {
+                "ok"
+            }
+        );
+        out
+    }
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Parses a Prometheus text-exposition document into a name→value map.
+/// `# HELP`/`# TYPE`/comment lines are skipped; the metric name keeps its
+/// label set verbatim, so two snapshots of the same registry compare
+/// key-for-key. Unparsable lines are ignored (a diff tool must not choke
+/// on exposition extensions).
+pub fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(char::is_whitespace) else {
+            continue;
+        };
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(name.trim_end().to_string(), v);
+        }
+    }
+    out
+}
+
+/// Compares two metric maps under `cfg`. Deterministic: both inputs are
+/// ordered maps, and every output vector is in metric-name order (the
+/// regression list additionally sorts by descending |drift|).
+pub fn diff_metrics(
+    base: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    cfg: DiffConfig,
+) -> DiffReport {
+    let mut sp = simobs::span::span("analyzer", "diff");
+    sp.add_events((base.len() + current.len()) as u64);
+    let mut report = DiffReport {
+        rel_threshold: cfg.rel_threshold,
+        ..DiffReport::default()
+    };
+    for (name, &b) in base {
+        let Some(&c) = current.get(name) else {
+            report.only_in_base.push(name.clone());
+            continue;
+        };
+        report.compared += 1;
+        if b == c || (b.is_nan() && c.is_nan()) {
+            continue;
+        }
+        let rel = (c - b) / b.abs().max(cfg.abs_floor);
+        let delta = Delta {
+            name: name.clone(),
+            base: b,
+            current: c,
+            rel,
+        };
+        if rel.abs() > cfg.rel_threshold {
+            report.regressions.push(delta);
+        } else {
+            report.changed.push(delta);
+        }
+    }
+    for name in current.keys() {
+        if !base.contains_key(name) {
+            report.only_in_current.push(name.clone());
+        }
+    }
+    report.regressions.sort_by(|a, b| {
+        b.rel
+            .abs()
+            .total_cmp(&a.rel.abs())
+            .then(a.name.cmp(&b.name))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let m = map(&[("a_total", 5.0), ("b{x=\"1\"}", 2.5)]);
+        let report = diff_metrics(&m, &m.clone(), DiffConfig::default());
+        assert!(!report.is_regression());
+        assert_eq!(report.compared, 2);
+        assert!(report.changed.is_empty());
+        assert!(report.render().contains("verdict       : ok"));
+    }
+
+    #[test]
+    fn drift_beyond_threshold_regresses_in_either_direction() {
+        let base = map(&[("tlp", 2.0), ("busy", 100.0)]);
+        let up = map(&[("tlp", 2.5), ("busy", 100.0)]);
+        let down = map(&[("tlp", 1.5), ("busy", 100.0)]);
+        for current in [&up, &down] {
+            let report = diff_metrics(&base, current, DiffConfig::default());
+            assert!(report.is_regression());
+            assert_eq!(report.regressions.len(), 1);
+            assert_eq!(report.regressions[0].name, "tlp");
+            assert!(report.render().contains("verdict       : REGRESSION"));
+        }
+    }
+
+    #[test]
+    fn small_drift_is_reported_but_passes() {
+        let base = map(&[("x", 1000.0)]);
+        let current = map(&[("x", 1010.0)]);
+        let report = diff_metrics(&base, &current, DiffConfig::default());
+        assert!(!report.is_regression());
+        assert_eq!(report.changed.len(), 1);
+        assert!((report.changed[0].rel - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_new_metric_is_not() {
+        let base = map(&[("gone", 1.0), ("kept", 1.0)]);
+        let current = map(&[("kept", 1.0), ("added", 9.0)]);
+        let report = diff_metrics(&base, &current, DiffConfig::default());
+        assert!(report.is_regression());
+        assert_eq!(report.only_in_base, vec!["gone".to_string()]);
+        assert_eq!(report.only_in_current, vec!["added".to_string()]);
+
+        let growth_only = diff_metrics(&map(&[("kept", 1.0)]), &current, DiffConfig::default());
+        assert!(!growth_only.is_regression());
+    }
+
+    #[test]
+    fn zero_baseline_uses_the_floor_and_still_fires() {
+        let base = map(&[("was_zero", 0.0)]);
+        let current = map(&[("was_zero", 1.0)]);
+        let report = diff_metrics(&base, &current, DiffConfig::default());
+        assert!(report.is_regression());
+        assert!(report.regressions[0].rel > 1.0);
+    }
+
+    #[test]
+    fn parses_exposition_text_and_skips_comments() {
+        let text = "# HELP sched_switches_total context switches\n\
+                    # TYPE sched_switches_total counter\n\
+                    sched_switches_total 42\n\
+                    gpu_busy{engine=\"nvenc\"} 3.25\n\
+                    \n\
+                    not a metric line\n";
+        let m = parse_prometheus(text);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["sched_switches_total"], 42.0);
+        assert_eq!(m["gpu_busy{engine=\"nvenc\"}"], 3.25);
+    }
+
+    #[test]
+    fn regressions_sort_worst_first() {
+        let base = map(&[("a", 1.0), ("b", 1.0)]);
+        let current = map(&[("a", 1.5), ("b", 3.0)]);
+        let report = diff_metrics(&base, &current, DiffConfig::default());
+        assert_eq!(report.regressions[0].name, "b");
+        assert_eq!(report.regressions[1].name, "a");
+    }
+}

@@ -25,7 +25,7 @@ const MAGIC: &[u8; 4] = b"SETL";
 /// Version 2 added the wait-state records (`WaitBegin`/`WaitEnd`/
 /// `GpuSubmit`, tags 8–10). Version-1 files are still readable — their tag
 /// set is a strict subset.
-const VERSION: u32 = 2;
+pub(crate) const VERSION: u32 = 2;
 
 /// Writes a trace in the binary `.etl`-style format.
 ///
@@ -109,6 +109,8 @@ pub struct TraceInfo {
     pub records_by_kind: BTreeMap<&'static str, u64>,
     /// Context switches per CPU — the per-CPU event histogram.
     pub cswitch_per_cpu: Vec<u64>,
+    /// Wait episodes (`WaitBegin` records) per wait-reason label.
+    pub waits_by_reason: BTreeMap<&'static str, u64>,
 }
 
 impl TraceInfo {
@@ -119,6 +121,9 @@ impl TraceInfo {
                 self.cswitch_per_cpu.resize(cpu + 1, 0);
             }
             self.cswitch_per_cpu[*cpu] += 1;
+        }
+        if let TraceEvent::WaitBegin { reason, .. } = ev {
+            *self.waits_by_reason.entry(reason.label()).or_insert(0) += 1;
         }
     }
 
@@ -155,6 +160,13 @@ impl TraceInfo {
         let _ = writeln!(out, "CSwitches per CPU:");
         for (cpu, n) in self.cswitch_per_cpu.iter().enumerate() {
             let _ = writeln!(out, "  cpu{cpu:<3} {n}");
+        }
+        let _ = writeln!(out, "waits by reason:");
+        if self.waits_by_reason.is_empty() {
+            let _ = writeln!(out, "  none");
+        }
+        for (reason, n) in &self.waits_by_reason {
+            let _ = writeln!(out, "  {reason:<14} {n}");
         }
         out
     }
@@ -326,7 +338,7 @@ fn write_event<W: Write>(w: &mut W, ev: &TraceEvent) -> io::Result<()> {
     Ok(())
 }
 
-fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
+pub(crate) fn read_event<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     let at = SimTime::from_nanos(get_u64(r)?);
@@ -464,13 +476,13 @@ fn put_opt_key<W: Write>(w: &mut W, key: Option<ThreadKey>) -> io::Result<()> {
     }
 }
 
-fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
@@ -637,6 +649,8 @@ mod tests {
         assert_eq!(info.n_logical, 4);
         assert_eq!(info.records_by_kind["CSwitch"], 2);
         assert_eq!(info.cswitch_per_cpu, vec![0, 0, 2, 0]);
+        assert_eq!(info.waits_by_reason["gpu"], 1);
+        assert_eq!(info.waits_by_reason["event"], 1);
         assert_eq!(info.string_table, None);
         assert_eq!(info.duration_ns(), 10_000_000);
 
@@ -646,6 +660,7 @@ mod tests {
         assert_eq!(info3.events, info.events);
         assert_eq!(info3.records_by_kind, info.records_by_kind);
         assert_eq!(info3.cswitch_per_cpu, info.cswitch_per_cpu);
+        assert_eq!(info3.waits_by_reason, info.waits_by_reason);
         // app.exe, main, and the marker label are interned.
         let (entries, bytes) = info3.string_table.unwrap();
         assert_eq!(entries, 3);
@@ -654,6 +669,7 @@ mod tests {
         assert!(rendered.contains("SETL3"), "{rendered}");
         assert!(rendered.contains("CSwitch"), "{rendered}");
         assert!(rendered.contains("cpu2"), "{rendered}");
+        assert!(rendered.contains("waits by reason:"), "{rendered}");
 
         // The streaming info pass still enforces v3 checksums.
         let mut corrupt = v3.clone();

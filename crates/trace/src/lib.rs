@@ -29,6 +29,12 @@
 //!   with machine-readable diagnostics.
 //! * [`hb`] — vector-clock happens-before analysis over wake and GPU
 //!   submission edges: end-of-trace deadlocks, lost wakeups, yield storms.
+//! * [`timeline`] — time-resolved observability: one streaming pass folds
+//!   a trace into N interval buckets (TLP min/mean/max, per-wait-reason
+//!   blocked time, per-CPU busy, GPU engine busy, ready-queue depth) with
+//!   exact integer-nanosecond conservation.
+//! * [`diff`] — run-diff regression reports over two runs' Prometheus
+//!   registries and timeline summaries, with configurable thresholds.
 //!
 //! TLP here is **application-level**: analyzers take a [`PidSet`] filter and
 //! only count threads of those processes, exactly as the paper distinguishes
@@ -38,16 +44,20 @@ pub mod analysis;
 pub mod blame;
 pub mod chrome;
 pub mod critical;
+pub mod diff;
 pub mod etl;
 pub mod event;
 pub mod export;
 pub mod hb;
 pub mod setl3;
+pub mod timeline;
 pub mod verify;
 
 pub use analysis::{ConcurrencyProfile, GpuUtil, LatencyStats, ProcessSummary, ScheduleStats};
 pub use blame::{BlameReport, Blocker, BlockerStat, ThreadTimeBreakdown};
 pub use critical::{critical_path, CriticalPath};
+pub use diff::{diff_metrics, parse_prometheus, DiffConfig, DiffReport};
 pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
 pub use hb::{analyze, HbOptions, HbReport};
+pub use timeline::{fold_trace, read_timeline, Timeline};
 pub use verify::{verify_trace, DiagCode, Diagnostic, Severity, VerifyReport};

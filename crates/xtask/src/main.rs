@@ -88,7 +88,13 @@ fn usage(msg: &str) -> ! {
 /// benches, which are fast and steady enough for a CI smoke signal. The
 /// simulation-sweep benches (`experiments`, `runner`, `simulator`) take
 /// minutes and are left to explicit `--bench` selection.
-const GATE_BENCHES: [&str; 4] = ["hash_kernels", "profiler", "verify", "self_trace"];
+const GATE_BENCHES: [&str; 5] = [
+    "hash_kernels",
+    "profiler",
+    "verify",
+    "self_trace",
+    "timeline",
+];
 
 /// Maximum cost of the enabled span tracer over its disabled twin, as a
 /// percentage, for `self_trace/on/<x>` vs `self_trace/off/<x>` pairs.
