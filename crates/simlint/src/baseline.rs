@@ -1,0 +1,344 @@
+//! The committed findings baseline (`lint.baseline.json`).
+//!
+//! Grandfathered findings live in a checked-in baseline so historical debt
+//! is suppressed while **new** code is gated strictly. A baseline entry
+//! matches a finding on `(rule, file, context)` — the trimmed source line —
+//! not on the line number, so unrelated edits above a grandfathered site
+//! don't resurrect it. Matching is multiset-style: each entry absorbs at
+//! most one finding, so a *second* identical hazard on a new line still
+//! gates.
+//!
+//! The file is parsed with a purpose-built scanner (the workspace builds
+//! offline; no `serde`). Only the exact shape `render` produces is
+//! accepted — this is a checked-in artifact, not arbitrary input.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+/// One grandfathered finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule code (`L-PANIC`, …).
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line at capture time (informational; not used for matching).
+    pub line: u32,
+    /// Trimmed source line used for matching.
+    pub context: String,
+}
+
+/// The parsed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// What [`Baseline::partition`] returns.
+pub struct Partition {
+    /// Findings not covered by the baseline — these gate.
+    pub new: Vec<Diagnostic>,
+    /// Findings absorbed by a baseline entry.
+    pub grandfathered: Vec<Diagnostic>,
+    /// Baseline entries that matched nothing (fixed debt; prune with
+    /// `--update-baseline`).
+    pub stale: usize,
+}
+
+impl Baseline {
+    /// Splits findings into new vs grandfathered.
+    pub fn partition(&self, findings: Vec<Diagnostic>) -> Partition {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.rule.clone(), e.file.clone(), e.context.clone()))
+                .or_default() += 1;
+        }
+        let total: usize = budget.values().sum();
+        let mut new = Vec::new();
+        let mut grandfathered = Vec::new();
+        for d in findings {
+            let key = (d.rule.to_string(), d.file.clone(), d.context.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    grandfathered.push(d);
+                }
+                _ => new.push(d),
+            }
+        }
+        Partition {
+            stale: total - grandfathered.len(),
+            new,
+            grandfathered,
+        }
+    }
+
+    /// Renders findings as a fresh baseline file.
+    pub fn render(findings: &[Diagnostic]) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+        for (i, d) in findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"context\": \"{}\"}}{}\n",
+                esc(d.rule),
+                esc(&d.file),
+                d.line,
+                esc(&d.context),
+                if i + 1 == findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the baseline text.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            i: 0,
+        };
+        p.ws();
+        p.expect('{')?;
+        let mut entries = Vec::new();
+        let mut version_seen = false;
+        loop {
+            p.ws();
+            if p.eat('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.ws();
+            p.expect(':')?;
+            p.ws();
+            match key.as_str() {
+                "version" => {
+                    let v = p.number()?;
+                    if v != 1 {
+                        return Err(format!("unsupported baseline version {v}"));
+                    }
+                    version_seen = true;
+                }
+                "findings" => {
+                    p.expect('[')?;
+                    loop {
+                        p.ws();
+                        if p.eat(']') {
+                            break;
+                        }
+                        entries.push(p.entry()?);
+                        p.ws();
+                        if !p.eat(',') {
+                            p.ws();
+                            p.expect(']')?;
+                            break;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown baseline key `{other}`")),
+            }
+            p.ws();
+            if !p.eat(',') {
+                p.ws();
+                p.expect('}')?;
+                break;
+            }
+        }
+        if !version_seen {
+            return Err("baseline missing `version`".into());
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn ws(&mut self) {
+        while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {} (found {:?})",
+                self.i,
+                self.chars.get(self.i)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.i) {
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.chars.get(self.i) {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some(c) => out.push(*c),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(*c);
+                    self.i += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.chars.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected number at offset {start}"));
+        }
+        self.chars[start..self.i]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn entry(&mut self) -> Result<BaselineEntry, String> {
+        self.expect('{')?;
+        let (mut rule, mut file, mut context) = (None, None, None);
+        let mut line = 0u32;
+        loop {
+            self.ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.ws();
+            self.expect(':')?;
+            self.ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "context" => context = Some(self.string()?),
+                "line" => line = self.number()? as u32,
+                other => return Err(format!("unknown entry key `{other}`")),
+            }
+            self.ws();
+            if !self.eat(',') {
+                self.ws();
+                self.expect('}')?;
+                break;
+            }
+        }
+        Ok(BaselineEntry {
+            rule: rule.ok_or("entry missing `rule`")?,
+            file: file.ok_or("entry missing `file`")?,
+            line,
+            context: context.ok_or("entry missing `context`")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(rule: &'static str, file: &str, line: u32, context: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            name: "x",
+            severity: Severity::Error,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            suggestion: "s".into(),
+            context: context.into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let findings = vec![
+            diag(
+                "L-PANIC",
+                "crates/trace/src/hb.rs",
+                189,
+                "x.expect(\"ticked\");",
+            ),
+            diag("L-CAST", "crates/a/src/lib.rs", 3, "t as u32"),
+        ];
+        let text = Baseline::render(&findings);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].rule, "L-PANIC");
+        assert_eq!(parsed.entries[0].context, "x.expect(\"ticked\");");
+        assert_eq!(parsed.entries[1].line, 3);
+        let empty = Baseline::parse(&Baseline::render(&[])).unwrap();
+        assert!(empty.entries.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"findings\": []}").is_err(), "no version");
+        assert!(Baseline::parse("{\"version\": 2, \"findings\": []}").is_err());
+    }
+
+    #[test]
+    fn partition_matches_on_context_not_line() {
+        let base = Baseline::parse(&Baseline::render(&[diag(
+            "L-PANIC",
+            "crates/x.rs",
+            10,
+            "v.unwrap();",
+        )]))
+        .unwrap();
+        // Same context on a different line is still grandfathered…
+        let p = base.partition(vec![diag("L-PANIC", "crates/x.rs", 99, "v.unwrap();")]);
+        assert_eq!(p.new.len(), 0);
+        assert_eq!(p.grandfathered.len(), 1);
+        assert_eq!(p.stale, 0);
+        // …but a second occurrence exceeds the budget and gates.
+        let p = base.partition(vec![
+            diag("L-PANIC", "crates/x.rs", 10, "v.unwrap();"),
+            diag("L-PANIC", "crates/x.rs", 50, "v.unwrap();"),
+        ]);
+        assert_eq!(p.new.len(), 1);
+        // …and a different rule on the same line gates too.
+        let p = base.partition(vec![diag("L-CAST", "crates/x.rs", 10, "v.unwrap();")]);
+        assert_eq!(p.new.len(), 1);
+        assert_eq!(p.stale, 1);
+    }
+}

@@ -1,0 +1,625 @@
+//! A dependency-free Rust lexer producing a spanned token stream.
+//!
+//! The workspace builds offline, so `syn`/`proc-macro2` are unavailable;
+//! this lexer implements exactly the subset the rule engine needs:
+//!
+//! * comments (line, nested block) are consumed — but their text is scanned
+//!   for `lint:allow(rule): reason` annotations, which are collected with
+//!   their line numbers into [`LexOutput::allows`];
+//! * every string-like literal is one opaque token: `"…"` with escapes,
+//!   raw strings `r"…"` / `r#"…"#` with **any** number of hashes (the old
+//!   line stripper's entry guard stopped at two, so `r###"…"###` leaked its
+//!   contents into needle matching), byte strings `b"…"`, raw byte strings
+//!   `br##"…"##`, and byte chars `b'x'`;
+//! * char literals are distinguished from lifetimes (`'a'` vs `'a`);
+//! * numbers carry an `is_float` flag (decimal point, exponent, or an
+//!   `f32`/`f64` suffix);
+//! * multi-char operators that matter for statement structure (`::`, `->`,
+//!   `=>`, `+=`, `..=`, …) are fused into one punct token. `<` and `>` are
+//!   *never* fused (no `<<`/`>>` tokens) so generic-argument depth can be
+//!   counted one bracket at a time.
+//!
+//! Every token records a 1-based line and column so diagnostics point at
+//! the exact source location.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, `as`, …).
+    Ident,
+    /// A lifetime such as `'a` (the quote is not part of [`Token::text`]).
+    Lifetime,
+    /// Integer or float literal; `is_float` distinguishes them.
+    Num {
+        /// True for decimal-point/exponent/`f32`/`f64`-suffixed literals.
+        is_float: bool,
+    },
+    /// Any string-like literal (string, raw string, byte string, C-string).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// Punctuation; multi-char operators are fused per the module docs.
+    Punct,
+}
+
+/// One lexeme with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text. For `Str`/`Char` tokens this is a placeholder (the
+    /// literal's contents are deliberately dropped so rule needles can
+    /// never match inside data).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// A `lint:allow(rule): reason` annotation found inside a comment.
+#[derive(Clone, Debug)]
+pub struct AllowSite {
+    /// 1-based line the annotation text sits on.
+    pub line: u32,
+    /// The rule name or code between the parentheses.
+    pub rule: String,
+    /// Whether a non-empty `: reason` follows. Allows without a stated
+    /// reason do not suppress findings — the reason *is* the documentation.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` annotations found in comments.
+    pub allows: Vec<AllowSite>,
+}
+
+/// Multi-char punctuation, longest-first. `<`/`>` sequences are deliberately
+/// absent so angle-bracket depth stays countable (see module docs).
+const PUNCTS: [&str; 20] = [
+    "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source`, returning the token stream and collected allow sites.
+pub fn lex(source: &str) -> LexOutput {
+    Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: LexOutput,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.collect_allows(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        let mut text_line = self.line;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('\n'), _) => {
+                    self.collect_allows(&text, text_line);
+                    text.clear();
+                    self.bump();
+                    text_line = self.line;
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.collect_allows(&text, text_line);
+    }
+
+    /// Records every `lint:allow(rule)` / `lint:allow(rule): reason` in one
+    /// comment line.
+    fn collect_allows(&mut self, text: &str, line: u32) {
+        let mut rest = text;
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_string();
+            rest = &rest[close + 1..];
+            let has_reason = rest.strip_prefix(':').is_some_and(|r| {
+                let upto = r.find("lint:allow(").unwrap_or(r.len());
+                !r[..upto].trim().is_empty()
+            });
+            if !rule.is_empty() {
+                self.out.allows.push(AllowSite {
+                    line,
+                    rule,
+                    has_reason,
+                });
+            }
+        }
+    }
+
+    /// `"…"` with escape handling; the contents are discarded.
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, "\"…\"".into(), line, col);
+    }
+
+    /// `r"…"` / `r#"…"#` / … with any number of hashes, after the caller
+    /// consumed the `r` (and optional `b`).
+    fn raw_string_tail(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, "r\"…\"".into(), line, col);
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume `\x`, then everything up to
+                // the closing quote (covers `'\u{1F600}'`).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, "'…'".into(), line, col);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                let _ = c;
+                self.push(TokKind::Char, "'…'".into(), line, col);
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line, col);
+            }
+            _ => {
+                // Stray quote; emit as punct so lexing continues.
+                self.push(TokKind::Punct, "'".into(), line, col);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))
+        {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // A decimal point — but not `..` (range) and not `.method()`.
+            if self.peek(0) == Some('.')
+                && self.peek(1).is_some_and(|c| {
+                    c.is_ascii_digit() || !(c == '.' || c == '_' || c.is_alphabetic())
+                })
+            {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if matches!(self.peek(0), Some('e') | Some('E'))
+                && self.peek(1).is_some_and(|c| {
+                    c.is_ascii_digit()
+                        || ((c == '+' || c == '-')
+                            && self.peek(2).is_some_and(|d| d.is_ascii_digit()))
+                })
+            {
+                is_float = true;
+                text.push(self.bump().unwrap());
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '+' || c == '-' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        self.push(TokKind::Num { is_float }, text, line, col);
+    }
+
+    /// An identifier — or the `r`/`b`/`br` prefix of a raw/byte literal.
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let c0 = self.peek(0).unwrap();
+        let c1 = self.peek(1);
+        // Raw string r"…" / r#"…"#.
+        if c0 == 'r' && matches!(c1, Some('"') | Some('#')) && self.raw_guard_ok(1) {
+            self.bump();
+            self.raw_string_tail(line, col);
+            return;
+        }
+        // Byte string b"…", raw byte string br#"…"#, byte char b'x'.
+        if c0 == 'b' {
+            match c1 {
+                Some('"') => {
+                    self.bump();
+                    self.string_literal(line, col);
+                    return;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line, col);
+                    return;
+                }
+                Some('r')
+                    if matches!(self.peek(2), Some('"') | Some('#')) && self.raw_guard_ok(2) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_tail(line, col);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    /// True when, starting at offset `at` (just past the `r`), a run of
+    /// zero or more `#` is followed by `"` — i.e. this really is a raw
+    /// string head and not an identifier like `r#struct` (raw ident).
+    fn raw_guard_ok(&self, at: usize) -> bool {
+        let mut j = at;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for p in PUNCTS {
+            if self
+                .chars
+                .get(self.i..self.i + p.len())
+                .is_some_and(|w| w.iter().collect::<String>() == p)
+            {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, p.to_string(), line, col);
+                return;
+            }
+        }
+        let c = self.bump().unwrap();
+        self.push(TokKind::Punct, c.to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_ident_tokens() {
+        let src = "// Instant::now in prose\nlet s = \"SystemTime::now\"; /* env::var */\n";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_three_or_more_hashes_are_opaque() {
+        // Regression for the old stripper: its entry guard only recognized
+        // up to two hashes, so r###"…"### leaked `Instant::now` into
+        // needle matching.
+        for hashes in 0..=5usize {
+            let h = "#".repeat(hashes);
+            let src = format!("let x = r{h}\"Instant::now\"{h}; let t = 1;");
+            let ids = idents(&src);
+            assert_eq!(ids, vec!["let", "x", "let", "t"], "hashes={hashes}");
+        }
+    }
+
+    #[test]
+    fn raw_string_terminator_needs_exact_hash_count() {
+        // An inner `"#` must not terminate an r##"…"## literal.
+        let src = "let x = r##\"has \"# inside\"##; let y = 2;";
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_opaque() {
+        let src = "let a = b\"env::var\"; let b2 = br#\"Instant::now\"#; let c = b'x';";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "let", "c"]);
+        let toks = lex(src).tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet e = '\\n';";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn floats_and_ints_are_distinguished() {
+        let kinds: Vec<_> = lex("let a = 1.5; let b = 2; let c = 1e9; let d = 3f64; let e = 0x1f;")
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { is_float } => Some(is_float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn tuple_index_and_range_are_not_floats() {
+        let toks = lex("let a = x.0; for i in 0..10 {}");
+        let nums: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { is_float } => Some((t.text.clone(), is_float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("0".to_string(), false),
+                ("0".to_string(), false),
+                ("10".to_string(), false)
+            ]
+        );
+        assert!(toks.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn multichar_puncts_fuse_but_angle_brackets_do_not() {
+        let toks = lex("a += b; m::<Vec<Vec<u8>>>(); x -> y;");
+        assert!(toks.tokens.iter().any(|t| t.is_punct("+=")));
+        assert!(toks.tokens.iter().any(|t| t.is_punct("::")));
+        assert!(toks.tokens.iter().any(|t| t.is_punct("->")));
+        assert_eq!(toks.tokens.iter().filter(|t| t.is_punct(">")).count(), 3);
+        assert_eq!(toks.tokens.iter().filter(|t| t.is_punct("<")).count(), 3);
+    }
+
+    #[test]
+    fn allow_annotations_are_collected_with_reason_flag() {
+        let src = "\
+// lint:allow(wall-clock): profiling only\n\
+let t = 1; // lint:allow(env-read)\n\
+/* lint:allow(fs-write): export\n   lint:allow(unordered-iter): sorted after */\n";
+        let allows = lex(src).allows;
+        assert_eq!(allows.len(), 4, "{allows:?}");
+        assert_eq!(allows[0].rule, "wall-clock");
+        assert!(allows[0].has_reason);
+        assert_eq!(allows[0].line, 1);
+        assert_eq!(allows[1].rule, "env-read");
+        assert!(!allows[1].has_reason, "no `: reason` given");
+        assert_eq!(allows[1].line, 2);
+        assert_eq!(allows[2].rule, "fs-write");
+        assert_eq!(allows[2].line, 3);
+        assert_eq!(allows[3].rule, "unordered-iter");
+        assert_eq!(allows[3].line, 4);
+        assert!(allows[3].has_reason);
+    }
+
+    #[test]
+    fn annotations_inside_string_literals_are_not_allows() {
+        let src = "let s = \"lint:allow(wall-clock): nope\";\n";
+        assert!(lex(src).allows.is_empty());
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("fn f() {\n    Instant::now();\n}\n").tokens;
+        let inst = toks.iter().find(|t| t.is_ident("Instant")).unwrap();
+        assert_eq!((inst.line, inst.col), (2, 5));
+        let now = toks.iter().find(|t| t.is_ident("now")).unwrap();
+        assert_eq!((now.line, now.col), (2, 14));
+    }
+}

@@ -1,0 +1,191 @@
+//! `L-HASH` (`unordered-iter`): iterating a `HashMap`/`HashSet` whose
+//! order can reach output.
+//!
+//! Hash iteration order is randomized per process, so anything it feeds —
+//! CSV rows, trace events, metric exposition — breaks the byte-identity
+//! guarantee. The rule rides the scope-aware dataflow in [`crate::scope`]:
+//! locals, typed parameters, and simple aliases of hash containers are
+//! tracked; field accesses (`self.cpus`) never alias a local of the same
+//! name, and shadowing ends tracking. Point lookups (`get`, `insert`,
+//! `contains_key`, `remove`, `entry`) are order-free and never flagged.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::Rule;
+use crate::scope::{BindTy, FileModel};
+
+/// Methods that observe iteration order.
+const ORDER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// The `L-HASH` rule.
+pub struct UnorderedIter;
+
+impl UnorderedIter {
+    fn emit(&self, fm: &FileModel<'_>, i: usize, out: &mut Vec<Diagnostic>) {
+        let t = &fm.tokens[i];
+        out.push(Diagnostic {
+            rule: self.code(),
+            name: self.name(),
+            severity: Severity::Error,
+            file: fm.path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "iterating hash-ordered `{}`; hash order is per-process random and can reach \
+                 output",
+                t.text
+            ),
+            suggestion: "use BTreeMap/BTreeSet for order-bearing data, or sort before emitting; \
+                         annotate `lint:allow(unordered-iter): reason` when order provably never \
+                         escapes"
+                .to_string(),
+            context: fm.context(t.line),
+        });
+    }
+}
+
+impl Rule for UnorderedIter {
+    fn code(&self) -> &'static str {
+        "L-HASH"
+    }
+
+    fn name(&self) -> &'static str {
+        "unordered-iter"
+    }
+
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = fm.tokens;
+        for i in 0..toks.len() {
+            // `m.iter()` / `m.keys()` / … on a hash-typed binding.
+            if fm.ty_of(i) == BindTy::Hash
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| ORDER_METHODS.iter().any(|m| t.is_ident(m)))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+            {
+                self.emit(fm, i, out);
+                continue;
+            }
+            // `for k in m` / `for k in &m` / `for k in &mut m`.
+            if toks[i].is_ident("for") {
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    match t.text.as_str() {
+                        "(" | "[" | "{" if t.kind == crate::lexer::TokKind::Punct => depth += 1,
+                        ")" | "]" | "}" if t.kind == crate::lexer::TokKind::Punct => depth -= 1,
+                        "in" if depth == 0 && t.kind == crate::lexer::TokKind::Ident => break,
+                        ";" => {
+                            j = toks.len();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let mut k = j + 1;
+                while toks
+                    .get(k)
+                    .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+                {
+                    k += 1;
+                }
+                if k < toks.len()
+                    && fm.ty_of(k) == BindTy::Hash
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("{"))
+                {
+                    self.emit(fm, k, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let mut out = Vec::new();
+        UnorderedIter.check_file(&fm, &mut out);
+        out
+    }
+
+    #[test]
+    fn for_loop_and_order_methods_fire() {
+        let src = "fn f() {\n\
+                   let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   for (k, v) in &m { use_it(k, v); }\n\
+                   let v: Vec<_> = m.keys().collect();\n\
+                   }";
+        let out = run(src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].line, 4);
+    }
+
+    #[test]
+    fn btreemap_and_point_lookups_are_clean() {
+        let src = "fn f() {\n\
+                   let mut m: BTreeMap<u32, u32> = BTreeMap::new();\n\
+                   for (k, v) in &m { use_it(k, v); }\n\
+                   let h = HashMap::new();\n\
+                   h.get(&1); h.insert(1, 2); h.remove(&1); h.entry(3);\n\
+                   }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn field_access_does_not_alias_a_tracked_local() {
+        let src = "fn f() {\n\
+                   let cpus = HashSet::new();\n\
+                   for c in self.cpus.iter() { go(c); }\n\
+                   }";
+        assert!(run(src).is_empty());
+        let direct = "fn f() {\n\
+                      let cpus = HashSet::new();\n\
+                      for c in cpus.iter() { go(c); }\n\
+                      }";
+        assert_eq!(run(direct).len(), 1);
+    }
+
+    #[test]
+    fn aliases_and_params_are_tracked() {
+        let alias = "fn f() {\n\
+                     let m = HashMap::new();\n\
+                     let view = &m;\n\
+                     for k in view { go(k); }\n\
+                     }";
+        assert_eq!(run(alias).len(), 1, "alias iteration must fire");
+        let param = "fn f(m: &HashMap<u32, u32>) {\nfor k in m { go(k); }\n}";
+        assert_eq!(run(param).len(), 1, "param iteration must fire");
+    }
+
+    #[test]
+    fn shadowing_ends_tracking() {
+        let src = "fn f() {\n\
+                   let m = HashMap::new();\n\
+                   let m: Vec<u32> = m.into_iter().collect();\n\
+                   for k in &m { go(k); }\n\
+                   }";
+        // Line 3 converts (into_iter on the hash map fires once — it is a
+        // real order observation); line 4 iterates the Vec and must not.
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+}

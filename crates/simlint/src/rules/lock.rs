@@ -1,0 +1,400 @@
+//! `L-LOCK` (`lock-order`): per-function lock acquisition tracking and a
+//! whole-workspace acquisition-order graph.
+//!
+//! Within each function the rule tracks which `Mutex`/`RwLock` guards are
+//! live at every point, using the same scope model as the rest of the
+//! engine:
+//!
+//! * an acquisition is `recv.lock()` / `.read()` / `.write()` where the
+//!   receiver resolves to a lock-typed local, a lock-typed struct field
+//!   (`self.cache.lock()`), or a lock-typed `static`;
+//! * a guard bound by `let` lives to the end of its block; a temporary
+//!   guard (`m.lock().unwrap().push(x);`) dies at the statement's `;`;
+//! * `drop(guard)` releases the named guard early.
+//!
+//! Two findings come out of this:
+//!
+//! 1. **Re-entry** — acquiring a lock that is already held (exclusively) in
+//!    the same function: `std::sync::Mutex` is not reentrant, so this
+//!    deadlocks the moment the path executes. Reported immediately.
+//! 2. **Order inversion** — function A acquires `x` then `y` while function
+//!    B (anywhere in the workspace) acquires `y` then `x`. Each
+//!    held-while-acquiring pair becomes an edge in a global graph; after
+//!    all files are seen, every edge that lies on a cycle is reported with
+//!    the counter-site that closes the cycle.
+//!
+//! The analysis is intra-procedural and textual about guard lifetimes — an
+//! over-approximation that favors catching inversions early over proving
+//! them reachable.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::Rule;
+use crate::scope::{BindTy, FileModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where an edge was observed.
+#[derive(Clone, Debug)]
+struct Site {
+    file: String,
+    func: String,
+    line: u32,
+    col: u32,
+    context: String,
+}
+
+/// A held guard during the per-function scan.
+struct Held {
+    lock: String,
+    depth: i32,
+    /// `let`-bound guards live to scope end; temporaries die at `;`.
+    stmt_temp: bool,
+    guard: Option<String>,
+    exclusive: bool,
+}
+
+/// The `L-LOCK` rule (stateful: edges accumulate across files).
+#[derive(Default)]
+pub struct LockOrder {
+    edges: BTreeMap<(String, String), Vec<Site>>,
+}
+
+impl Rule for LockOrder {
+    fn code(&self) -> &'static str {
+        "L-LOCK"
+    }
+
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>) {
+        for f in &fm.fns {
+            if fm.in_test[f.body_start] {
+                continue;
+            }
+            self.scan_function(fm, f.name.clone(), f.body_start, f.body_end, out);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Diagnostic>) {
+        // Adjacency over lock names.
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (from, to) in self.edges.keys() {
+            adj.entry(from).or_default().insert(to);
+        }
+        // reach[a] = set of locks reachable from a.
+        let reachable = |start: &str, goal: &str| -> bool {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(next) = adj.get(n) {
+                    for m in next {
+                        if *m == goal {
+                            return true;
+                        }
+                        stack.push(m);
+                    }
+                }
+            }
+            false
+        };
+        for ((from, to), sites) in &self.edges {
+            if from == to {
+                continue; // re-entry was reported inline
+            }
+            if !reachable(to, from) {
+                continue;
+            }
+            // The counter-evidence: the first edge on the return path.
+            let counter = self
+                .edges
+                .iter()
+                .find(|((f2, t2), _)| f2 == to && (t2 == from || reachable(t2, from)))
+                .map(|((f2, t2), s2)| {
+                    let s = &s2[0];
+                    format!("`{f2}` → `{t2}` in `{}` ({}:{})", s.func, s.file, s.line)
+                })
+                .unwrap_or_else(|| "another function".to_string());
+            let s = &sites[0];
+            out.push(Diagnostic {
+                rule: self.code(),
+                name: self.name(),
+                severity: Severity::Error,
+                file: s.file.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "lock-order inversion: `{from}` is held while acquiring `{to}` in \
+                     `{}`, but the opposite order exists via {counter} — two threads can \
+                     deadlock",
+                    s.func
+                ),
+                suggestion: "acquire locks in one global order (document it where the locks are \
+                             declared), or narrow one critical section so the guards never \
+                             overlap; annotate `lint:allow(lock-order): reason` for a proven \
+                             single-threaded path"
+                    .to_string(),
+                context: s.context.clone(),
+            });
+        }
+    }
+}
+
+impl LockOrder {
+    fn scan_function(
+        &mut self,
+        fm: &FileModel<'_>,
+        func: String,
+        start: usize,
+        end: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let toks = fm.tokens;
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i32;
+        let mut i = start;
+        while i <= end {
+            let t = &toks[i];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            } else if t.is_punct(";") {
+                held.retain(|h| !h.stmt_temp);
+            } else if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct(")"))
+            {
+                let victim = toks[i + 2].text.clone();
+                held.retain(|h| h.guard.as_deref() != Some(victim.as_str()));
+            } else if let Some((lock, exclusive)) = self.acquisition(fm, i) {
+                // Re-entry on the same lock while an exclusive guard lives.
+                for h in &held {
+                    if h.lock == lock && (h.exclusive || exclusive) {
+                        out.push(Diagnostic {
+                            rule: self.code(),
+                            name: self.name(),
+                            severity: Severity::Error,
+                            file: fm.path.to_string(),
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`{lock}` is acquired in `{func}` while already held — \
+                                 std::sync locks are not reentrant, so this path deadlocks"
+                            ),
+                            suggestion: "split the function so the first guard is dropped \
+                                         (or passed down) before re-acquiring; annotate \
+                                         `lint:allow(lock-order): reason` if a drop() the \
+                                         lint cannot see intervenes"
+                                .to_string(),
+                            context: fm.context(t.line),
+                        });
+                        break;
+                    }
+                }
+                for h in &held {
+                    if h.lock != lock {
+                        self.edges
+                            .entry((h.lock.clone(), lock.clone()))
+                            .or_default()
+                            .push(Site {
+                                file: fm.path.to_string(),
+                                func: func.clone(),
+                                line: t.line,
+                                col: t.col,
+                                context: fm.context(t.line),
+                            });
+                    }
+                }
+                // Is this acquisition `let`-bound? Walk back to the start
+                // of the statement.
+                let mut guard = None;
+                let mut stmt_temp = true;
+                let mut j = i;
+                while j > start {
+                    j -= 1;
+                    let u = &toks[j];
+                    if u.is_punct(";") || u.is_punct("{") || u.is_punct("}") {
+                        break;
+                    }
+                    if u.is_ident("let") {
+                        stmt_temp = false;
+                        let mut g = j + 1;
+                        if toks.get(g).is_some_and(|x| x.is_ident("mut")) {
+                            g += 1;
+                        }
+                        guard = toks.get(g).map(|x| x.text.clone());
+                        break;
+                    }
+                }
+                held.push(Held {
+                    lock,
+                    depth,
+                    stmt_temp,
+                    guard,
+                    exclusive,
+                });
+            }
+            i += 1;
+        }
+    }
+
+    /// If token `i` is the receiver of a lock acquisition, returns the lock
+    /// identity and whether the guard is exclusive.
+    fn acquisition(&self, fm: &FileModel<'_>, i: usize) -> Option<(String, bool)> {
+        let toks = fm.tokens;
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokKind::Ident {
+            return None;
+        }
+        let method = toks.get(i + 2)?;
+        if !(toks.get(i + 1)?.is_punct(".")
+            && (method.is_ident("lock") || method.is_ident("read") || method.is_ident("write"))
+            && toks.get(i + 3)?.is_punct("("))
+        {
+            return None;
+        }
+        let is_field_access = i > 0 && toks[i - 1].is_punct(".");
+        let lock_typed = if is_field_access {
+            // `self.cache.lock()` / `inner.cache.lock()`: a lock-typed
+            // struct field.
+            fm.fields.get(&t.text) == Some(&BindTy::Lock)
+        } else {
+            // A lock-typed local/param, or a lock-typed static.
+            fm.ty_of(i) == BindTy::Lock
+                || (fm.resolved[i].is_none() && fm.fields.get(&t.text) == Some(&BindTy::Lock))
+        };
+        if !lock_typed {
+            return None;
+        }
+        Some((t.text.clone(), !method.is_ident("read")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut rule = LockOrder::default();
+        let mut out = Vec::new();
+        let lexed: Vec<_> = files.iter().map(|(_, src)| lex(src)).collect();
+        for ((path, src), lx) in files.iter().zip(&lexed) {
+            let fm = FileModel::build(path, src, &lx.tokens);
+            rule.check_file(&fm, &mut out);
+        }
+        rule.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn reentry_on_a_held_mutex_fires() {
+        let src = "static M: Mutex<u32> = Mutex::new(0);\n\
+                   fn f() {\n\
+                   let g = M.lock().unwrap();\n\
+                   let h = M.lock().unwrap();\n\
+                   }";
+        let out = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("not reentrant"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn scoped_and_temporary_guards_do_not_reenter() {
+        let scoped = "static M: Mutex<u32> = Mutex::new(0);\n\
+                      fn f() {\n\
+                      { let g = M.lock().unwrap(); }\n\
+                      let h = M.lock().unwrap();\n\
+                      }";
+        assert!(run(&[("crates/x/src/lib.rs", scoped)]).is_empty());
+        let temp = "static M: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n\
+                    fn f() {\n\
+                    M.lock().unwrap().push(1);\n\
+                    M.lock().unwrap().push(2);\n\
+                    }";
+        assert!(run(&[("crates/x/src/lib.rs", temp)]).is_empty());
+        let dropped = "static M: Mutex<u32> = Mutex::new(0);\n\
+                       fn f() {\n\
+                       let g = M.lock().unwrap();\n\
+                       drop(g);\n\
+                       let h = M.lock().unwrap();\n\
+                       }";
+        assert!(run(&[("crates/x/src/lib.rs", dropped)]).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_read_is_clean_but_read_write_reenters() {
+        let rr = "static L: RwLock<u32> = RwLock::new(0);\n\
+                  fn f() { let a = L.read().unwrap(); let b = L.read().unwrap(); }";
+        assert!(run(&[("crates/x/src/lib.rs", rr)]).is_empty());
+        let rw = "static L: RwLock<u32> = RwLock::new(0);\n\
+                  fn f() { let a = L.read().unwrap(); let b = L.write().unwrap(); }";
+        assert_eq!(run(&[("crates/x/src/lib.rs", rw)]).len(), 1);
+    }
+
+    #[test]
+    fn cross_function_order_inversion_fires_across_files() {
+        let a = "static A: Mutex<u32> = Mutex::new(0);\n\
+                 static B: Mutex<u32> = Mutex::new(0);\n\
+                 fn ab() { let x = A.lock().unwrap(); let y = B.lock().unwrap(); }";
+        let b = "static A: Mutex<u32> = Mutex::new(0);\n\
+                 static B: Mutex<u32> = Mutex::new(0);\n\
+                 fn ba() { let y = B.lock().unwrap(); let x = A.lock().unwrap(); }";
+        let out = run(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        assert_eq!(out.len(), 2, "both edges sit on the cycle: {out:?}");
+        assert!(out.iter().any(|d| d.message.contains("`A` is held")));
+        assert!(out.iter().any(|d| d.message.contains("`B` is held")));
+        assert!(out[0].message.contains("deadlock"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = "static A: Mutex<u32> = Mutex::new(0);\n\
+                 static B: Mutex<u32> = Mutex::new(0);\n\
+                 fn ab1() { let x = A.lock().unwrap(); let y = B.lock().unwrap(); }";
+        let b = "static A: Mutex<u32> = Mutex::new(0);\n\
+                 static B: Mutex<u32> = Mutex::new(0);\n\
+                 fn ab2() { let x = A.lock().unwrap(); let y = B.lock().unwrap(); }";
+        assert!(run(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]).is_empty());
+    }
+
+    #[test]
+    fn lock_typed_fields_participate() {
+        let src = "struct S { cache: Mutex<u32>, stats: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn cs(&self) { let a = self.cache.lock().unwrap(); \
+                   let b = self.stats.lock().unwrap(); }\n\
+                   fn sc(&self) { let b = self.stats.lock().unwrap(); \
+                   let a = self.cache.lock().unwrap(); }\n\
+                   }";
+        let out = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn non_lock_receivers_never_fire() {
+        let src = "fn f(file: &mut File, s: &TcpStream) {\n\
+                   file.read(&mut buf);\n\
+                   s.write(&data);\n\
+                   }";
+        assert!(run(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "static M: Mutex<u32> = Mutex::new(0);\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   fn f() { let a = M.lock().unwrap(); let b = M.lock().unwrap(); }\n}";
+        assert!(run(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+}

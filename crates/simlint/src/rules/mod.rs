@@ -1,0 +1,70 @@
+//! The rule catalog: ten determinism & concurrency rules over the token
+//! stream.
+//!
+//! | Code      | Name             | What it rejects |
+//! |-----------|------------------|-----------------|
+//! | `L-CLOCK` | `wall-clock`     | `Instant::now` / `SystemTime::now` |
+//! | `L-ENV`   | `env-read`       | `env::var` / `env::var_os` |
+//! | `L-HASH`  | `unordered-iter` | iterating `HashMap`/`HashSet` locals, params, aliases |
+//! | `L-FSWRITE` | `fs-write`     | non-atomic `fs::write` / `File::create` / `OpenOptions::new` |
+//! | `L-SLEEP` | `thread-sleep`   | `thread::sleep` (real-time waits) |
+//! | `L-SPAWN` | `raw-spawn`      | `thread::spawn`/`scope` outside the deterministic runner |
+//! | `L-LOCK`  | `lock-order`     | relocking a held lock; cross-function acquisition-order cycles |
+//! | `L-FLOAT` | `float-merge`    | float `+=`/`-=` accumulation in merge paths |
+//! | `L-CAST`  | `narrowing-cast` | narrowing `as` casts on time-typed values |
+//! | `L-PANIC` | `analyzer-panic` | `unwrap`/`expect`/`panic!`/indexing in streaming analyzers |
+//!
+//! A rule sees one [`FileModel`] at a time via [`Rule::check_file`] and may
+//! hold cross-file state until [`Rule::finish`] (only `L-LOCK` does — lock
+//! order is a whole-workspace property).
+
+use crate::diag::Diagnostic;
+use crate::scope::FileModel;
+
+pub mod hash;
+pub mod lock;
+pub mod needles;
+pub mod numeric;
+pub mod panics;
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable code (`L-CLOCK`).
+    fn code(&self) -> &'static str;
+    /// Name as spelled in `lint:allow(...)` (`wall-clock`).
+    fn name(&self) -> &'static str;
+    /// Checks one file, appending findings.
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>);
+    /// Emits whole-workspace findings after every file was seen.
+    fn finish(&mut self, out: &mut Vec<Diagnostic>) {
+        let _ = out;
+    }
+}
+
+/// Builds the full ten-rule catalog.
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = needles::all();
+    rules.push(Box::new(hash::UnorderedIter));
+    rules.push(Box::new(lock::LockOrder::default()));
+    rules.push(Box::new(numeric::FloatMerge));
+    rules.push(Box::new(numeric::NarrowingCast));
+    rules.push(Box::new(panics::AnalyzerPanic));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn the_catalog_has_ten_rules_with_unique_identities() {
+        let rules = catalog();
+        assert_eq!(rules.len(), 10);
+        let codes: BTreeSet<_> = rules.iter().map(|r| r.code()).collect();
+        let names: BTreeSet<_> = rules.iter().map(|r| r.name()).collect();
+        assert_eq!(codes.len(), 10, "{codes:?}");
+        assert_eq!(names.len(), 10, "{names:?}");
+        assert!(codes.iter().all(|c| c.starts_with("L-")));
+    }
+}

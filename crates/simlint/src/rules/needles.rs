@@ -1,0 +1,246 @@
+//! Token-sequence rules: `L-CLOCK`, `L-ENV`, `L-SLEEP`, `L-FSWRITE`,
+//! `L-SPAWN`.
+//!
+//! These share one engine: a list of identifier/punct sequences matched
+//! against the token stream. Unlike the old string scanner, a needle can
+//! never fire inside a comment, a string literal (including `r###"…"###`
+//! raw and `b"…"` byte strings), or a prose doc line — those never become
+//! ident tokens.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::Rule;
+use crate::scope::FileModel;
+
+/// Configuration for one token-sequence rule.
+pub struct NeedleRule {
+    code: &'static str,
+    name: &'static str,
+    severity: Severity,
+    /// Ident/punct sequences; a match on any fires the rule.
+    patterns: &'static [&'static [&'static str]],
+    /// Files where the rule does not apply at all (suffix match on the
+    /// workspace-relative path).
+    exempt_files: &'static [&'static str],
+    /// Whether `#[cfg(test)]` code is exempt.
+    skip_tests: bool,
+    message: &'static str,
+    suggestion: &'static str,
+}
+
+impl Rule for NeedleRule {
+    fn code(&self) -> &'static str {
+        self.code
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>) {
+        if self.exempt_files.iter().any(|e| fm.path.ends_with(e)) {
+            return;
+        }
+        for i in 0..fm.tokens.len() {
+            if self.skip_tests && fm.in_test[i] {
+                continue;
+            }
+            for pat in self.patterns {
+                if fm.matches(i, pat) {
+                    // Reject partial path matches: `env::var` must not fire
+                    // as the tail of `my::env::var`-like chains is fine, but
+                    // a *head* extension like `foo_env::var` can't happen
+                    // (idents match exactly); only guard against a leading
+                    // `.` (method/field of the same name).
+                    if i > 0 && fm.tokens[i - 1].is_punct(".") {
+                        continue;
+                    }
+                    let t = &fm.tokens[i];
+                    let call: String = pat.join("");
+                    out.push(Diagnostic {
+                        rule: self.code,
+                        name: self.name,
+                        severity: self.severity,
+                        file: fm.path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!("`{call}` {}", self.message),
+                        suggestion: self.suggestion.to_string(),
+                        context: fm.context(t.line),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The five token-sequence rules.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NeedleRule {
+            code: "L-CLOCK",
+            name: "wall-clock",
+            severity: Severity::Error,
+            patterns: &[&["Instant", "::", "now"], &["SystemTime", "::", "now"]],
+            exempt_files: &[],
+            skip_tests: false,
+            message: "reads the host clock, breaking run-to-run determinism",
+            suggestion: "use virtual SimTime, or annotate a sanctioned profiling site with \
+                         `lint:allow(wall-clock): reason`",
+        }),
+        Box::new(NeedleRule {
+            code: "L-ENV",
+            name: "env-read",
+            severity: Severity::Error,
+            patterns: &[&["env", "::", "var"], &["env", "::", "var_os"]],
+            exempt_files: &[],
+            skip_tests: false,
+            message: "makes results depend on the ambient environment",
+            suggestion: "only PARASTAT_JOBS-style knobs that cannot change artifact bytes are \
+                         sanctioned; annotate them with `lint:allow(env-read): reason`",
+        }),
+        Box::new(NeedleRule {
+            code: "L-SLEEP",
+            name: "thread-sleep",
+            severity: Severity::Error,
+            patterns: &[&["thread", "::", "sleep"]],
+            exempt_files: &[],
+            skip_tests: false,
+            message: "blocks on host time; simulated delays must use the virtual calendar and \
+                      real waits poison the ≤5% self-trace overhead gate",
+            suggestion: "schedule a calendar event instead, or park on a condition variable; \
+                         annotate with `lint:allow(thread-sleep): reason` if truly unavoidable",
+        }),
+        Box::new(NeedleRule {
+            code: "L-FSWRITE",
+            name: "fs-write",
+            severity: Severity::Error,
+            patterns: &[
+                &["fs", "::", "write", "("],
+                &["File", "::", "create", "("],
+                &["OpenOptions", "::", "new", "("],
+            ],
+            exempt_files: &[],
+            skip_tests: false,
+            message: "can leave a torn file that poisons the persistent run store or a golden \
+                      artifact",
+            suggestion: "route durable data through the atomic temp-file + rename helper \
+                         (parastat::store::atomic_write); annotate whole-file export sites with \
+                         `lint:allow(fs-write): reason`",
+        }),
+        Box::new(NeedleRule {
+            code: "L-SPAWN",
+            name: "raw-spawn",
+            severity: Severity::Error,
+            patterns: &[&["thread", "::", "spawn"], &["thread", "::", "scope"]],
+            // The deterministic thread-pool runner is the one sanctioned
+            // spawn site; everything else must submit jobs to it so results
+            // reassemble in submission order.
+            exempt_files: &["crates/core/src/runner.rs"],
+            skip_tests: true,
+            message: "spawns unpooled parallelism that bypasses the deterministic runner's \
+                      ordered reassembly",
+            suggestion: "submit work through parastat::runner (RunContext / ThreadPoolRunner) so \
+                         output order is independent of thread timing",
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_rule(code: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let fm = FileModel::build(path, src, &lexed.tokens);
+        let mut out = Vec::new();
+        for mut r in all() {
+            if r.code() == code {
+                r.check_file(&fm, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clock_fires_on_both_clocks_and_not_in_strings() {
+        let src = "fn f() { let a = Instant::now(); let b = SystemTime::now(); \
+                   let s = \"Instant::now\"; }";
+        let out = run_rule("L-CLOCK", "crates/x/src/lib.rs", src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn env_read_fires_but_env_args_does_not() {
+        assert_eq!(
+            run_rule(
+                "L-ENV",
+                "crates/x/src/lib.rs",
+                "fn f() { std::env::var(\"X\"); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run_rule(
+                "L-ENV",
+                "crates/x/src/lib.rs",
+                "fn f() { std::env::var_os(\"X\"); }"
+            )
+            .len(),
+            1
+        );
+        assert!(run_rule(
+            "L-ENV",
+            "crates/x/src/lib.rs",
+            "fn f() { std::env::args(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn spawn_fires_outside_the_runner_only_in_production_code() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            run_rule("L-SPAWN", "crates/machine/src/sched.rs", src).len(),
+            1
+        );
+        assert!(run_rule("L-SPAWN", "crates/core/src/runner.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { std::thread::spawn(|| {}); } }";
+        assert!(run_rule("L-SPAWN", "crates/machine/src/sched.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn sleep_and_fswrite_fire() {
+        assert_eq!(
+            run_rule(
+                "L-SLEEP",
+                "crates/x/src/lib.rs",
+                "fn f() { std::thread::sleep(d); }"
+            )
+            .len(),
+            1
+        );
+        let src = "fn f() { std::fs::write(p, b); let f = File::create(p); \
+                   let o = OpenOptions::new(); }";
+        assert_eq!(run_rule("L-FSWRITE", "crates/x/src/lib.rs", src).len(), 3);
+        assert!(run_rule(
+            "L-FSWRITE",
+            "crates/x/src/lib.rs",
+            "fn f() { std::fs::read(p); std::fs::rename(a, b); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn method_named_like_a_needle_head_does_not_fire() {
+        // `x.env::var` is not real Rust, but `x.thread` field access
+        // followed by `::` can't happen either; the guard protects against
+        // `.spawn`-style method chains on unrelated receivers.
+        let src = "fn f() { pool.thread::spawn; }";
+        // `.thread` is a field access: guarded.
+        assert!(run_rule("L-SPAWN", "crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Numeric determinism rules: `L-FLOAT` (`float-merge`) and `L-CAST`
+//! (`narrowing-cast`).
+//!
+//! `L-FLOAT` guards the merge paths — the thread-pool runner and the
+//! metrics registries, where per-job partial results are folded together.
+//! Float addition is not associative, so `+=` accumulation whose order
+//! varies with `--jobs` changes the output bits. The simulator's rule is
+//! integers end-to-end (ns, ppm fixed point); floats may appear only in
+//! final, single-threaded rendering.
+//!
+//! `L-CAST` flags narrowing `as` casts applied to time-typed values
+//! (`SimTime`/`SimDuration` locals or raw `as_nanos()`/`as_micros()`/
+//! `as_millis()` results). A `u64` nanosecond timestamp truncated to `u32`
+//! wraps after ~4.3 s of trace — exactly the kind of bug that corrupts
+//! long-trace analysis silently.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::Rule;
+use crate::scope::{BindTy, FileModel};
+
+/// Merge paths where float accumulation is forbidden: the pooled runner
+/// and the metrics registries whose partials are folded across jobs.
+const MERGE_PATHS: [&str; 2] = ["crates/core/src/runner.rs", "crates/obs/src/"];
+
+/// Narrower-than-64-bit targets for `L-CAST` (`usize` is platform-width
+/// and `u64`/`i64`/`u128` are lossless for nanosecond counts).
+const NARROW: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// The `L-FLOAT` rule.
+pub struct FloatMerge;
+
+impl Rule for FloatMerge {
+    fn code(&self) -> &'static str {
+        "L-FLOAT"
+    }
+
+    fn name(&self) -> &'static str {
+        "float-merge"
+    }
+
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>) {
+        if !MERGE_PATHS.iter().any(|p| fm.path.contains(p)) {
+            return;
+        }
+        let toks = fm.tokens;
+        for i in 0..toks.len() {
+            if fm.in_test[i] {
+                continue;
+            }
+            if !(toks[i].is_punct("+=") || toks[i].is_punct("-=")) {
+                continue;
+            }
+            // LHS: a float-typed local, or a float-typed `self.field`.
+            let lhs_float = i
+                .checked_sub(1)
+                .is_some_and(|p| fm.ty_of(p) == BindTy::Float)
+                || (i >= 3
+                    && toks[i - 2].is_punct(".")
+                    && fm.fields.get(&toks[i - 1].text) == Some(&BindTy::Float));
+            // RHS: any float literal, float-typed local, or `as f64` cast
+            // before the statement ends.
+            let mut rhs_float = false;
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                if matches!(t.kind, crate::lexer::TokKind::Num { is_float: true })
+                    || fm.ty_of(j) == BindTy::Float
+                    || (t.is_ident("as")
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32")))
+                {
+                    rhs_float = true;
+                }
+                j += 1;
+            }
+            if lhs_float || rhs_float {
+                let t = &toks[i];
+                out.push(Diagnostic {
+                    rule: self.code(),
+                    name: self.name(),
+                    severity: Severity::Error,
+                    file: fm.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: "float accumulation in a merge path: addition order varies with \
+                              --jobs, so result bits can differ between serial and pooled runs"
+                        .to_string(),
+                    suggestion: "accumulate in integers (ns / ppm fixed point) and convert once \
+                                 at render time, or fold partials in a fixed submission order; \
+                                 annotate `lint:allow(float-merge): reason` if the order is \
+                                 provably fixed"
+                        .to_string(),
+                    context: fm.context(t.line),
+                });
+            }
+        }
+    }
+}
+
+/// The `L-CAST` rule.
+pub struct NarrowingCast;
+
+impl Rule for NarrowingCast {
+    fn code(&self) -> &'static str {
+        "L-CAST"
+    }
+
+    fn name(&self) -> &'static str {
+        "narrowing-cast"
+    }
+
+    fn check_file(&mut self, fm: &FileModel<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = fm.tokens;
+        for i in 1..toks.len() {
+            if fm.in_test[i] {
+                continue;
+            }
+            if !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if !NARROW.iter().any(|n| target.is_ident(n)) {
+                continue;
+            }
+            // `t as u32` on a time-typed local…
+            let time_local = fm.ty_of(i - 1) == BindTy::Time
+                // …or `x.when as u32` on a time-typed field…
+                || (i >= 3
+                    && toks[i - 2].is_punct(".")
+                    && fm.fields.get(&toks[i - 1].text) == Some(&BindTy::Time))
+                // …or `….as_nanos() as u32` (and micros/millis).
+                || (i >= 3
+                    && toks[i - 1].is_punct(")")
+                    && toks[i - 2].is_punct("(")
+                    && ["as_nanos", "as_micros", "as_millis"]
+                        .iter()
+                        .any(|m| toks[i - 3].is_ident(m)));
+            if !time_local {
+                continue;
+            }
+            let t = &toks[i];
+            out.push(Diagnostic {
+                rule: self.code(),
+                name: self.name(),
+                severity: Severity::Warning,
+                file: fm.path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "narrowing cast `as {}` on a timestamp/duration value truncates after \
+                     ~4.3 s of u32 nanoseconds (less for narrower types)",
+                    target.text
+                ),
+                suggestion: "keep time in SimTime/u64 nanoseconds end-to-end; if the narrowing \
+                             is provably in range, annotate \
+                             `lint:allow(narrowing-cast): reason`"
+                    .to_string(),
+                context: fm.context(t.line),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_float(path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let fm = FileModel::build(path, src, &lexed.tokens);
+        let mut out = Vec::new();
+        FloatMerge.check_file(&fm, &mut out);
+        out
+    }
+
+    fn run_cast(src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let mut out = Vec::new();
+        NarrowingCast.check_file(&fm, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_accumulation_fires_only_in_merge_paths() {
+        let src = "fn merge(&mut self) { let mut acc = 0.0; acc += part; }";
+        assert_eq!(run_float("crates/core/src/runner.rs", src).len(), 1);
+        assert_eq!(run_float("crates/obs/src/lib.rs", src).len(), 1);
+        assert!(run_float("crates/workloads/src/video.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_accumulation_is_clean() {
+        let src = "fn merge(&mut self) { let mut acc = 0u64; acc += part; self.total_ns += d; }";
+        assert!(run_float("crates/core/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_field_and_float_rhs_fire() {
+        let field = "struct S { mean: f64 }\nfn m(&mut self) { self.mean += x; }";
+        assert_eq!(run_float("crates/obs/src/lib.rs", field).len(), 1);
+        let rhs = "fn m() { let mut acc = 0u64; acc += x as f64 as u64; }";
+        assert_eq!(run_float("crates/obs/src/lib.rs", rhs).len(), 1);
+    }
+
+    #[test]
+    fn narrowing_cast_on_time_fires() {
+        let src = "fn f(at: SimTime) {\n\
+                   let ns = at.as_nanos();\n\
+                   let lo = ns as u32;\n\
+                   let lo2 = t.as_millis() as u16;\n\
+                   }";
+        let out = run_cast(src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[1].line, 4);
+    }
+
+    #[test]
+    fn widening_and_untyped_casts_are_clean() {
+        let src = "fn f(at: SimTime) {\n\
+                   let ns = at.as_nanos();\n\
+                   let w = ns as u128;\n\
+                   let f = ns as f64;\n\
+                   let c = cpu as u32;\n\
+                   let u = ns as usize;\n\
+                   }";
+        assert!(run_cast(src).is_empty());
+    }
+
+    #[test]
+    fn time_typed_field_cast_fires() {
+        let src = "struct E { at: SimTime }\nfn f(e: &E) { let x = e.at as u32; }";
+        assert_eq!(run_cast(src).len(), 1);
+    }
+}

@@ -1,0 +1,844 @@
+//! Per-file semantic model: scope-aware local-binding dataflow, function
+//! extents, `#[cfg(test)]` masking, and struct-field / static typing.
+//!
+//! This replaces the old string-scan heuristics (`has_ident_use`,
+//! `let_binding_ident`) with real token-level resolution:
+//!
+//! * a `let` binding becomes visible **after** its terminating `;`, so
+//!   `let m = m;` resolves the initializer against the outer binding;
+//! * bindings die at the end of the block that declared them, and an inner
+//!   `let` shadows an outer one — `self.cpus` never aliases a local `cpus`
+//!   because field-access idents (preceded by `.`) and path segments
+//!   (preceded by `::`) are not resolved at all;
+//! * simple aliases (`let b = a;`, `let b = &mut a;`) inherit the aliased
+//!   binding's type class;
+//! * typed `fn` parameters (`fn f(m: &HashMap<K, V>)`) are bound at the
+//!   function body's opening brace.
+//!
+//! The model deliberately stops short of full type inference: types that
+//! flow through function returns or struct construction are `Other`. Rules
+//! built on it therefore under-approximate (no false positives from
+//! aliasing, occasional false negatives through calls), which is the right
+//! trade for a gating lint.
+
+use crate::lexer::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// The type classes the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindTy {
+    /// `HashMap` / `HashSet` — iteration order is per-process random.
+    Hash,
+    /// `Mutex` / `RwLock` — participates in lock-order analysis.
+    Lock,
+    /// `SimTime` / `SimDuration` or raw nanoseconds from `as_nanos()` &c.
+    Time,
+    /// `f32` / `f64` — accumulation order changes the bits.
+    Float,
+    /// Anything else.
+    Other,
+}
+
+/// One resolved binding (a `let` local or a typed `fn` parameter).
+#[derive(Clone, Debug)]
+pub struct Binding {
+    /// The identifier.
+    pub name: String,
+    /// Its type class.
+    pub ty: BindTy,
+    /// 1-based line of the declaration.
+    pub line: u32,
+}
+
+/// One `fn` item with a body.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the signature's opening `(` (the first paren at
+    /// angle-bracket depth 0 after the name, so `Fn(...)` bounds in the
+    /// generics don't confuse it).
+    pub params_open: Option<usize>,
+    /// Token index of the body's `{`.
+    pub body_start: usize,
+    /// Token index of the body's matching `}`.
+    pub body_end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileModel<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Raw source lines (for diagnostic context and allow placement).
+    pub lines: Vec<&'a str>,
+    /// The token stream.
+    pub tokens: &'a [Token],
+    /// All bindings, indexed by [`FileModel::resolved`].
+    pub bindings: Vec<Binding>,
+    /// Per token: the binding an identifier use resolves to, if any.
+    pub resolved: Vec<Option<usize>>,
+    /// Per token: true inside `#[test]` / `#[cfg(test)]` items.
+    pub in_test: Vec<bool>,
+    /// Struct fields and `static`/`const` items by name, with type class.
+    pub fields: BTreeMap<String, BindTy>,
+    /// Functions with bodies, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl<'a> FileModel<'a> {
+    /// Builds the model for one lexed file.
+    pub fn build(path: &'a str, source: &'a str, tokens: &'a [Token]) -> FileModel<'a> {
+        let fields = collect_fields_and_statics(tokens);
+        let fns = collect_fns(tokens);
+        let in_test = test_mask(tokens);
+        let (bindings, resolved) = resolve_bindings(tokens, &fns);
+        FileModel {
+            path,
+            lines: source.lines().collect(),
+            tokens,
+            bindings,
+            resolved,
+            in_test,
+            fields,
+            fns,
+        }
+    }
+
+    /// The type class the identifier token at `i` resolves to (locals and
+    /// parameters only).
+    pub fn ty_of(&self, i: usize) -> BindTy {
+        self.resolved[i]
+            .map(|b| self.bindings[b].ty)
+            .unwrap_or(BindTy::Other)
+    }
+
+    /// The trimmed source line a token sits on (for diagnostic context).
+    pub fn context(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// True when tokens `i..i+words.len()` are exactly the given
+    /// identifier/punct sequence (identifiers matched by text, `::` &c by
+    /// punct text).
+    pub fn matches(&self, i: usize, words: &[&str]) -> bool {
+        words.iter().enumerate().all(|(k, w)| {
+            self.tokens.get(i + k).is_some_and(|t| match t.kind {
+                TokKind::Ident => t.text == *w,
+                TokKind::Punct => t.text == *w,
+                _ => false,
+            })
+        })
+    }
+}
+
+/// Classifies a token slice (a type ascription or initializer) by the
+/// idents it contains. `Lock` wins over `Hash` so `Mutex<HashMap<…>>`
+/// locals participate in lock-order analysis.
+fn classify_tokens(toks: &[Token]) -> BindTy {
+    let has = |w: &str| toks.iter().any(|t| t.is_ident(w));
+    if has("Mutex") || has("RwLock") {
+        BindTy::Lock
+    } else if has("HashMap") || has("HashSet") {
+        BindTy::Hash
+    } else if has("SimTime") || has("SimDuration") {
+        BindTy::Time
+    } else if has("f32") || has("f64") {
+        BindTy::Float
+    } else {
+        BindTy::Other
+    }
+}
+
+/// Collects `struct` field names and `static`/`const` item names whose
+/// types fall in an interesting class.
+fn collect_fields_and_statics(tokens: &[Token]) -> BTreeMap<String, BindTy> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("struct")
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            // Find the `{` of a braced struct (skip `;`-terminated tuple
+            // structs), then scan `name: Type,` pairs one depth down.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct(";") && angle <= 0 {
+                    break;
+                } else if t.is_punct("(") {
+                    break; // tuple struct
+                } else if t.is_punct("{") && angle <= 0 {
+                    collect_struct_body(tokens, j, &mut out);
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        } else if (tokens[i].is_ident("static") || tokens[i].is_ident("const"))
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(":"))
+        {
+            let name = tokens[i + 1].text.clone();
+            let mut j = i + 3;
+            let start = j;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                match t.text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "=" | ";" if depth <= 0 && t.kind == TokKind::Punct => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let ty = classify_tokens(&tokens[start..j]);
+            if ty != BindTy::Other {
+                out.insert(name, ty);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn collect_struct_body(tokens: &[Token], open: usize, out: &mut BTreeMap<String, BindTy>) {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && !t.is_ident("pub")
+        {
+            // Field type runs to the `,` (or closing `}`) at this depth.
+            let start = i + 2;
+            let mut j = start;
+            let mut inner = 0i32;
+            while j < tokens.len() {
+                let u = &tokens[j];
+                match u.text.as_str() {
+                    "<" | "(" | "[" | "{" => inner += 1,
+                    ">" | ")" | "]" => inner -= 1,
+                    "}" if inner <= 0 => break,
+                    "," if inner <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let ty = classify_tokens(&tokens[start..j]);
+            if ty != BindTy::Other {
+                out.insert(t.text.clone(), ty);
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Finds every `fn name … { … }` and records the body's token extent.
+fn collect_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // Scan past the signature to the body `{` (or `;` for a
+            // bodyless trait method), noting the parameter list's `(`.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut angle = 0i32;
+            let mut params_open = None;
+            let mut body_start = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("(") {
+                    if paren == 0 && angle == 0 && params_open.is_none() {
+                        params_open = Some(j);
+                    }
+                    paren += 1;
+                } else if t.is_punct(")") {
+                    paren -= 1;
+                } else if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if paren == 0 && t.is_punct(";") {
+                    break;
+                } else if paren == 0 && t.is_punct("{") {
+                    body_start = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                if let Some(end) = matching_brace(tokens, start) {
+                    out.push(FnSpan {
+                        name,
+                        params_open,
+                        body_start: start,
+                        body_end: end,
+                        line,
+                    });
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Marks the token extents of `#[test]` / `#[cfg(test)]`-gated `mod` and
+/// `fn` items (rules about production contracts skip them).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // One or more attributes; remember whether any mentions `test`.
+        let attr_start = i;
+        let mut is_test = false;
+        while tokens.get(i).is_some_and(|t| t.is_punct("#"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("test") {
+                    is_test = true;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+        if !is_test {
+            continue;
+        }
+        // Skip visibility/qualifier keywords, then require `mod` or `fn`.
+        let mut j = i;
+        while tokens.get(j).is_some_and(|t| {
+            t.is_ident("pub")
+                || t.is_ident("async")
+                || t.is_ident("unsafe")
+                || t.is_ident("const")
+                || t.is_ident("extern")
+                || t.is_punct("(")
+                || t.is_ident("crate")
+                || t.is_punct(")")
+        }) {
+            j += 1;
+        }
+        if !tokens
+            .get(j)
+            .is_some_and(|t| t.is_ident("mod") || t.is_ident("fn"))
+        {
+            continue;
+        }
+        // Find the item body and mark the whole extent.
+        let mut k = j;
+        while k < tokens.len() && !tokens[k].is_punct("{") {
+            if tokens[k].is_punct(";") {
+                break;
+            }
+            k += 1;
+        }
+        if tokens.get(k).is_some_and(|t| t.is_punct("{")) {
+            if let Some(end) = matching_brace(tokens, k) {
+                for m in mask.iter_mut().take(end + 1).skip(attr_start) {
+                    *m = true;
+                }
+                i = end + 1;
+            }
+        }
+    }
+    mask
+}
+
+struct ScopeBinding {
+    id: usize,
+    depth: i32,
+}
+
+/// The combined declaration + resolution pass described in the module docs.
+fn resolve_bindings(tokens: &[Token], fns: &[FnSpan]) -> (Vec<Binding>, Vec<Option<usize>>) {
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut resolved: Vec<Option<usize>> = vec![None; tokens.len()];
+    // Bindings scheduled to become visible at a given token index.
+    let mut pending: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+
+    // Parameters activate at each function body's `{` (depth is bumped by
+    // the brace itself, so they land inside the body scope).
+    for f in fns {
+        for (name, ty, line) in parse_params(tokens, f) {
+            let id = bindings.len();
+            bindings.push(Binding { name, ty, line });
+            pending.entry(f.body_start).or_default().push(id);
+        }
+    }
+
+    let mut scope: Vec<ScopeBinding> = Vec::new();
+    let mut depth = 0i32;
+    for i in 0..tokens.len() {
+        if let Some(ids) = pending.get(&i) {
+            // A binding activating *at* a `{` (fn params at the body brace)
+            // belongs inside that brace's scope; one activating at an
+            // ordinary token (`let` after its `;`) lives at the current
+            // depth — and if the activation token is itself the closing
+            // `}`, the pop below removes it immediately, which is exactly
+            // block-exit death.
+            let bind_depth = if tokens[i].is_punct("{") {
+                depth + 1
+            } else {
+                depth
+            };
+            for &id in ids {
+                scope.push(ScopeBinding {
+                    id,
+                    depth: bind_depth,
+                });
+            }
+        }
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            while scope.last().is_some_and(|b| b.depth > depth) {
+                scope.pop();
+            }
+        } else if t.kind == TokKind::Ident {
+            let prev = i.checked_sub(1).map(|p| &tokens[p]);
+            let is_member = prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::"));
+            if !is_member {
+                if t.is_ident("let") {
+                    if let Some((name, ty, insert_at)) = parse_let(tokens, i, &scope, &bindings) {
+                        let id = bindings.len();
+                        bindings.push(Binding {
+                            name,
+                            ty,
+                            line: t.line,
+                        });
+                        pending.entry(insert_at).or_default().push(id);
+                    }
+                } else {
+                    // Resolve innermost binding with this name. The let
+                    // statement's own pattern ident never resolves because
+                    // its binding only activates after the `;`; an already
+                    // visible outer binding of the same name *does*, which
+                    // is exactly the shadowing semantics we want.
+                    for b in scope.iter().rev() {
+                        if bindings[b.id].name == t.text {
+                            resolved[i] = Some(b.id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The let-pattern ident itself should not count as a "use" of the outer
+    // shadowed binding: un-resolve idents that immediately follow `let`
+    // (or `let mut`).
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if j < resolved.len() {
+                resolved[j] = None;
+            }
+        }
+    }
+    (bindings, resolved)
+}
+
+/// Parses `name: Type` parameter pairs at paren depth 1 of a signature.
+/// Pattern parameters (`(a, b): (u32, u32)`, `&self`) are skipped.
+fn parse_params(tokens: &[Token], f: &FnSpan) -> Vec<(String, BindTy, u32)> {
+    let mut out = Vec::new();
+    let Some(open) = f.params_open else {
+        return out;
+    };
+    let mut i = open + 1;
+    let mut pdepth = 1i32;
+    while i < tokens.len() && pdepth > 0 {
+        let t = &tokens[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            pdepth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            pdepth -= 1;
+        } else if pdepth == 1 {
+            let base = if t.is_ident("mut") { i + 1 } else { i };
+            let nt = &tokens[base];
+            if nt.kind == TokKind::Ident
+                && !nt.is_ident("self")
+                && !nt.is_ident("mut")
+                && tokens.get(base + 1).is_some_and(|n| n.is_punct(":"))
+                && (i == open + 1 || tokens[i - 1].is_punct(","))
+            {
+                // Type runs to the `,` at depth 1 or the closing paren.
+                let start = base + 2;
+                let mut k = start;
+                let mut inner = 0i32;
+                while k < tokens.len() {
+                    let u = &tokens[k];
+                    match u.text.as_str() {
+                        "<" | "(" | "[" => inner += 1,
+                        ">" | ")" | "]" => {
+                            if inner == 0 {
+                                break;
+                            }
+                            inner -= 1;
+                        }
+                        "," if inner <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let ty = classify_tokens(&tokens[start..k]);
+                if ty != BindTy::Other {
+                    out.push((nt.text.clone(), ty, nt.line));
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses one `let` statement starting at token `i` (the `let`). Returns
+/// `(name, type class, activation index)` for plain-identifier patterns.
+fn parse_let(
+    tokens: &[Token],
+    i: usize,
+    scope: &[ScopeBinding],
+    bindings: &[Binding],
+) -> Option<(String, BindTy, usize)> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = tokens.get(j)?;
+    if name_tok.kind != TokKind::Ident || name_tok.is_ident("_") {
+        return None;
+    }
+    // `let Some(x)`, `let (a, b)`, `let Struct { .. }` are patterns we
+    // don't model; `let x` must be followed by `:`, `=`, or `;`.
+    let after = tokens.get(j + 1)?;
+    if !(after.is_punct(":") || after.is_punct("=") || after.is_punct(";")) {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let mut ty = BindTy::Other;
+    let mut k = j + 1;
+    if tokens[k].is_punct(":") {
+        // Type ascription runs to the `=` or `;` outside brackets.
+        let start = k + 1;
+        let mut depth = 0i32;
+        let mut m = start;
+        while m < tokens.len() {
+            let t = &tokens[m];
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "=" | ";" if depth <= 0 && t.kind == TokKind::Punct => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        ty = classify_tokens(&tokens[start..m]);
+        k = m;
+    }
+    // Initializer runs to the statement's `;` at bracket depth zero.
+    let mut init: &[Token] = &[];
+    if tokens.get(k).is_some_and(|t| t.is_punct("=")) {
+        let start = k + 1;
+        let mut depth = 0i32;
+        let mut m = start;
+        while m < tokens.len() {
+            let t = &tokens[m];
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 && t.kind == TokKind::Punct => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        init = &tokens[start..m];
+        k = m;
+    }
+    if ty == BindTy::Other {
+        ty = classify_init(init, scope, bindings);
+    }
+    // Activate one past the `;` (or wherever scanning stopped).
+    Some((name, ty, k + 1))
+}
+
+/// Infers a type class from an initializer expression.
+fn classify_init(init: &[Token], scope: &[ScopeBinding], bindings: &[Binding]) -> BindTy {
+    if init.is_empty() {
+        return BindTy::Other;
+    }
+    // Constructor path: `HashMap::new()`, `Mutex::new(...)`, `SimTime::…`.
+    if init.len() >= 2 && init[1].is_punct("::") {
+        match init[0].text.as_str() {
+            "HashMap" | "HashSet" => return BindTy::Hash,
+            "Mutex" | "RwLock" => return BindTy::Lock,
+            "SimTime" | "SimDuration" => return BindTy::Time,
+            _ => {}
+        }
+    }
+    // Simple alias: `a`, `&a`, `&mut a` — inherit the aliased class.
+    let alias: Vec<&Token> = init
+        .iter()
+        .filter(|t| !(t.is_punct("&") || t.is_ident("mut")))
+        .collect();
+    if alias.len() == 1 && alias[0].kind == TokKind::Ident {
+        for b in scope.iter().rev() {
+            if bindings[b.id].name == alias[0].text {
+                return bindings[b.id].ty;
+            }
+        }
+        return BindTy::Other;
+    }
+    // Raw-time extraction: `t.as_nanos()`, `dur.as_micros()`, ….
+    for w in init.windows(2) {
+        if w[0].is_punct(".")
+            && (w[1].is_ident("as_nanos")
+                || w[1].is_ident("as_micros")
+                || w[1].is_ident("as_millis"))
+        {
+            return BindTy::Time;
+        }
+    }
+    // Float arithmetic: a float literal or an `as f64` cast anywhere.
+    for (k, t) in init.iter().enumerate() {
+        if matches!(t.kind, TokKind::Num { is_float: true }) {
+            return BindTy::Float;
+        }
+        if t.is_ident("as")
+            && init
+                .get(k + 1)
+                .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"))
+        {
+            return BindTy::Float;
+        }
+    }
+    BindTy::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model_tys(src: &str) -> Vec<(String, BindTy)> {
+        let lexed = lex(src);
+        let m = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        m.bindings.iter().map(|b| (b.name.clone(), b.ty)).collect()
+    }
+
+    #[test]
+    fn let_bindings_classify_by_type_and_initializer() {
+        let tys = model_tys(
+            "fn f() {\n\
+             let a: HashMap<u32, u32> = HashMap::new();\n\
+             let b = HashSet::new();\n\
+             let c = Mutex::new(HashMap::new());\n\
+             let d: SimTime = SimTime::ZERO;\n\
+             let e = t.as_nanos();\n\
+             let g = 0.5;\n\
+             let h = BTreeMap::new();\n\
+             }\n",
+        );
+        assert_eq!(
+            tys,
+            vec![
+                ("a".into(), BindTy::Hash),
+                ("b".into(), BindTy::Hash),
+                ("c".into(), BindTy::Lock),
+                ("d".into(), BindTy::Time),
+                ("e".into(), BindTy::Time),
+                ("g".into(), BindTy::Float),
+                ("h".into(), BindTy::Other),
+            ]
+        );
+    }
+
+    #[test]
+    fn aliases_inherit_and_shadowing_replaces() {
+        let src = "fn f() {\n\
+                   let m = HashMap::new();\n\
+                   let alias = &m;\n\
+                   let m = Vec::new();\n\
+                   m.iter();\n\
+                   alias.iter();\n\
+                   }\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        // `alias` inherited Hash through `&m`.
+        assert!(fm
+            .bindings
+            .iter()
+            .any(|b| b.name == "alias" && b.ty == BindTy::Hash));
+        // The `m.iter()` use resolves to the *shadowing* Vec binding.
+        let use_idx = fm
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("m"))
+            .map(|(k, _)| k)
+            .find(|&k| fm.tokens[k + 1].is_punct(".") && fm.tokens[k + 2].is_ident("iter"))
+            .unwrap();
+        assert_eq!(fm.ty_of(use_idx), BindTy::Other);
+    }
+
+    #[test]
+    fn field_access_and_path_segments_do_not_resolve() {
+        let src = "fn f() {\n\
+                   let cpus = HashSet::new();\n\
+                   self.cpus.iter();\n\
+                   module::cpus.iter();\n\
+                   cpus.len();\n\
+                   }\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let resolutions: Vec<BindTy> = fm
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("cpus"))
+            .map(|(k, _)| fm.ty_of(k))
+            .collect();
+        // Declaration ident, self.cpus, module::cpus, direct use.
+        assert_eq!(
+            resolutions,
+            vec![BindTy::Other, BindTy::Other, BindTy::Other, BindTy::Hash]
+        );
+    }
+
+    #[test]
+    fn bindings_die_at_scope_exit() {
+        let src = "fn f() {\n{ let m = HashMap::new(); }\nm.iter();\n}\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let use_idx = fm
+            .tokens
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| t.is_ident("m"))
+            .unwrap()
+            .0;
+        assert_eq!(fm.ty_of(use_idx), BindTy::Other);
+    }
+
+    #[test]
+    fn typed_params_are_bound_in_the_body() {
+        let src = "fn f(map: &HashMap<u32, u32>, n: usize) -> usize {\nmap.len() + n\n}\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let use_idx = fm
+            .tokens
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| t.is_ident("map"))
+            .unwrap()
+            .0;
+        assert_eq!(fm.ty_of(use_idx), BindTy::Hash);
+    }
+
+    #[test]
+    fn struct_fields_and_statics_are_collected() {
+        let src = "struct S { cache: Mutex<HashMap<u32, u32>>, n: usize, when: SimTime }\n\
+                   static RINGS: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n\
+                   const LIMIT: usize = 4;\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        assert_eq!(fm.fields.get("cache"), Some(&BindTy::Lock));
+        assert_eq!(fm.fields.get("when"), Some(&BindTy::Time));
+        assert_eq!(fm.fields.get("RINGS"), Some(&BindTy::Lock));
+        assert_eq!(fm.fields.get("n"), None);
+        assert_eq!(fm.fields.get("LIMIT"), None);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn prod() { work(); }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { check(); }\n}\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let prod_idx = fm.tokens.iter().position(|t| t.is_ident("work")).unwrap();
+        let test_idx = fm.tokens.iter().position(|t| t.is_ident("check")).unwrap();
+        assert!(!fm.in_test[prod_idx]);
+        assert!(fm.in_test[test_idx]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "impl S {\nfn a(&self) -> u32 { 1 }\nfn b() { let x = 2; }\n}\n";
+        let lexed = lex(src);
+        let fm = FileModel::build("crates/x/src/lib.rs", src, &lexed.tokens);
+        let names: Vec<&str> = fm.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        for f in &fm.fns {
+            assert!(fm.tokens[f.body_start].is_punct("{"));
+            assert!(fm.tokens[f.body_end].is_punct("}"));
+        }
+    }
+}

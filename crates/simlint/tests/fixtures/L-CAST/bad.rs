@@ -1,0 +1,12 @@
+//@ path: crates/x/src/lib.rs
+struct Event {
+    at: SimTime,
+}
+
+fn pack(ev: &Event, t: SimTime) -> (u32, u32, u16) {
+    let ns = t.as_nanos();
+    let lo = ns as u32;
+    let field_lo = ev.at as u32;
+    let short = dur.as_millis() as u16;
+    (lo, field_lo, short)
+}

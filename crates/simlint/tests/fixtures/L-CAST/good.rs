@@ -1,0 +1,17 @@
+//@ path: crates/x/src/lib.rs
+// Widening (or width-preserving) casts keep every nanosecond; narrowing
+// casts on non-time values are someone else's problem.
+fn pack(t: SimTime, cpu: u64) -> (u64, u128, f64, u32) {
+    let ns = t.as_nanos();
+    let keep = ns as u64;
+    let wide = ns as u128;
+    let render_only = ns as f64;
+    let cpu_id = cpu as u32;
+    (keep, wide, render_only, cpu_id)
+}
+
+fn bounded(t: SimTime) -> u32 {
+    let ns = t.as_nanos();
+    // lint:allow(narrowing-cast): bucket index is ns % 1024, provably < 2^32
+    (ns % 1024) as u32
+}

@@ -1,0 +1,8 @@
+//@ path: crates/x/src/lib.rs
+// Both host clocks fire, even via full std paths.
+fn profile() -> u64 {
+    let started = Instant::now();
+    let wall = std::time::SystemTime::now();
+    drop(wall);
+    started.elapsed().as_nanos() as u64
+}

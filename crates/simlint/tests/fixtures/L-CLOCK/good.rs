@@ -1,0 +1,17 @@
+//@ path: crates/x/src/lib.rs
+// Prose and data mentioning the needle never fire: comments, strings, and
+// raw strings with any hash count are opaque to the lexer.
+// Instant::now / SystemTime::now
+fn render() -> &'static str {
+    let msg = "calls Instant::now() internally";
+    let raw = r###"SystemTime::now inside a 3-hash raw string"###;
+    let _ = (msg, raw);
+    "ok"
+}
+
+// A sanctioned site carries a reasoned annotation.
+fn probe() -> u64 {
+    // lint:allow(wall-clock): span-tracer profiling probe, never feeds results
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,7 @@
+//@ path: crates/x/src/lib.rs
+fn configure() -> Option<String> {
+    let a = std::env::var("PARASTAT_DEBUG").ok();
+    let b = std::env::var_os("HOME");
+    let _ = b;
+    a
+}

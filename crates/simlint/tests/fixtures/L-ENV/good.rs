@@ -1,0 +1,14 @@
+//@ path: crates/x/src/lib.rs
+// CLI argument parsing is fine; only ambient-state reads gate.
+fn cli() -> Vec<String> {
+    std::env::args().collect()
+}
+
+fn jobs() -> usize {
+    // lint:allow(env-read): PARASTAT_JOBS picks the job count, which cannot
+    // change artifact bytes.
+    std::env::var("PARASTAT_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

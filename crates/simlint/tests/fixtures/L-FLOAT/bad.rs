@@ -1,0 +1,14 @@
+//@ path: crates/core/src/runner.rs
+// Fold order varies with --jobs, and float addition is not associative:
+// the merged bits differ between serial and pooled runs.
+struct Merged {
+    mean_ns: f64,
+}
+
+fn merge(acc: &mut Merged, partials: &[f64]) {
+    let mut total = 0.0;
+    for p in partials {
+        total += p;
+    }
+    acc.mean_ns += total;
+}

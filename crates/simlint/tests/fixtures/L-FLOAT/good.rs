@@ -1,0 +1,18 @@
+//@ path: crates/core/src/runner.rs
+// Integer nanoseconds fold associatively in any order; floats appear only
+// at single-threaded render time.
+struct Merged {
+    total_ns: u64,
+    samples: u64,
+}
+
+fn merge(acc: &mut Merged, partials: &[(u64, u64)]) {
+    for (ns, n) in partials {
+        acc.total_ns += ns;
+        acc.samples += n;
+    }
+}
+
+fn render(acc: &Merged) -> f64 {
+    acc.total_ns as f64 / acc.samples.max(1) as f64
+}

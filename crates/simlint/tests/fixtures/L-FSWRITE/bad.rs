@@ -1,0 +1,11 @@
+//@ path: crates/x/src/lib.rs
+use std::fs::{File, OpenOptions};
+
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)?;
+    let f = File::create(path)?;
+    drop(f);
+    let g = OpenOptions::new().append(true).open(path)?;
+    drop(g);
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//@ path: crates/x/src/lib.rs
+use std::collections::HashMap;
+
+fn emit(rows: &mut Vec<(u32, u32)>) {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(1, 2);
+    for (k, v) in &counts {
+        rows.push((*k, *v));
+    }
+    let keys: Vec<u32> = counts.keys().copied().collect();
+    let view = &counts;
+    for k in view {
+        rows.push((*k.0, *k.1));
+    }
+    let _ = keys;
+}
+
+fn from_param(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}

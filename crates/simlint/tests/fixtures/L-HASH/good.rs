@@ -1,0 +1,32 @@
+//@ path: crates/x/src/lib.rs
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+// Ordered containers iterate freely; hash containers allow point lookups;
+// a field access never aliases a local of the same name; shadowing ends
+// tracking.
+fn emit(rows: &mut Vec<(u32, u32)>, this: &Holder) {
+    let mut ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    ordered.insert(1, 2);
+    for (k, v) in &ordered {
+        rows.push((*k, *v));
+    }
+    let mut lookups = HashMap::new();
+    lookups.insert(1u32, 2u32);
+    let _ = lookups.get(&1);
+    let _ = lookups.contains_key(&1);
+    lookups.remove(&1);
+    let cpus = HashSet::from([1u32]);
+    for c in this.cpus.iter() {
+        rows.push((*c, 0));
+    }
+    let cpus: Vec<u32> = cpus.into_iter().collect(); // lint:allow(unordered-iter): sorted next line
+    let mut cpus = cpus;
+    cpus.sort_unstable();
+    for c in &cpus {
+        rows.push((*c, 0));
+    }
+}
+
+struct Holder {
+    cpus: Vec<u32>,
+}

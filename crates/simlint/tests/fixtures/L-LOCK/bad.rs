@@ -1,0 +1,27 @@
+//@ path: crates/x/src/lib.rs
+use std::sync::Mutex;
+
+static ACCOUNTS: Mutex<u32> = Mutex::new(0);
+static AUDIT: Mutex<u32> = Mutex::new(0);
+
+// Opposite acquisition orders: two threads running transfer() and review()
+// concurrently can each hold one lock and wait forever for the other.
+fn transfer() {
+    let a = ACCOUNTS.lock().unwrap();
+    let b = AUDIT.lock().unwrap();
+    let _ = (a, b);
+}
+
+fn review() {
+    let b = AUDIT.lock().unwrap();
+    let a = ACCOUNTS.lock().unwrap();
+    let _ = (a, b);
+}
+
+// Re-entry: std::sync::Mutex is not reentrant, so this path deadlocks on
+// its own.
+fn relock() {
+    let first = ACCOUNTS.lock().unwrap();
+    let second = ACCOUNTS.lock().unwrap();
+    let _ = (first, second);
+}

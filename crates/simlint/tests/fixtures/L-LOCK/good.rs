@@ -1,0 +1,39 @@
+//@ path: crates/x/src/lib.rs
+use std::sync::{Mutex, RwLock};
+
+static ACCOUNTS: Mutex<u32> = Mutex::new(0);
+static AUDIT: Mutex<u32> = Mutex::new(0);
+static INDEX: RwLock<u32> = RwLock::new(0);
+
+// One global order everywhere: no cycle.
+fn transfer() {
+    let a = ACCOUNTS.lock().unwrap();
+    let b = AUDIT.lock().unwrap();
+    let _ = (a, b);
+}
+
+fn review() {
+    let a = ACCOUNTS.lock().unwrap();
+    let b = AUDIT.lock().unwrap();
+    let _ = (a, b);
+}
+
+// Sequential re-acquisition is fine: the first guard dies (scope end,
+// statement end, or explicit drop) before the second begins.
+fn sequential() {
+    {
+        let g = ACCOUNTS.lock().unwrap();
+        let _ = g;
+    }
+    let h = ACCOUNTS.lock().unwrap();
+    drop(h);
+    let i = ACCOUNTS.lock().unwrap();
+    let _ = i;
+}
+
+// Shared read guards may overlap.
+fn readers() {
+    let a = INDEX.read().unwrap();
+    let b = INDEX.read().unwrap();
+    let _ = (a, b);
+}

@@ -1,0 +1,10 @@
+//@ path: crates/trace/src/verify.rs
+fn step(slots: &[u64], cursor: Option<usize>) -> u64 {
+    let idx = cursor.unwrap();
+    let val = slots[idx];
+    if val == 0 {
+        panic!("empty slot");
+    }
+    cursor.expect("checked above");
+    val
+}

@@ -1,0 +1,4 @@
+//@ path: crates/x/src/lib.rs
+fn backoff(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

@@ -1,0 +1,10 @@
+//@ path: crates/x/src/lib.rs
+// Simulated delay: schedule a calendar event instead of blocking the host.
+fn backoff(cal: &mut Calendar, at: u64) {
+    cal.schedule(at);
+}
+
+struct Calendar;
+impl Calendar {
+    fn schedule(&mut self, _at: u64) {}
+}

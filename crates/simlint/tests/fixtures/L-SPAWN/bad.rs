@@ -1,0 +1,19 @@
+//@ path: crates/machine/src/sched.rs
+fn fan_out(jobs: Vec<Job>) -> Vec<std::thread::JoinHandle<()>> {
+    jobs.into_iter()
+        .map(|job| std::thread::spawn(move || job.run()))
+        .collect()
+}
+
+fn scoped(jobs: &[Job]) {
+    std::thread::scope(|s| {
+        for job in jobs {
+            s.spawn(|| job.run());
+        }
+    });
+}
+
+struct Job;
+impl Job {
+    fn run(&self) {}
+}

@@ -1,0 +1,23 @@
+//@ path: crates/machine/src/sched.rs
+// Production code submits to the deterministic pool; raw spawns are fine
+// inside #[cfg(test)] harness code.
+fn fan_out(pool: &Pool, jobs: Vec<Job>) {
+    for job in jobs {
+        pool.submit(job);
+    }
+}
+
+struct Pool;
+struct Job;
+impl Pool {
+    fn submit(&self, _job: Job) {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_may_spawn() {
+        let h = std::thread::spawn(|| 1 + 1);
+        assert_eq!(h.join().unwrap(), 2);
+    }
+}

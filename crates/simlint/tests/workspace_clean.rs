@@ -1,0 +1,34 @@
+//! The workspace self-test: the whole repository must lint clean under the
+//! full ten-rule catalog, via the same engine path `xtask lint` uses
+//! (inline allows + the committed `lint.baseline.json`).
+//!
+//! This is the migrated successor of xtask's old `the_workspace_is_clean`
+//! test. If it fails, either fix the new hazard, annotate the site with a
+//! reasoned `lint:allow(rule): why`, or — for deliberate grandfathering —
+//! run `cargo run -p xtask -- lint --update-baseline` and review the diff.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_clean() {
+    // crates/simlint → two levels up is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/simlint sits two levels below the workspace root");
+    let report = simlint::lint_workspace(root).expect("lint runs");
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|d| format!("{d}\n    context: {}", d.context))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(
+        report.stale_baseline, 0,
+        "stale lint.baseline.json entries — prune with `cargo run -p xtask -- lint --update-baseline`"
+    );
+}

@@ -186,6 +186,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
             }
             TraceEvent::ThreadEnd { key, .. } => {
                 a.tick(*key);
+                // lint:allow(analyzer-panic): tick() above inserts the entry
                 let th = a.threads.get_mut(key).expect("ticked");
                 th.exited = true;
                 th.wait = None;
@@ -193,6 +194,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
             TraceEvent::CSwitch { new, .. } => {
                 if let Some(key) = new {
                     a.tick(*key);
+                    // lint:allow(analyzer-panic): tick() above inserts the entry
                     let th = a.threads.get_mut(key).expect("ticked");
                     // Dispatch closes a runnable wait; a blocking wait here
                     // is a stream defect verify reports — recover silently.
@@ -202,6 +204,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
             TraceEvent::WaitBegin { at, key, reason } => {
                 let idx = a.tick(*key);
                 if !reason.is_runnable() {
+                    // lint:allow(analyzer-panic): tick() above inserts the entry
                     a.threads.get_mut(key).expect("ticked").wait = Some((*reason, *at));
                 }
                 if let Some(id) = reason.event_id() {
@@ -216,6 +219,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
                         let gap_ok = a.threads[key]
                             .last_yield
                             .is_some_and(|t| *at - t <= a.opts.yield_storm_gap);
+                        // lint:allow(analyzer-panic): tick() above inserts the entry
                         let th = a.threads.get_mut(key).expect("ticked");
                         th.yields = if gap_ok { th.yields + 1 } else { 1 };
                         th.last_yield = Some(*at);
@@ -238,6 +242,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
                     }
                     WaitReason::Sleep | WaitReason::Event { .. } | WaitReason::Gpu { .. } => {
                         // A genuine block ends the spin run.
+                        // lint:allow(analyzer-panic): tick() above inserts the entry
                         let th = a.threads.get_mut(key).expect("ticked");
                         th.yields = 0;
                         th.last_yield = None;
@@ -253,6 +258,7 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
                 waker,
             } => {
                 let idx = a.tick(*key);
+                // lint:allow(analyzer-panic): tick() above inserts the entry
                 a.threads.get_mut(key).expect("ticked").wait = None;
                 if let Some(id) = reason.event_id() {
                     // FIFO overtake check: someone parked strictly earlier

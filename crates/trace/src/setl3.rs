@@ -319,6 +319,7 @@ fn string_index(strings: &[&str], s: &str) -> u64 {
     strings
         .iter()
         .position(|t| *t == s)
+        // lint:allow(analyzer-panic): the encoder interns every string before encoding events
         .expect("encoder interns every event string") as u64
 }
 
@@ -607,6 +608,7 @@ fn put_opt_key(out: &mut Vec<u8>, key: Option<ThreadKey>) {
     match key {
         None => put_uv(out, 0),
         Some(k) => {
+            // lint:allow(analyzer-panic): simulator thread keys never reach pid u64::MAX
             put_uv(out, k.pid.checked_add(1).expect("pid < u64::MAX"));
             put_uv(out, k.tid);
         }

@@ -584,15 +584,7 @@ impl Timeline {
         let _ = writeln!(
             out,
             "{:>4} {:>10} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6}  top wait",
-            "#",
-            "start_ms",
-            "width_ms",
-            "run",
-            "tlp",
-            "busy%",
-            "ready",
-            "gpu%",
-            "frames",
+            "#", "start_ms", "width_ms", "run", "tlp", "busy%", "ready", "gpu%", "frames",
         );
         for (i, b) in self.buckets.iter().enumerate() {
             let top = match b.dominant_wait() {

@@ -302,6 +302,7 @@ impl Verifier {
                 None
             }
             Some(th) if th.exited_at.is_some() => {
+                // lint:allow(analyzer-panic): the match guard just checked is_some()
                 let when = th.exited_at.expect("checked");
                 self.diag(
                     DiagCode::AfterExit,
