@@ -18,6 +18,7 @@
 //! tracetool export-chrome <trace.etl> <out.json>         # Perfetto timeline
 //! tracetool pack <trace.etl> <out.etl>                   # re-encode as compact SETL v3
 //! tracetool unpack <trace.etl> <out.etl>                 # re-encode as flat v2
+//! tracetool synth <events> <out.etl>                     # synthetic v3 stress trace
 //! ```
 //!
 //! Exit codes are uniform across subcommands so CI can gate on them:
@@ -30,12 +31,22 @@
 //! all through the streaming decoder, so checksums are still enforced.
 //! `timeline` streams the same way: both trace generations fold into the
 //! bucketed series without ever materializing the event vector.
+//!
+//! The analysis subcommands (`verify`, `tlp`, `latency`, `bottlenecks`,
+//! `critical-path`, `timeline`) accept a global `--analyzer-shards N`
+//! flag that routes them through the sharded streaming path: blocks of a
+//! revision-2 SETL v3 file decode in parallel on `N` workers (`0` = one
+//! per hardware thread) and fold into byte-identical reports. Sharding
+//! requires a blocked v3 file — flat v1/v2 traces and revision-1 streams
+//! exit 2 with a message pointing at `tracetool pack`.
 
 use etwtrace::{
     analysis, blame, chrome, critical, etl, export, hb, setl3, verify, EtlTrace, PidSet,
+    ShardedTrace,
 };
 use machine::{Machine, MachineConfig};
-use simcore::SimDuration;
+use parastat::ThreadPoolRunner;
+use simcore::{SimDuration, SimTime};
 use std::fs::File;
 use std::io::BufWriter;
 use workloads::{build, AppId, WorkloadOpts};
@@ -47,7 +58,8 @@ fn main() {
         std::path::PathBuf::from("target/flight-recorder/tracetool.json"),
         chrome::self_trace_json,
     );
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shards = take_shards(&mut args);
     match args.first().map(String::as_str) {
         Some("record") => {
             let [_, app, secs, out] = &args[..] else {
@@ -97,15 +109,34 @@ fn main() {
             let [_, path, prefix] = &args[..] else {
                 usage("tlp <trace.etl> <process-prefix>");
             };
-            let trace = read(path);
-            let filter = trace.pids_by_name(prefix);
-            if filter.is_empty() {
-                usage(&format!("no process matches `{prefix}`"));
+            let (profile, util, lat, sched, engines, filter);
+            if let Some(shards) = shards {
+                let runner = ThreadPoolRunner::new(shards);
+                let trace = read_sharded(path);
+                filter = sharded_filter(&trace, &runner, shards, prefix);
+                profile = analysis::concurrency_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                util = analysis::gpu_utilization_sharded(&trace, &filter, None, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                lat = analysis::scheduling_latency_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                sched = analysis::schedule_stats_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                engines =
+                    analysis::gpu_engine_breakdown_sharded(&trace, &filter, 0, &runner, shards)
+                        .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            } else {
+                let trace = read(path);
+                filter = trace.pids_by_name(prefix);
+                if filter.is_empty() {
+                    usage(&format!("no process matches `{prefix}`"));
+                }
+                profile = analysis::concurrency(&trace, &filter);
+                util = analysis::gpu_utilization(&trace, &filter, None);
+                lat = analysis::scheduling_latency(&trace, &filter);
+                sched = analysis::schedule_stats(&trace, &filter);
+                engines = analysis::gpu_engine_breakdown(&trace, &filter, 0);
             }
-            let profile = analysis::concurrency(&trace, &filter);
-            let util = analysis::gpu_utilization(&trace, &filter, None);
-            let lat = analysis::scheduling_latency(&trace, &filter);
-            let sched = analysis::schedule_stats(&trace, &filter);
             println!("processes        : {}", filter.len());
             println!("TLP              : {:.3}", profile.tlp());
             println!("max concurrency  : {}", profile.max_concurrency());
@@ -118,7 +149,6 @@ fn main() {
                 "run episodes     : {} (mean {:.2} ms, max {:.1} ms), {} migrations",
                 sched.episodes, sched.mean_slice_ms, sched.max_slice_ms, sched.migrations
             );
-            let engines = analysis::gpu_engine_breakdown(&trace, &filter, 0);
             if !engines.is_empty() {
                 let parts: Vec<String> = engines
                     .iter()
@@ -144,12 +174,20 @@ fn main() {
             let [_, path, prefix] = &args[..] else {
                 usage("latency <trace.etl> <process-prefix>");
             };
-            let trace = read(path);
-            let filter = trace.pids_by_name(prefix);
-            if filter.is_empty() {
-                usage(&format!("no process matches `{prefix}`"));
-            }
-            let lat = analysis::scheduling_latency(&trace, &filter);
+            let lat = if let Some(shards) = shards {
+                let runner = ThreadPoolRunner::new(shards);
+                let trace = read_sharded(path);
+                let filter = sharded_filter(&trace, &runner, shards, prefix);
+                analysis::scheduling_latency_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+            } else {
+                let trace = read(path);
+                let filter = trace.pids_by_name(prefix);
+                if filter.is_empty() {
+                    usage(&format!("no process matches `{prefix}`"));
+                }
+                analysis::scheduling_latency(&trace, &filter)
+            };
             println!("sched events     : {}", lat.count);
             println!("mean latency     : {:.1} µs", lat.mean_us);
             println!("p50 latency      : {:.1} µs", lat.p50_us);
@@ -158,18 +196,45 @@ fn main() {
             println!("max latency      : {:.1} µs", lat.max_us);
         }
         Some("bottlenecks") => {
-            let (trace, filter) = load_filtered(&args, "bottlenecks");
-            print!("{}", blame::blame(&trace, &filter).render());
+            if let Some(shards) = shards {
+                let (trace, filter, runner) = load_sharded_filtered(&args, "bottlenecks", shards);
+                let report = blame::blame_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
+                print!("{}", report.render());
+            } else {
+                let (trace, filter) = load_filtered(&args, "bottlenecks");
+                print!("{}", blame::blame(&trace, &filter).render());
+            }
         }
         Some("critical-path") => {
-            let (trace, filter) = load_filtered(&args, "critical-path");
-            print!("{}", critical::critical_path(&trace, &filter).render());
+            if let Some(shards) = shards {
+                let (trace, filter, runner) = load_sharded_filtered(&args, "critical-path", shards);
+                let report = critical::critical_path_sharded(&trace, &filter, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
+                print!("{}", report.render());
+            } else {
+                let (trace, filter) = load_filtered(&args, "critical-path");
+                print!("{}", critical::critical_path(&trace, &filter).render());
+            }
         }
         Some("verify") => {
-            let trace = load(&args, 2);
-            let report = verify::verify_trace(&trace);
+            let (report, causal);
+            if let Some(shards) = shards {
+                if args.len() != 2 {
+                    usage("verify <trace.etl>");
+                }
+                let runner = ThreadPoolRunner::new(shards);
+                let trace = read_sharded(&args[1]);
+                report = verify::verify_sharded(&trace, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
+                causal = hb::analyze_sharded(&trace, &hb::HbOptions::default(), &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
+            } else {
+                let trace = load(&args, 2);
+                report = verify::verify_trace(&trace);
+                causal = hb::analyze(&trace, &hb::HbOptions::default());
+            }
             print!("{}", report.render());
-            let causal = hb::analyze(&trace, &hb::HbOptions::default());
             print!("{}", causal.render());
             if !report.is_clean() || !causal.is_clean() {
                 std::process::exit(1);
@@ -199,9 +264,16 @@ fn main() {
             }
             let path =
                 path.unwrap_or_else(|| usage("timeline <trace.etl> [--buckets N] [--csv|--json]"));
-            let file = File::open(&path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
-            let tl = etwtrace::timeline::read_timeline(std::io::BufReader::new(file), buckets)
-                .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+            let tl = if let Some(shards) = shards {
+                let runner = ThreadPoolRunner::new(shards);
+                let trace = read_sharded(&path);
+                etwtrace::timeline::timeline_sharded(&trace, buckets, &runner, shards)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+            } else {
+                let file = File::open(&path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+                etwtrace::timeline::read_timeline(std::io::BufReader::new(file), buckets)
+                    .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+            };
             match format {
                 "csv" => print!("{}", tl.to_csv()),
                 "json" => println!("{}", tl.to_json()),
@@ -241,6 +313,17 @@ fn main() {
         }
         Some("pack") => recode(&args, "pack", setl3::write_setl3),
         Some("unpack") => recode(&args, "unpack", etl::write_etl),
+        Some("synth") => {
+            let [_, events, out] = &args[..] else {
+                usage("synth <events> <out.etl>");
+            };
+            let n: u64 = events
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| usage("synth needs a positive event count"));
+            synth(n, out);
+        }
         Some("export-cpu") => print!("{}", export::cpu_usage_precise(&load(&args, 2))),
         Some("export-gpu") => print!("{}", export::gpu_utilization_fm(&load(&args, 2))),
         Some("export-chrome") => {
@@ -289,6 +372,156 @@ fn recode(
             0.0
         }
     );
+}
+
+/// Strips a global `--analyzer-shards N` flag from anywhere on the command
+/// line. `Some(n)` routes supporting subcommands through the sharded
+/// streaming path; `0` resolves to one shard per hardware thread.
+fn take_shards(args: &mut Vec<String>) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--analyzer-shards")?;
+    let n = args
+        .get(i + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| usage("--analyzer-shards needs a non-negative integer"));
+    args.drain(i..i + 2);
+    Some(if n == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        n
+    })
+}
+
+/// Opens a blocked SETL v3 file for sharded analysis. Flat v1/v2 traces
+/// and revision-1 streams exit 2 here with a message naming the fix
+/// (`tracetool pack`).
+fn read_sharded(path: &str) -> ShardedTrace {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    ShardedTrace::from_bytes(bytes).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+}
+
+/// Resolves a process-prefix filter through the parallel sweep.
+fn sharded_filter(
+    trace: &ShardedTrace,
+    runner: &ThreadPoolRunner,
+    shards: usize,
+    prefix: &str,
+) -> PidSet {
+    let filter = trace
+        .pids_by_name(runner, shards, prefix)
+        .unwrap_or_else(|e| usage(&format!("{e}")));
+    if filter.is_empty() {
+        usage(&format!("no process matches `{prefix}`"));
+    }
+    filter
+}
+
+/// Sharded twin of [`load_filtered`].
+fn load_sharded_filtered(
+    args: &[String],
+    cmd: &str,
+    shards: usize,
+) -> (ShardedTrace, PidSet, ThreadPoolRunner) {
+    let [_, path, prefix] = args else {
+        usage(&format!("{cmd} <trace.etl> <process-prefix>"));
+    };
+    let runner = ThreadPoolRunner::new(shards);
+    let trace = read_sharded(path);
+    let filter = sharded_filter(&trace, &runner, shards, prefix);
+    (trace, filter, runner)
+}
+
+/// Writes a deterministic synthetic workload of exactly `n` events through
+/// the streaming v3 writer — memory stays flat however large `n` is, so CI
+/// can smoke-test the sharded analyzers on multi-million-event traces.
+///
+/// The signal chain is the bench suite's: 24 threads handing off through
+/// event waits at 1 ms rounds with periodic GPU submits, which keeps the
+/// trace verify-clean (exit 0 end to end).
+fn synth(n: u64, out: &str) {
+    const THREADS: u64 = 24;
+    let header = 1 + THREADS; // ProcessStart + ThreadStarts
+    let rounds = if n > header {
+        (n - header).div_ceil(4)
+    } else {
+        1
+    };
+    let gpu_submits = rounds.div_ceil(16);
+    let count = header + rounds * 4 + gpu_submits;
+    let key = |tid: u64| etwtrace::ThreadKey { pid: 1, tid };
+    let ms = |t: u64| SimTime::from_nanos(t * 1_000_000);
+    let names: Vec<String> = (0..THREADS).map(|t| format!("t{t}")).collect();
+    let mut strings: Vec<&str> = vec!["app.exe"];
+    strings.extend(names.iter().map(String::as_str));
+    // lint:allow(fs-write): streamed whole-file trace export to a
+    // user-chosen path; never consumed by the persistent store.
+    let file = File::create(out).unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+    let mut w = setl3::V3Writer::new(
+        BufWriter::new(file),
+        12,
+        ms(0),
+        ms(rounds + 1),
+        &strings,
+        count,
+    )
+    .unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+    let mut push = |ev: etwtrace::TraceEvent| {
+        w.push(&ev)
+            .unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+    };
+    push(etwtrace::TraceEvent::ProcessStart {
+        at: ms(0),
+        pid: 1,
+        name: "app.exe".into(),
+    });
+    for tid in 0..THREADS {
+        push(etwtrace::TraceEvent::ThreadStart {
+            at: ms(0),
+            key: key(tid),
+            name: names[tid as usize].clone(),
+        });
+    }
+    for r in 0..rounds {
+        let runner = r % THREADS;
+        let next = (r + 1) % THREADS;
+        push(etwtrace::TraceEvent::CSwitch {
+            at: ms(r),
+            cpu: (runner % 12) as usize,
+            old: None,
+            new: Some(key(runner)),
+            ready_since: Some(ms(r)),
+        });
+        push(etwtrace::TraceEvent::WaitBegin {
+            at: ms(r),
+            key: key(next),
+            reason: etwtrace::WaitReason::Event { id: next },
+        });
+        if r % 16 == 0 {
+            push(etwtrace::TraceEvent::GpuSubmit {
+                at: ms(r),
+                key: key(runner),
+                gpu: 0,
+                packet: r,
+            });
+        }
+        push(etwtrace::TraceEvent::WaitEnd {
+            at: ms(r + 1),
+            key: key(next),
+            reason: etwtrace::WaitReason::Event { id: next },
+            waker: Some(key(runner)),
+        });
+        push(etwtrace::TraceEvent::CSwitch {
+            at: ms(r + 1),
+            cpu: (runner % 12) as usize,
+            old: Some(key(runner)),
+            new: None,
+            ready_since: None,
+        });
+    }
+    w.finish().unwrap_or_else(|e| usage(&format!("{out}: {e}")));
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!("{count} events ({bytes} bytes) → {out}");
 }
 
 /// Parses `<cmd> <trace.etl> <process-prefix>` and resolves the filter.
@@ -371,7 +604,12 @@ fn usage_text() -> String {
         "       tracetool export-chrome <trace.etl> <out>    Perfetto timeline JSON",
         "       tracetool pack <trace.etl> <out.etl>         re-encode as compact SETL v3",
         "       tracetool unpack <trace.etl> <out.etl>       re-encode as flat SETL v2",
+        "       tracetool synth <events> <out.etl>           synthetic v3 stress trace",
         "       tracetool help                               this listing",
+        "",
+        "global: --analyzer-shards N  decode trace blocks on N workers (0 = all",
+        "        hardware threads) for verify/tlp/latency/bottlenecks/critical-path/",
+        "        timeline; needs a blocked v3 file (see `pack`), output is identical",
         "",
         "exit codes: 0 clean, 1 findings (verify diagnostics, diff regression),",
         "            2 usage error or corrupt input",

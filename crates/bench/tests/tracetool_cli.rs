@@ -55,6 +55,8 @@ fn help_lists_every_subcommand_on_stdout() {
         "export-chrome",
         "pack",
         "unpack",
+        "synth",
+        "--analyzer-shards",
     ] {
         assert!(stdout.contains(sub), "usage is missing `{sub}`:\n{stdout}");
     }
@@ -133,7 +135,10 @@ fn info_summarizes_both_container_generations() {
         "info on packed failed: {compact:?}"
     );
     let compact_out = String::from_utf8_lossy(&compact.stdout);
-    assert!(compact_out.contains("SETL3 r1 (compact)"), "{compact_out}");
+    assert!(
+        compact_out.contains("SETL3 r2 (compact, blocked)"),
+        "{compact_out}"
+    );
     assert!(compact_out.contains("string table  :"), "{compact_out}");
 
     // Same trace, so everything below the container line must agree.
@@ -252,6 +257,106 @@ fn diff_exit_codes_pin_the_regression_contract() {
     for p in [&etl, &base, &cur] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+#[test]
+fn analyzer_shards_match_serial_output_byte_for_byte() {
+    let etl = tmp("shards.etl");
+    let packed = tmp("shards-packed.etl");
+    let rec = tracetool(&["record", "vlc", "2", etl.to_str().unwrap()]);
+    assert!(rec.status.success(), "record failed: {rec:?}");
+    let pack = tracetool(&["pack", etl.to_str().unwrap(), packed.to_str().unwrap()]);
+    assert!(pack.status.success(), "pack failed: {pack:?}");
+
+    // Every analyzer subcommand must render the same bytes whether it
+    // materializes serially or shards the v3 blocks over a pool.
+    for (sub, prefix) in [
+        ("verify", None),
+        ("tlp", Some("vlc")),
+        ("latency", Some("vlc")),
+        ("bottlenecks", Some("vlc")),
+        ("critical-path", Some("vlc")),
+        ("timeline", None),
+    ] {
+        let mut argv = vec![sub, packed.to_str().unwrap()];
+        argv.extend(prefix);
+        let serial = tracetool(&argv);
+        assert!(serial.status.success(), "{sub} serial failed: {serial:?}");
+        for shards in ["1", "4"] {
+            let mut sharded_argv = vec!["--analyzer-shards", shards];
+            sharded_argv.extend(argv.iter().copied());
+            let sharded = tracetool(&sharded_argv);
+            assert!(
+                sharded.status.success(),
+                "{sub} at {shards} shards failed: {sharded:?}"
+            );
+            assert_eq!(
+                serial.stdout, sharded.stdout,
+                "`{sub}` output diverged at {shards} shards"
+            );
+        }
+    }
+
+    // A flat v1/v2 trace has no block index: the sharded path must refuse
+    // with a usage error (exit 2) and point at `pack` — never panic.
+    let flat = tracetool(&["--analyzer-shards", "4", "verify", etl.to_str().unwrap()]);
+    assert_eq!(flat.status.code(), Some(2), "{flat:?}");
+    let stderr = String::from_utf8_lossy(&flat.stderr);
+    assert!(stderr.contains("no block index"), "{stderr}");
+    assert!(stderr.contains("tracetool pack"), "{stderr}");
+
+    // Bad flag values are usage errors too.
+    let bad = tracetool(&[
+        "--analyzer-shards",
+        "zebra",
+        "verify",
+        packed.to_str().unwrap(),
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+
+    for p in [&etl, &packed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn synth_writes_a_verify_clean_v3_stream_of_the_exact_size() {
+    let out = tmp("synth.etl");
+    let gen = tracetool(&["synth", "100000", out.to_str().unwrap()]);
+    assert!(gen.status.success(), "synth failed: {gen:?}");
+    // The generator rounds the request up to whole handoff rounds and
+    // reports the exact count it wrote (status goes to stderr, like
+    // `record`).
+    let status_line = String::from_utf8_lossy(&gen.stderr);
+    let written: u64 = status_line
+        .split(" events")
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("synth must report its event count: {status_line}"));
+    assert!(written >= 100_000, "{status_line}");
+
+    let info = tracetool(&["info", out.to_str().unwrap()]);
+    assert!(info.status.success(), "{info:?}");
+    let info_out = String::from_utf8_lossy(&info.stdout);
+    assert!(
+        info_out.contains("SETL3 r2 (compact, blocked)"),
+        "synth must emit the blocked container: {info_out}"
+    );
+    assert!(info_out.contains(&written.to_string()), "{info_out}");
+
+    // The generated trace is clean under full verification, on both the
+    // materialized and the sharded path.
+    let ver = tracetool(&["verify", out.to_str().unwrap()]);
+    assert_eq!(ver.status.code(), Some(0), "{ver:?}");
+    let sharded = tracetool(&["--analyzer-shards", "4", "verify", out.to_str().unwrap()]);
+    assert_eq!(sharded.status.code(), Some(0), "{sharded:?}");
+    assert_eq!(ver.stdout, sharded.stdout);
+
+    // Zero or garbage counts are usage errors.
+    let zero = tracetool(&["synth", "0", out.to_str().unwrap()]);
+    assert_eq!(zero.status.code(), Some(2), "{zero:?}");
+
+    let _ = std::fs::remove_file(&out);
 }
 
 #[test]

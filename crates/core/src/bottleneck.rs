@@ -70,14 +70,22 @@ pub fn run_blame_for(ctx: &RunContext, apps: &[AppId], budget: Budget) -> Vec<Ap
             let iters = exp.budget.iterations;
             for _ in 0..iters {
                 let run = runs.next().expect("one run per requested iteration");
-                let cp = run.critical_path();
+                // `--analyzer-shards N` reroutes both analyses through the
+                // sharded streaming pipeline — same bytes, shard spans in
+                // the doctor report.
+                let shards = ctx.analyzer_shards();
+                let (blamed, cp) = if shards > 1 {
+                    run.sharded_bottleneck_analysis(&ctx.shard_runner(), shards)
+                } else {
+                    (run.blame(), run.critical_path())
+                };
                 tlp_sum += cp.measured_tlp;
                 bound = bound.max(cp.tlp_upper_bound);
                 if let Some(f) = cp.critical_fraction() {
                     frac_sum += f;
                     frac_count += 1;
                 }
-                for stat in run.blame().ranking {
+                for stat in blamed.ranking {
                     *lost.entry(stat.blocker).or_default() += stat.lost_core_ns;
                 }
             }

@@ -195,6 +195,38 @@ impl Runner for ThreadPoolRunner {
     }
 }
 
+/// The pool doubles as the worker set for sharded trace analysis: shard
+/// bodies are closures over `Sync` state (no `SingleRun` plumbing), so the
+/// same scoped-thread pattern applies directly. The analyzer merge step
+/// orders results by shard index, so — exactly as with [`Runner`] — worker
+/// scheduling can never leak into rendered output.
+impl etwtrace::shard::ShardRunner for ThreadPoolRunner {
+    fn run_shards(&self, shards: usize, f: &(dyn Fn(usize) + Sync)) {
+        if shards <= 1 {
+            for i in 0..shards {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..self.jobs.min(shards) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
+
+    fn width(&self) -> usize {
+        self.jobs
+    }
+}
+
 /// The memoizing execution front end: suite and figure builders submit
 /// [`RunRequest`]s here instead of driving machines themselves.
 ///
@@ -206,6 +238,8 @@ impl Runner for ThreadPoolRunner {
 /// trace memory matters.
 pub struct RunContext {
     runner: Box<dyn Runner>,
+    /// Shard count for streaming trace analysis (0 = pool width).
+    analyzer_shards: AtomicUsize,
     cache: Mutex<HashMap<RunKey, Arc<SingleRun>>>,
     store: Option<SimStore>,
     hits: AtomicU64,
@@ -241,6 +275,7 @@ impl RunContext {
     fn with_runner(runner: Box<dyn Runner>) -> RunContext {
         RunContext {
             runner,
+            analyzer_shards: AtomicUsize::new(0),
             cache: Mutex::new(HashMap::new()),
             store: None,
             hits: AtomicU64::new(0),
@@ -289,6 +324,28 @@ impl RunContext {
     /// Worker parallelism of the underlying runner.
     pub fn jobs(&self) -> usize {
         self.runner.jobs()
+    }
+
+    /// Sets the shard count for streaming trace analysis (`0` = pool
+    /// width). Sharding changes wall-clock only: every sharded analyzer is
+    /// bit-identical to its serial twin at any shard count.
+    pub fn set_analyzer_shards(&self, shards: usize) {
+        self.analyzer_shards.store(shards, Ordering::Relaxed);
+    }
+
+    /// Effective shard count for streaming trace analysis: the configured
+    /// knob, or the pool width when unset.
+    pub fn analyzer_shards(&self) -> usize {
+        match self.analyzer_shards.load(Ordering::Relaxed) {
+            0 => self.jobs(),
+            n => n,
+        }
+    }
+
+    /// The worker set sharded analyzers run on — the same pool width the
+    /// run batches use.
+    pub fn shard_runner(&self) -> ThreadPoolRunner {
+        ThreadPoolRunner::new(self.jobs())
     }
 
     /// Number of memoized runs currently held.
@@ -394,8 +451,35 @@ impl RunContext {
             return;
         }
         self.verify_findings.fetch_add(findings, Ordering::Relaxed);
-        let verified = etwtrace::verify::verify_trace(&run.trace);
-        let causal = etwtrace::hb::analyze(&run.trace, &etwtrace::HbOptions::default());
+        // `--analyzer-shards N` reroutes the re-verification through the
+        // sharded streaming pipeline; the rendered diagnostics are
+        // bit-identical either way.
+        let shards = self.analyzer_shards();
+        let (verified, causal) = if shards > 1 {
+            // lint:allow(analyzer-panic): a just-sealed trace always
+            // re-encodes into an indexable v3 stream.
+            let sharded = etwtrace::ShardedTrace::from_bytes(etwtrace::setl3::encode(&run.trace))
+                .expect("fresh v3 encode is indexable");
+            let runner = self.shard_runner();
+            (
+                // lint:allow(analyzer-panic): in-memory shards cannot fail I/O.
+                etwtrace::verify::verify_sharded(&sharded, &runner, shards)
+                    .expect("in-memory sharded fold cannot fail I/O"),
+                // lint:allow(analyzer-panic): in-memory shards cannot fail I/O.
+                etwtrace::hb::analyze_sharded(
+                    &sharded,
+                    &etwtrace::HbOptions::default(),
+                    &runner,
+                    shards,
+                )
+                .expect("in-memory sharded fold cannot fail I/O"),
+            )
+        } else {
+            (
+                etwtrace::verify::verify_trace(&run.trace),
+                etwtrace::hb::analyze(&run.trace, &etwtrace::HbOptions::default()),
+            )
+        };
         let mut report = format!("{label}:\n{}", verified.render());
         if !causal.is_clean() {
             report.push_str(&causal.render());

@@ -221,47 +221,85 @@ impl GpuUtil {
 /// `filter` restricts to packets submitted by those processes (pass the
 /// application's [`PidSet`]); `gpu` restricts to one device (`None` = all).
 pub fn gpu_utilization(trace: &EtlTrace, filter: &PidSet, gpu: Option<usize>) -> GpuUtil {
-    let window = trace.window().as_secs_f64();
-    if window <= 0.0 {
-        return GpuUtil {
-            busy_frac: 0.0,
-            sum_frac: 0.0,
-            mean_outstanding: 0.0,
-        };
-    }
-    let mut outstanding = 0i64;
-    let mut cursor = trace.start();
-    let mut busy = 0.0f64;
-    let mut sum = 0.0f64;
+    let mut fold = GpuUtilFold::new(filter, gpu, trace.start(), trace.end());
     for ev in trace.events() {
+        fold.push(ev);
+    }
+    fold.finish()
+}
+
+/// The event-at-a-time fold behind [`gpu_utilization`], shared verbatim by
+/// the materialized and sharded paths so both produce bit-identical floats
+/// (same accumulation order over the same event sequence).
+struct GpuUtilFold<'a> {
+    filter: &'a PidSet,
+    gpu: Option<usize>,
+    start: SimTime,
+    end: SimTime,
+    outstanding: i64,
+    cursor: SimTime,
+    busy: f64,
+    sum: f64,
+}
+
+impl<'a> GpuUtilFold<'a> {
+    fn new(filter: &'a PidSet, gpu: Option<usize>, start: SimTime, end: SimTime) -> Self {
+        GpuUtilFold {
+            filter,
+            gpu,
+            start,
+            end,
+            outstanding: 0,
+            cursor: start,
+            busy: 0.0,
+            sum: 0.0,
+        }
+    }
+
+    fn push(&mut self, ev: &TraceEvent) {
         let (at, delta) = match ev {
             TraceEvent::GpuStart {
                 at, gpu: g, pid, ..
-            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, 1),
+            } if self.filter.contains(*pid) && self.gpu.is_none_or(|want| want == *g) => (*at, 1),
             TraceEvent::GpuEnd {
                 at, gpu: g, pid, ..
-            } if filter.contains(*pid) && gpu.is_none_or(|want| want == *g) => (*at, -1),
-            _ => continue,
+            } if self.filter.contains(*pid) && self.gpu.is_none_or(|want| want == *g) => (*at, -1),
+            _ => return,
         };
-        let at = at.max(trace.start()).min(trace.end());
-        let dt = at.saturating_since(cursor).as_secs_f64();
-        if outstanding > 0 {
-            busy += dt;
-            sum += outstanding as f64 * dt;
+        let at = at.max(self.start).min(self.end);
+        let dt = at.saturating_since(self.cursor).as_secs_f64();
+        if self.outstanding > 0 {
+            self.busy += dt;
+            self.sum += self.outstanding as f64 * dt;
         }
-        cursor = at;
-        outstanding += delta;
-        debug_assert!(outstanding >= 0, "GpuEnd without matching GpuStart");
+        self.cursor = at;
+        self.outstanding += delta;
+        debug_assert!(self.outstanding >= 0, "GpuEnd without matching GpuStart");
     }
-    let dt = trace.end().saturating_since(cursor).as_secs_f64();
-    if outstanding > 0 {
-        busy += dt;
-        sum += outstanding as f64 * dt;
-    }
-    GpuUtil {
-        busy_frac: busy / window,
-        sum_frac: sum / window,
-        mean_outstanding: if busy > 0.0 { sum / busy } else { 0.0 },
+
+    fn finish(mut self) -> GpuUtil {
+        let window = (self.end - self.start).as_secs_f64();
+        if window <= 0.0 {
+            return GpuUtil {
+                busy_frac: 0.0,
+                sum_frac: 0.0,
+                mean_outstanding: 0.0,
+            };
+        }
+        let dt = self.end.saturating_since(self.cursor).as_secs_f64();
+        if self.outstanding > 0 {
+            self.busy += dt;
+            self.sum += self.outstanding as f64 * dt;
+        }
+        GpuUtil {
+            busy_frac: self.busy / window,
+            sum_frac: self.sum / window,
+            mean_outstanding: if self.busy > 0.0 {
+                self.sum / self.busy
+            } else {
+                0.0
+            },
+        }
     }
 }
 
@@ -352,51 +390,79 @@ pub struct ScheduleStats {
 
 /// Computes run-episode lengths and cross-CPU migrations for `filter`.
 pub fn schedule_stats(trace: &EtlTrace, filter: &PidSet) -> ScheduleStats {
-    use std::collections::HashMap;
-    let mut on_cpu: HashMap<(u64, u64), (usize, SimTime)> = HashMap::new();
-    let mut last_cpu: HashMap<(u64, u64), usize> = HashMap::new();
-    let mut episodes = 0u64;
-    let mut total = 0.0f64;
-    let mut max = 0.0f64;
-    let mut migrations = 0u64;
+    let mut fold = ScheduleStatsFold::new(filter);
     for ev in trace.events() {
+        fold.push(ev);
+    }
+    fold.finish()
+}
+
+/// The fold behind [`schedule_stats`] — shared by the materialized and
+/// sharded paths (see [`GpuUtilFold`] for the determinism argument).
+struct ScheduleStatsFold<'a> {
+    filter: &'a PidSet,
+    on_cpu: std::collections::HashMap<(u64, u64), (usize, SimTime)>,
+    last_cpu: std::collections::HashMap<(u64, u64), usize>,
+    episodes: u64,
+    total: f64,
+    max: f64,
+    migrations: u64,
+}
+
+impl<'a> ScheduleStatsFold<'a> {
+    fn new(filter: &'a PidSet) -> Self {
+        ScheduleStatsFold {
+            filter,
+            on_cpu: std::collections::HashMap::new(),
+            last_cpu: std::collections::HashMap::new(),
+            episodes: 0,
+            total: 0.0,
+            max: 0.0,
+            migrations: 0,
+        }
+    }
+
+    fn push(&mut self, ev: &TraceEvent) {
         if let TraceEvent::CSwitch {
             at, cpu, old, new, ..
         } = ev
         {
             if let Some(k) = old {
-                if filter.contains(k.pid) {
-                    if let Some((start_cpu, since)) = on_cpu.remove(&(k.pid, k.tid)) {
+                if self.filter.contains(k.pid) {
+                    if let Some((start_cpu, since)) = self.on_cpu.remove(&(k.pid, k.tid)) {
                         debug_assert_eq!(start_cpu, *cpu);
                         let ms = at.saturating_since(since).as_secs_f64() * 1e3;
-                        episodes += 1;
-                        total += ms;
-                        max = max.max(ms);
+                        self.episodes += 1;
+                        self.total += ms;
+                        self.max = self.max.max(ms);
                     }
                 }
             }
             if let Some(k) = new {
-                if filter.contains(k.pid) {
-                    if let Some(&prev) = last_cpu.get(&(k.pid, k.tid)) {
+                if self.filter.contains(k.pid) {
+                    if let Some(&prev) = self.last_cpu.get(&(k.pid, k.tid)) {
                         if prev != *cpu {
-                            migrations += 1;
+                            self.migrations += 1;
                         }
                     }
-                    last_cpu.insert((k.pid, k.tid), *cpu);
-                    on_cpu.insert((k.pid, k.tid), (*cpu, *at));
+                    self.last_cpu.insert((k.pid, k.tid), *cpu);
+                    self.on_cpu.insert((k.pid, k.tid), (*cpu, *at));
                 }
             }
         }
     }
-    ScheduleStats {
-        episodes,
-        mean_slice_ms: if episodes > 0 {
-            total / episodes as f64
-        } else {
-            0.0
-        },
-        max_slice_ms: max,
-        migrations,
+
+    fn finish(self) -> ScheduleStats {
+        ScheduleStats {
+            episodes: self.episodes,
+            mean_slice_ms: if self.episodes > 0 {
+                self.total / self.episodes as f64
+            } else {
+                0.0
+            },
+            max_slice_ms: self.max,
+            migrations: self.migrations,
+        }
     }
 }
 
@@ -404,12 +470,39 @@ pub fn schedule_stats(trace: &EtlTrace, filter: &PidSet) -> ScheduleStats {
 /// utilization into 3D/compute queues vs the fixed-function encoder
 /// (`u32::MAX` engine id), the way WPA's GPU view groups by node.
 pub fn gpu_engine_breakdown(trace: &EtlTrace, filter: &PidSet, gpu: usize) -> Vec<(u32, f64)> {
-    use std::collections::BTreeMap;
-    let window = trace.window().as_secs_f64();
-    let mut outstanding: BTreeMap<u32, i64> = BTreeMap::new();
-    let mut busy: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut cursor = trace.start();
+    let mut fold = EngineFold::new(filter, gpu, trace.start(), trace.end());
     for ev in trace.events() {
+        fold.push(ev);
+    }
+    fold.finish()
+}
+
+/// The fold behind [`gpu_engine_breakdown`] — shared by the materialized
+/// and sharded paths (see [`GpuUtilFold`] for the determinism argument).
+struct EngineFold<'a> {
+    filter: &'a PidSet,
+    gpu: usize,
+    start: SimTime,
+    end: SimTime,
+    outstanding: std::collections::BTreeMap<u32, i64>,
+    busy: std::collections::BTreeMap<u32, f64>,
+    cursor: SimTime,
+}
+
+impl<'a> EngineFold<'a> {
+    fn new(filter: &'a PidSet, gpu: usize, start: SimTime, end: SimTime) -> Self {
+        EngineFold {
+            filter,
+            gpu,
+            start,
+            end,
+            outstanding: std::collections::BTreeMap::new(),
+            busy: std::collections::BTreeMap::new(),
+            cursor: start,
+        }
+    }
+
+    fn push(&mut self, ev: &TraceEvent) {
         let (at, engine, delta) = match ev {
             TraceEvent::GpuStart {
                 at,
@@ -417,34 +510,39 @@ pub fn gpu_engine_breakdown(trace: &EtlTrace, filter: &PidSet, gpu: usize) -> Ve
                 engine,
                 pid,
                 ..
-            } if *g == gpu && filter.contains(*pid) => (*at, *engine, 1),
+            } if *g == self.gpu && self.filter.contains(*pid) => (*at, *engine, 1),
             TraceEvent::GpuEnd {
                 at,
                 gpu: g,
                 engine,
                 pid,
                 ..
-            } if *g == gpu && filter.contains(*pid) => (*at, *engine, -1),
-            _ => continue,
+            } if *g == self.gpu && self.filter.contains(*pid) => (*at, *engine, -1),
+            _ => return,
         };
-        let dt = at.saturating_since(cursor).as_secs_f64();
-        for (&e, &n) in &outstanding {
+        let dt = at.saturating_since(self.cursor).as_secs_f64();
+        for (&e, &n) in &self.outstanding {
             if n > 0 {
-                *busy.entry(e).or_default() += dt;
+                *self.busy.entry(e).or_default() += dt;
             }
         }
-        cursor = at;
-        *outstanding.entry(engine).or_default() += delta;
+        self.cursor = at;
+        *self.outstanding.entry(engine).or_default() += delta;
     }
-    let dt = trace.end().saturating_since(cursor).as_secs_f64();
-    for (&e, &n) in &outstanding {
-        if n > 0 {
-            *busy.entry(e).or_default() += dt;
+
+    fn finish(mut self) -> Vec<(u32, f64)> {
+        let window = (self.end - self.start).as_secs_f64();
+        let dt = self.end.saturating_since(self.cursor).as_secs_f64();
+        for (&e, &n) in &self.outstanding {
+            if n > 0 {
+                *self.busy.entry(e).or_default() += dt;
+            }
         }
+        self.busy
+            .into_iter()
+            .map(|(e, b)| (e, if window > 0.0 { b / window } else { 0.0 }))
+            .collect()
     }
-    busy.into_iter()
-        .map(|(e, b)| (e, if window > 0.0 { b / window } else { 0.0 }))
-        .collect()
 }
 
 /// Per-process resource summary — a Task-Manager-style view of one trace.
@@ -564,8 +662,29 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 
 /// Computes ready→switch-in latency over the filtered processes.
 pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
-    let mut delays: Vec<f64> = Vec::new();
+    let mut fold = LatencyFold::new(filter);
     for ev in trace.events() {
+        fold.push(ev);
+    }
+    fold.finish()
+}
+
+/// The fold behind [`scheduling_latency`] — shared by the materialized and
+/// sharded paths (see [`GpuUtilFold`] for the determinism argument).
+struct LatencyFold<'a> {
+    filter: &'a PidSet,
+    delays: Vec<f64>,
+}
+
+impl<'a> LatencyFold<'a> {
+    fn new(filter: &'a PidSet) -> Self {
+        LatencyFold {
+            filter,
+            delays: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, ev: &TraceEvent) {
         if let TraceEvent::CSwitch {
             at,
             new: Some(key),
@@ -573,35 +692,40 @@ pub fn scheduling_latency(trace: &EtlTrace, filter: &PidSet) -> LatencyStats {
             ..
         } = ev
         {
-            if filter.contains(key.pid) {
-                delays.push(at.saturating_since(*ready).as_nanos() as f64 / 1e3);
+            if self.filter.contains(key.pid) {
+                self.delays
+                    .push(at.saturating_since(*ready).as_nanos() as f64 / 1e3);
             }
         }
     }
-    if delays.is_empty() {
-        return LatencyStats {
-            count: 0,
-            mean_us: 0.0,
-            p50_us: 0.0,
-            p95_us: 0.0,
-            p99_us: 0.0,
-            max_us: 0.0,
-        };
-    }
-    delays.sort_by(|a, b| a.total_cmp(b));
-    let count = delays.len() as u64;
-    let mean_us = delays.iter().sum::<f64>() / delays.len() as f64;
-    let p50_us = quantile(&delays, 0.50);
-    let p95_us = quantile(&delays, 0.95);
-    let p99_us = quantile(&delays, 0.99);
-    let max_us = *delays.last().expect("non-empty");
-    LatencyStats {
-        count,
-        mean_us,
-        p50_us,
-        p95_us,
-        p99_us,
-        max_us,
+
+    fn finish(mut self) -> LatencyStats {
+        if self.delays.is_empty() {
+            return LatencyStats {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+            };
+        }
+        self.delays.sort_by(|a, b| a.total_cmp(b));
+        let count = self.delays.len() as u64;
+        let mean_us = self.delays.iter().sum::<f64>() / self.delays.len() as f64;
+        let p50_us = quantile(&self.delays, 0.50);
+        let p95_us = quantile(&self.delays, 0.95);
+        let p99_us = quantile(&self.delays, 0.99);
+        // lint:allow(analyzer-panic): the empty case returned above
+        let max_us = *self.delays.last().expect("non-empty");
+        LatencyStats {
+            count,
+            mean_us,
+            p50_us,
+            p95_us,
+            p99_us,
+            max_us,
+        }
     }
 }
 
@@ -633,13 +757,333 @@ pub fn fps_series(trace: &EtlTrace, pid: Option<u64>, bin: SimDuration) -> Serie
     out
 }
 
+// ---------------------------------------------------------------------------
+// Sharded streaming variants (zero-copy, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+use crate::shard::{ShardRunner, ShardedTrace};
+use std::io;
+
+/// Per-shard partial of the concurrency replay: epoch durations keyed by
+/// (untouched-CPU mask, locally-known running count), plus the boundary
+/// data the merge needs. A CPU is "untouched" until the shard's first
+/// `CSwitch` on it; until then its occupant — and whether it counts toward
+/// the running total — is only known at merge time, when the previous
+/// shards have resolved it.
+struct TlpShard {
+    /// `(mask, known) → accumulated duration`. `mask` has bit `c` set while
+    /// CPU `c` is still untouched; `known` is the filtered-running count
+    /// over touched CPUs. The true running count for every nanosecond in
+    /// the epoch is `known + |{c ∈ mask : boundary occupant filtered}|`.
+    epochs: std::collections::BTreeMap<(u128, usize), SimDuration>,
+    /// Clamped time of the shard's first `CSwitch`, if any.
+    first_at: Option<SimTime>,
+    /// Clamped time of the shard's last `CSwitch`.
+    last_at: SimTime,
+    /// Occupancy after the shard, per CPU: `None` = untouched.
+    per_cpu: Vec<Option<Option<u64>>>,
+}
+
+/// The sharded twin of [`concurrency`]: per-shard partials on `runner`,
+/// merged deterministically in shard order. Output is **bit-identical** to
+/// the serial replay at any shard count: histogram bins are integer
+/// [`SimDuration`] sums, addition is associative, and every interval is
+/// charged to exactly the running count the serial replay would compute —
+/// locally-known occupancy plus the merge-resolved boundary occupancy of
+/// CPUs the shard had not yet touched.
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn concurrency_sharded(
+    trace: &ShardedTrace,
+    filter: &PidSet,
+    runner: &dyn ShardRunner,
+    shards: usize,
+) -> io::Result<ConcurrencyProfile> {
+    let mut sp = simobs::span::span("analyzer", "tlp");
+    sp.add_events(trace.count());
+    let n = trace.n_logical_cpus();
+    let (start, end) = (trace.start(), trace.end());
+
+    if n > 127 {
+        // The merge tracks untouched CPUs in a u128 mask; wider machines
+        // take the ordered streaming fold instead (identical output, blocks
+        // still decode in parallel, no partial merge).
+        let mut hist = Histogram::new(n);
+        let mut per_cpu: Vec<Option<u64>> = vec![None; n];
+        let mut running = 0usize;
+        let mut cursor = start;
+        trace.fold_events(runner, shards, |ev| {
+            if let TraceEvent::CSwitch {
+                at, cpu, old, new, ..
+            } = ev
+            {
+                let at = (*at).max(start).min(end);
+                hist.add(running, at.saturating_since(cursor));
+                cursor = at;
+                debug_assert!(*cpu < n, "CSwitch on disabled cpu {cpu}");
+                if let Some(prev) = per_cpu[*cpu] {
+                    debug_assert_eq!(Some(prev), old.map(|k| k.pid), "cswitch old mismatch");
+                    if filter.contains(prev) {
+                        running -= 1;
+                    }
+                }
+                per_cpu[*cpu] = new.map(|k| k.pid);
+                if let Some(next) = per_cpu[*cpu] {
+                    if filter.contains(next) {
+                        running += 1;
+                    }
+                }
+            }
+        })?;
+        hist.add(running, end.saturating_since(cursor));
+        return Ok(ConcurrencyProfile {
+            histogram: hist,
+            n_logical: n,
+        });
+    }
+
+    // Map: fold each contiguous block range into a TlpShard partial.
+    let partials = trace.map_block_ranges(runner, shards, |_, range| {
+        let mut shard = TlpShard {
+            epochs: std::collections::BTreeMap::new(),
+            first_at: None,
+            last_at: start,
+            per_cpu: vec![None; n],
+        };
+        let mut mask: u128 = if n == 0 { 0 } else { (1u128 << n) - 1 };
+        let mut known = 0usize;
+        for b in range {
+            let mut c = trace.cursor(b)?;
+            while let Some(ev) = c.next_event()? {
+                let TraceEvent::CSwitch { at, cpu, new, .. } = ev else {
+                    continue;
+                };
+                let at = at.max(start).min(end);
+                match shard.first_at {
+                    None => shard.first_at = Some(at),
+                    Some(_) => {
+                        *shard.epochs.entry((mask, known)).or_default() +=
+                            at.saturating_since(shard.last_at);
+                    }
+                }
+                shard.last_at = at;
+                match shard.per_cpu[cpu] {
+                    None => mask &= !(1u128 << cpu),
+                    Some(prev) => {
+                        if prev.is_some_and(|p| filter.contains(p)) {
+                            known -= 1;
+                        }
+                    }
+                }
+                let occupant = new.map(|k| k.pid);
+                shard.per_cpu[cpu] = Some(occupant);
+                if occupant.is_some_and(|p| filter.contains(p)) {
+                    known += 1;
+                }
+            }
+        }
+        Ok(shard)
+    })?;
+
+    // Merge, in shard order: resolve each epoch's unknown CPUs against the
+    // boundary occupancy carried forward from earlier shards, and charge
+    // the inter-shard gap at the boundary running count — exactly the
+    // interval the serial replay charges between the two events.
+    let mut hist = Histogram::new(n);
+    let mut boundary: Vec<Option<u64>> = vec![None; n];
+    let mut running = 0usize;
+    let mut cursor = start;
+    for s in &partials {
+        let Some(first) = s.first_at else { continue };
+        hist.add(running, first.saturating_since(cursor));
+        for (&(mask, known), &dt) in &s.epochs {
+            let unresolved = (0..n)
+                .filter(|&c| mask & (1u128 << c) != 0)
+                .filter(|&c| boundary[c].is_some_and(|p| filter.contains(p)))
+                .count();
+            hist.add(known + unresolved, dt);
+        }
+        for (c, slot) in s.per_cpu.iter().enumerate() {
+            if let Some(occupant) = slot {
+                boundary[c] = *occupant;
+            }
+        }
+        running = boundary
+            .iter()
+            .filter(|p| p.is_some_and(|q| filter.contains(q)))
+            .count();
+        cursor = s.last_at;
+    }
+    hist.add(running, end.saturating_since(cursor));
+    Ok(ConcurrencyProfile {
+        histogram: hist,
+        n_logical: n,
+    })
+}
+
+/// Sharded twin of [`gpu_utilization`]: blocks decode in parallel, the fold
+/// runs in trace order — bit-identical output.
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn gpu_utilization_sharded(
+    trace: &ShardedTrace,
+    filter: &PidSet,
+    gpu: Option<usize>,
+    runner: &dyn ShardRunner,
+    shards: usize,
+) -> io::Result<GpuUtil> {
+    let mut fold = GpuUtilFold::new(filter, gpu, trace.start(), trace.end());
+    trace.fold_events(runner, shards, |ev| fold.push(ev))?;
+    Ok(fold.finish())
+}
+
+/// Sharded twin of [`schedule_stats`] (see [`gpu_utilization_sharded`]).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn schedule_stats_sharded(
+    trace: &ShardedTrace,
+    filter: &PidSet,
+    runner: &dyn ShardRunner,
+    shards: usize,
+) -> io::Result<ScheduleStats> {
+    let mut fold = ScheduleStatsFold::new(filter);
+    trace.fold_events(runner, shards, |ev| fold.push(ev))?;
+    Ok(fold.finish())
+}
+
+/// Sharded twin of [`gpu_engine_breakdown`] (see [`gpu_utilization_sharded`]).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn gpu_engine_breakdown_sharded(
+    trace: &ShardedTrace,
+    filter: &PidSet,
+    gpu: usize,
+    runner: &dyn ShardRunner,
+    shards: usize,
+) -> io::Result<Vec<(u32, f64)>> {
+    let mut fold = EngineFold::new(filter, gpu, trace.start(), trace.end());
+    trace.fold_events(runner, shards, |ev| fold.push(ev))?;
+    Ok(fold.finish())
+}
+
+/// Sharded twin of [`scheduling_latency`] (see [`gpu_utilization_sharded`]).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn scheduling_latency_sharded(
+    trace: &ShardedTrace,
+    filter: &PidSet,
+    runner: &dyn ShardRunner,
+    shards: usize,
+) -> io::Result<LatencyStats> {
+    let mut fold = LatencyFold::new(filter);
+    trace.fold_events(runner, shards, |ev| fold.push(ev))?;
+    Ok(fold.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::{ThreadKey, TraceBuilder};
+    use crate::shard::SerialShards;
 
     fn key(pid: u64, tid: u64) -> ThreadKey {
         ThreadKey { pid, tid }
+    }
+
+    /// A multi-block trace with cross-shard CPU occupancy: threads of two
+    /// processes trade 4 CPUs, with long stretches where some CPUs see no
+    /// switch at all (the "untouched at shard start" case the merge must
+    /// resolve against earlier shards).
+    fn busy_trace() -> EtlTrace {
+        let n_events = (crate::setl3::BLOCK_RECORDS * 3 + 500) as usize;
+        let mut b = TraceBuilder::new(4);
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 1,
+            name: "app.exe".into(),
+        });
+        b.push(TraceEvent::ProcessStart {
+            at: SimTime::ZERO,
+            pid: 2,
+            name: "other.exe".into(),
+        });
+        let mut occupant: [Option<ThreadKey>; 4] = [None; 4];
+        for i in 0..n_events {
+            let at = SimTime::from_nanos(i as u64 * 700 + 1);
+            // Skew toward CPUs 0/1 so CPUs 2/3 stay untouched across whole
+            // shards; alternate pids so the filter matters.
+            let cpu = match i % 11 {
+                0..=4 => 0,
+                5..=8 => 1,
+                9 => 2,
+                _ => 3,
+            };
+            let next = match i % 3 {
+                0 => Some(key(1, 10 + (i % 5) as u64)),
+                1 => Some(key(2, 20)),
+                _ => None,
+            };
+            b.push(TraceEvent::CSwitch {
+                at,
+                cpu,
+                old: occupant[cpu],
+                new: next,
+                ready_since: if i % 4 == 0 { Some(at) } else { None },
+            });
+            occupant[cpu] = next;
+        }
+        b.finish(
+            SimTime::ZERO,
+            SimTime::from_nanos(n_events as u64 * 700 + 5000),
+        )
+    }
+
+    #[test]
+    fn sharded_concurrency_is_bit_identical_to_serial() {
+        let trace = busy_trace();
+        let sharded = ShardedTrace::from_bytes(crate::setl3::encode(&trace)).unwrap();
+        for filter in [
+            trace.pids_by_name("app"),
+            trace.pids_by_name("other"),
+            trace.all_pids(),
+            PidSet::new(),
+        ] {
+            let serial = concurrency(&trace, &filter);
+            for shards in [1usize, 2, 3, 4, 7] {
+                let got = concurrency_sharded(&sharded, &filter, &SerialShards, shards).unwrap();
+                assert_eq!(serial, got, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stat_folds_are_bit_identical_to_serial() {
+        let trace = busy_trace();
+        let sharded = ShardedTrace::from_bytes(crate::setl3::encode(&trace)).unwrap();
+        let filter = trace.pids_by_name("app");
+        for shards in [1usize, 4] {
+            assert_eq!(
+                gpu_utilization(&trace, &filter, None),
+                gpu_utilization_sharded(&sharded, &filter, None, &SerialShards, shards).unwrap()
+            );
+            assert_eq!(
+                schedule_stats(&trace, &filter),
+                schedule_stats_sharded(&sharded, &filter, &SerialShards, shards).unwrap()
+            );
+            assert_eq!(
+                gpu_engine_breakdown(&trace, &filter, 0),
+                gpu_engine_breakdown_sharded(&sharded, &filter, 0, &SerialShards, shards).unwrap()
+            );
+            assert_eq!(
+                scheduling_latency(&trace, &filter),
+                scheduling_latency_sharded(&sharded, &filter, &SerialShards, shards).unwrap()
+            );
+        }
     }
 
     fn sw(at_ms: u64, cpu: usize, old: Option<ThreadKey>, new: Option<ThreadKey>) -> TraceEvent {

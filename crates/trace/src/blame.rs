@@ -204,12 +204,72 @@ enum St {
 pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
     let mut sp = simobs::span::span("analyzer", "blame");
     sp.add_events(trace.events().len() as u64);
-    let n_logical = trace.n_logical_cpus();
-    // Pre-pass 1: packet → engine, from the device's execution records.
-    let mut engines: BTreeMap<(u32, u64), u32> = BTreeMap::new();
-    // Pre-pass 2: how often each thread ended a wait on each blocker.
-    let mut wakers: BTreeMap<Blocker, BTreeMap<ThreadKey, u64>> = BTreeMap::new();
+    let mut fold = BlameFold::new(trace.n_logical_cpus(), trace.start().as_nanos(), filter);
     for ev in trace.events() {
+        fold.prepass(ev);
+    }
+    for ev in trace.events() {
+        fold.replay(ev);
+    }
+    fold.finish(trace.end().as_nanos(), trace.window().as_nanos())
+}
+
+/// Same attribution, streamed twice over a blocked v3 trace without
+/// materializing the event vector.
+///
+/// Blame needs two passes over the events (the engine/waker pre-pass must
+/// complete before the replay can attribute GPU waits), so this decodes the
+/// blocks in parallel on `runner` twice and folds each pass in block order —
+/// the fold code is shared with [`blame`], so the report is byte-identical.
+pub fn blame_sharded(
+    trace: &crate::shard::ShardedTrace,
+    filter: &PidSet,
+    runner: &dyn crate::shard::ShardRunner,
+    shards: usize,
+) -> std::io::Result<BlameReport> {
+    let mut sp = simobs::span::span("analyzer", "blame");
+    sp.add_events(trace.count() * 2);
+    let mut fold = BlameFold::new(trace.n_logical_cpus(), trace.start().as_nanos(), filter);
+    trace.fold_events(runner, shards, |ev| fold.prepass(ev))?;
+    trace.fold_events(runner, shards, |ev| fold.replay(ev))?;
+    Ok(fold.finish(trace.end().as_nanos(), trace.window().as_nanos()))
+}
+
+/// The two blame passes as incremental folds, shared verbatim by the
+/// materialized and sharded entry points.
+struct BlameFold<'a> {
+    filter: &'a PidSet,
+    n_logical: usize,
+    /// Pre-pass 1: packet → engine, from the device's execution records.
+    engines: BTreeMap<(u32, u64), u32>,
+    /// Pre-pass 2: how often each thread ended a wait on each blocker.
+    wakers: BTreeMap<Blocker, BTreeMap<ThreadKey, u64>>,
+    rp: Replay,
+}
+
+impl<'a> BlameFold<'a> {
+    fn new(n_logical: usize, start_ns: u64, filter: &'a PidSet) -> Self {
+        BlameFold {
+            filter,
+            n_logical,
+            engines: BTreeMap::new(),
+            wakers: BTreeMap::new(),
+            rp: Replay {
+                n_logical: n_logical as u64,
+                threads: BTreeMap::new(),
+                breakdown: BTreeMap::new(),
+                blocked: BTreeMap::new(),
+                lost: BTreeMap::new(),
+                waits: BTreeMap::new(),
+                n_running: 0,
+                cpu_busy: 0,
+                cur: start_ns,
+            },
+        }
+    }
+
+    /// First pass: collect packet engines and wait wakers.
+    fn prepass(&mut self, ev: &TraceEvent) {
         match *ev {
             TraceEvent::GpuStart {
                 gpu,
@@ -217,16 +277,17 @@ pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
                 packet,
                 ..
             } => {
-                engines.insert((gpu as u32, packet), engine);
+                self.engines.insert((gpu as u32, packet), engine);
             }
             TraceEvent::WaitEnd {
                 key,
                 reason,
                 waker: Some(w),
                 ..
-            } if filter.contains(key.pid) => {
-                *wakers
-                    .entry(blocker_of(reason, &engines))
+            } if self.filter.contains(key.pid) => {
+                *self
+                    .wakers
+                    .entry(blocker_of(reason, &self.engines))
                     .or_default()
                     .entry(w)
                     .or_insert(0) += 1;
@@ -235,19 +296,10 @@ pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
         }
     }
 
-    let mut rp = Replay {
-        n_logical: n_logical as u64,
-        threads: BTreeMap::new(),
-        breakdown: BTreeMap::new(),
-        blocked: BTreeMap::new(),
-        lost: BTreeMap::new(),
-        waits: BTreeMap::new(),
-        n_running: 0,
-        cpu_busy: 0,
-        cur: trace.start().as_nanos(),
-    };
-
-    for ev in trace.events() {
+    /// Second pass: replay the wait-state machine and charge intervals.
+    fn replay(&mut self, ev: &TraceEvent) {
+        let rp = &mut self.rp;
+        let filter = self.filter;
         let t = ev.at().as_nanos();
         match *ev {
             TraceEvent::ThreadStart { key, .. } if filter.contains(key.pid) => {
@@ -263,7 +315,7 @@ pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
                 let old = old.filter(|k| filter.contains(k.pid));
                 let new = new.filter(|k| filter.contains(k.pid));
                 if old.is_none() && new.is_none() {
-                    continue;
+                    return;
                 }
                 rp.advance(t);
                 if let Some(key) = old {
@@ -280,7 +332,7 @@ pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
                 let st = if reason.is_runnable() {
                     St::Ready
                 } else {
-                    let b = blocker_of(reason, &engines);
+                    let b = blocker_of(reason, &self.engines);
                     *rp.waits.entry(b).or_insert(0) += 1;
                     St::Blocked(b)
                 };
@@ -293,39 +345,42 @@ pub fn blame(trace: &EtlTrace, filter: &PidSet) -> BlameReport {
             _ => {}
         }
     }
-    let end = trace.end().as_nanos();
-    rp.advance(end);
-    let keys: Vec<ThreadKey> = rp.threads.keys().copied().collect();
-    for key in keys {
-        rp.transition(key, None, end);
-    }
 
-    let mut ranking: Vec<BlockerStat> = rp
-        .lost
-        .keys()
-        .chain(rp.waits.keys())
-        .copied()
-        .collect::<std::collections::BTreeSet<_>>()
-        .into_iter()
-        .map(|b| BlockerStat {
-            blocker: b,
-            lost_core_ns: rp.lost.get(&b).copied().unwrap_or(0),
-            wait_count: rp.waits.get(&b).copied().unwrap_or(0),
-            top_waker: top_waker(wakers.get(&b)),
-        })
-        .collect();
-    ranking.sort_by(|a, c| {
-        c.lost_core_ns
-            .cmp(&a.lost_core_ns)
-            .then(a.blocker.cmp(&c.blocker))
-    });
+    fn finish(mut self, end_ns: u64, window_ns: u64) -> BlameReport {
+        self.rp.advance(end_ns);
+        let keys: Vec<ThreadKey> = self.rp.threads.keys().copied().collect();
+        for key in keys {
+            self.rp.transition(key, None, end_ns);
+        }
 
-    BlameReport {
-        per_thread: rp.breakdown.into_iter().collect(),
-        ranking,
-        n_logical,
-        window_ns: trace.window().as_nanos(),
-        cpu_busy_ns: rp.cpu_busy,
+        let mut ranking: Vec<BlockerStat> = self
+            .rp
+            .lost
+            .keys()
+            .chain(self.rp.waits.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|b| BlockerStat {
+                blocker: b,
+                lost_core_ns: self.rp.lost.get(&b).copied().unwrap_or(0),
+                wait_count: self.rp.waits.get(&b).copied().unwrap_or(0),
+                top_waker: top_waker(self.wakers.get(&b)),
+            })
+            .collect();
+        ranking.sort_by(|a, c| {
+            c.lost_core_ns
+                .cmp(&a.lost_core_ns)
+                .then(a.blocker.cmp(&c.blocker))
+        });
+
+        BlameReport {
+            per_thread: self.rp.breakdown.into_iter().collect(),
+            ranking,
+            n_logical: self.n_logical,
+            window_ns,
+            cpu_busy_ns: self.rp.cpu_busy,
+        }
     }
 }
 

@@ -179,14 +179,62 @@ impl Graph {
 pub fn critical_path(trace: &EtlTrace, filter: &PidSet) -> CriticalPath {
     let mut sp = simobs::span::span("analyzer", "critical");
     sp.add_events(trace.events().len() as u64);
-    let mut graph = Graph {
-        nodes: Vec::new(),
-        n_edges: 0,
-    };
-    let mut threads: BTreeMap<ThreadKey, ThreadBuild> = BTreeMap::new();
-    let mut packets: BTreeMap<(usize, u64), usize> = BTreeMap::new();
-
+    let mut fold = CriticalFold::new(filter);
     for ev in trace.events() {
+        fold.push(ev);
+    }
+    let measured_tlp = analysis::concurrency(trace, filter).tlp();
+    fold.finish(trace.end().as_nanos(), measured_tlp)
+}
+
+/// Same graph construction, streamed over a blocked v3 trace without
+/// materializing the event vector.
+///
+/// The graph fold is shared verbatim with [`critical_path`]; the measured
+/// TLP comes from [`analysis::concurrency_sharded`], whose merge is proven
+/// bit-identical to the serial fold — so the whole report matches byte for
+/// byte at any shard count.
+pub fn critical_path_sharded(
+    trace: &crate::shard::ShardedTrace,
+    filter: &PidSet,
+    runner: &dyn crate::shard::ShardRunner,
+    shards: usize,
+) -> std::io::Result<CriticalPath> {
+    let mut sp = simobs::span::span("analyzer", "critical");
+    sp.add_events(trace.count());
+    let mut fold = CriticalFold::new(filter);
+    trace.fold_events(runner, shards, |ev| fold.push(ev))?;
+    let measured_tlp = analysis::concurrency_sharded(trace, filter, runner, shards)?.tlp();
+    Ok(fold.finish(trace.end().as_nanos(), measured_tlp))
+}
+
+/// The forward graph scan as an incremental fold, shared verbatim by the
+/// materialized and sharded entry points.
+struct CriticalFold<'a> {
+    filter: &'a PidSet,
+    graph: Graph,
+    threads: BTreeMap<ThreadKey, ThreadBuild>,
+    packets: BTreeMap<(usize, u64), usize>,
+}
+
+impl<'a> CriticalFold<'a> {
+    fn new(filter: &'a PidSet) -> Self {
+        CriticalFold {
+            filter,
+            graph: Graph {
+                nodes: Vec::new(),
+                n_edges: 0,
+            },
+            threads: BTreeMap::new(),
+            packets: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, ev: &TraceEvent) {
+        let filter = self.filter;
+        let graph = &mut self.graph;
+        let threads = &mut self.threads;
+        let packets = &mut self.packets;
         match *ev {
             TraceEvent::ThreadStart { key, .. } if filter.contains(key.pid) => {
                 threads.entry(key).or_default();
@@ -267,62 +315,65 @@ pub fn critical_path(trace: &EtlTrace, filter: &PidSet) -> CriticalPath {
             _ => {}
         }
     }
-    // Threads still alive at the window end: flush their final segments.
-    let end_ns = trace.end().as_nanos();
-    let keys: Vec<ThreadKey> = threads.keys().copied().collect();
-    for key in keys {
-        let mut st = threads.remove(&key).expect("live thread");
-        if let Some(since) = st.running_since.take() {
-            st.acc_ns += end_ns.saturating_sub(since);
+
+    fn finish(mut self, end_ns: u64, measured_tlp: f64) -> CriticalPath {
+        let graph = &mut self.graph;
+        // Threads still alive at the window end: flush their final segments.
+        let keys: Vec<ThreadKey> = self.threads.keys().copied().collect();
+        for key in keys {
+            // lint:allow(analyzer-panic): key was just read from the map.
+            let mut st = self.threads.remove(&key).expect("live thread");
+            if let Some(since) = st.running_since.take() {
+                st.acc_ns += end_ns.saturating_sub(since);
+            }
+            graph.close_segment(&mut st, key, end_ns);
         }
-        graph.close_segment(&mut st, key, end_ns);
-    }
 
-    // Every run interval lands in exactly one segment, so total app CPU
-    // time is the sum of node work.
-    let cpu_busy_ns: u64 = graph.nodes.iter().map(|n| n.work_ns).sum();
-    let critical_ns = graph.nodes.iter().map(|n| n.dist_ns).max().unwrap_or(0);
-    let measured_tlp = analysis::concurrency(trace, filter).tlp();
-    // Chain segments are time-disjoint and each keeps ≥1 CPU busy, so
-    // critical_ns ≤ non-idle time and the ratio can only dip below the
-    // measured TLP through float rounding — clamp it.
-    let tlp_upper_bound = if critical_ns == 0 {
-        measured_tlp
-    } else {
-        (cpu_busy_ns as f64 / critical_ns as f64).max(measured_tlp)
-    };
+        // Every run interval lands in exactly one segment, so total app CPU
+        // time is the sum of node work.
+        let cpu_busy_ns: u64 = graph.nodes.iter().map(|n| n.work_ns).sum();
+        let critical_ns = graph.nodes.iter().map(|n| n.dist_ns).max().unwrap_or(0);
+        // Chain segments are time-disjoint and each keeps ≥1 CPU busy, so
+        // critical_ns ≤ non-idle time and the ratio can only dip below the
+        // measured TLP through float rounding — clamp it.
+        let tlp_upper_bound = if critical_ns == 0 {
+            measured_tlp
+        } else {
+            (cpu_busy_ns as f64 / critical_ns as f64).max(measured_tlp)
+        };
 
-    // Walk the longest chain back and tally per-thread contributions.
-    let mut per_thread: BTreeMap<ThreadKey, u64> = BTreeMap::new();
-    let mut at = graph
-        .nodes
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.dist_ns == critical_ns)
-        .map(|(i, _)| i)
-        .next_back();
-    while let Some(i) = at {
-        let n = &graph.nodes[i];
-        if let Some(key) = n.key {
-            *per_thread.entry(key).or_insert(0) += n.work_ns;
+        // Walk the longest chain back and tally per-thread contributions.
+        let mut per_thread: BTreeMap<ThreadKey, u64> = BTreeMap::new();
+        let mut at = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.dist_ns == critical_ns)
+            .map(|(i, _)| i)
+            .next_back();
+        while let Some(i) = at {
+            let n = &graph.nodes[i];
+            if let Some(key) = n.key {
+                *per_thread.entry(key).or_insert(0) += n.work_ns;
+            }
+            at = n.pred;
         }
-        at = n.pred;
-    }
-    let mut path_threads: Vec<(ThreadKey, SimDuration)> = per_thread
-        .into_iter()
-        .filter(|&(_, ns)| ns > 0)
-        .map(|(k, ns)| (k, SimDuration::from_nanos(ns)))
-        .collect();
-    path_threads.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut path_threads: Vec<(ThreadKey, SimDuration)> = per_thread
+            .into_iter()
+            .filter(|&(_, ns)| ns > 0)
+            .map(|(k, ns)| (k, SimDuration::from_nanos(ns)))
+            .collect();
+        path_threads.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    CriticalPath {
-        n_nodes: graph.nodes.len(),
-        n_edges: graph.n_edges,
-        critical_len: SimDuration::from_nanos(critical_ns),
-        cpu_busy: SimDuration::from_nanos(cpu_busy_ns),
-        measured_tlp,
-        tlp_upper_bound,
-        path_threads,
+        CriticalPath {
+            n_nodes: graph.nodes.len(),
+            n_edges: graph.n_edges,
+            critical_len: SimDuration::from_nanos(critical_ns),
+            cpu_busy: SimDuration::from_nanos(cpu_busy_ns),
+            measured_tlp,
+            tlp_upper_bound,
+            path_threads,
+        }
     }
 }
 

@@ -190,7 +190,10 @@ pub fn trace_info<R: Read>(mut r: R) -> io::Result<TraceInfo> {
     let mut info = TraceInfo::default();
     if gen[0] == b'3' {
         let mut stream = crate::setl3::V3Stream::open(r)?;
-        info.container = "SETL3 r1 (compact)";
+        info.container = match stream.revision {
+            crate::setl3::REV1 => "SETL3 r1 (compact)",
+            _ => "SETL3 r2 (compact, blocked)",
+        };
         info.n_logical = stream.header.n_logical;
         info.start_ns = stream.header.start.as_nanos();
         info.end_ns = stream.header.end.as_nanos();
@@ -656,7 +659,7 @@ mod tests {
 
         let v3 = crate::setl3::encode(&trace);
         let info3 = trace_info(v3.as_slice()).unwrap();
-        assert_eq!(info3.container, "SETL3 r1 (compact)");
+        assert_eq!(info3.container, "SETL3 r2 (compact, blocked)");
         assert_eq!(info3.events, info.events);
         assert_eq!(info3.records_by_kind, info.records_by_kind);
         assert_eq!(info3.cswitch_per_cpu, info.cswitch_per_cpu);

@@ -161,25 +161,24 @@ impl Analyzer {
         self.clocks[idx][idx] += 1;
         idx
     }
-}
 
-/// Runs the happens-before pass over a sealed trace.
-pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
-    let mut sp = simobs::span::span("analyzer", "hb");
-    sp.add_events(trace.events().len() as u64);
-    let mut a = Analyzer {
-        opts: *opts,
-        threads: BTreeMap::new(),
-        clocks: Vec::new(),
-        packet_clocks: BTreeMap::new(),
-        packets: BTreeMap::new(),
-        parked: BTreeMap::new(),
-        findings: Vec::new(),
-        n_wake_edges: 0,
-        n_gpu_edges: 0,
-    };
+    fn new(opts: &HbOptions) -> Analyzer {
+        Analyzer {
+            opts: *opts,
+            threads: BTreeMap::new(),
+            clocks: Vec::new(),
+            packet_clocks: BTreeMap::new(),
+            packets: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            findings: Vec::new(),
+            n_wake_edges: 0,
+            n_gpu_edges: 0,
+        }
+    }
 
-    for ev in trace.events() {
+    /// Consumes one event in stream order.
+    fn push(&mut self, ev: &TraceEvent) {
+        let a = self;
         match ev {
             TraceEvent::ThreadStart { key, .. } => {
                 a.tick(*key);
@@ -340,59 +339,93 @@ pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
         }
     }
 
-    // End-of-trace deadlock: can anyone still make progress? A thread can
-    // if it is live and not blocked (running / ready / preempted), asleep
-    // (its timer fires), or waiting on a GPU packet the device still owes.
-    let mut capable = 0usize;
-    let mut stuck: Vec<(ThreadKey, u64, SimTime)> = Vec::new();
-    for (key, th) in &a.threads {
-        if th.exited {
-            continue;
-        }
-        match th.wait {
-            None => capable += 1,
-            Some((WaitReason::Sleep, _)) => capable += 1,
-            Some((reason, since)) => {
-                if let Some((gpu, packet)) = reason.gpu_packet() {
-                    let (pending, ended) = a
-                        .packets
-                        .get(&(gpu as u64, packet))
-                        .copied()
-                        .unwrap_or((false, false));
-                    if pending && !ended {
-                        capable += 1;
+    /// Runs the end-of-trace deadlock sweep and seals the report.
+    fn finish(mut self, end: SimTime) -> HbReport {
+        // End-of-trace deadlock: can anyone still make progress? A thread
+        // can if it is live and not blocked (running / ready / preempted),
+        // asleep (its timer fires), or waiting on a GPU packet the device
+        // still owes.
+        let mut capable = 0usize;
+        let mut stuck: Vec<(ThreadKey, u64, SimTime)> = Vec::new();
+        for (key, th) in &self.threads {
+            if th.exited {
+                continue;
+            }
+            match th.wait {
+                None => capable += 1,
+                Some((WaitReason::Sleep, _)) => capable += 1,
+                Some((reason, since)) => {
+                    if let Some((gpu, packet)) = reason.gpu_packet() {
+                        let (pending, ended) = self
+                            .packets
+                            .get(&(gpu as u64, packet))
+                            .copied()
+                            .unwrap_or((false, false));
+                        if pending && !ended {
+                            capable += 1;
+                        }
+                        // A wait on an ended or unknown packet is a
+                        // structural defect verify already reports
+                        // (V021/V022).
+                    } else if let Some(id) = reason.event_id() {
+                        stuck.push((*key, id, since));
                     }
-                    // A wait on an ended or unknown packet is a structural
-                    // defect verify already reports (V021/V022).
-                } else if let Some(id) = reason.event_id() {
-                    stuck.push((*key, id, since));
                 }
             }
         }
-    }
-    if capable == 0 {
-        let end = trace.end();
-        for (key, id, since) in stuck {
-            a.findings.push(Diagnostic {
-                code: DiagCode::Deadlock,
-                severity: Severity::Error,
-                at: end,
-                thread: Some(key),
-                message: format!(
-                    "blocked on event {id} since {}ns at end of trace and no live \
-                     thread can signal it",
-                    since.as_nanos()
-                ),
-            });
+        if capable == 0 {
+            for (key, id, since) in stuck {
+                self.findings.push(Diagnostic {
+                    code: DiagCode::Deadlock,
+                    severity: Severity::Error,
+                    at: end,
+                    thread: Some(key),
+                    message: format!(
+                        "blocked on event {id} since {}ns at end of trace and no live \
+                         thread can signal it",
+                        since.as_nanos()
+                    ),
+                });
+            }
+        }
+
+        HbReport {
+            findings: self.findings,
+            n_threads: self.threads.len(),
+            n_wake_edges: self.n_wake_edges,
+            n_gpu_edges: self.n_gpu_edges,
         }
     }
+}
 
-    HbReport {
-        findings: a.findings,
-        n_threads: a.threads.len(),
-        n_wake_edges: a.n_wake_edges,
-        n_gpu_edges: a.n_gpu_edges,
+/// Runs the happens-before pass over a sealed trace.
+pub fn analyze(trace: &EtlTrace, opts: &HbOptions) -> HbReport {
+    let mut sp = simobs::span::span("analyzer", "hb");
+    sp.add_events(trace.events().len() as u64);
+    let mut a = Analyzer::new(opts);
+    for ev in trace.events() {
+        a.push(ev);
     }
+    a.finish(trace.end())
+}
+
+/// Sharded twin of [`analyze`]: blocks decode in parallel on `runner`, the
+/// [`Analyzer`] folds them in trace order — bit-identical report at any
+/// shard count (see DESIGN.md §14).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn analyze_sharded(
+    trace: &crate::shard::ShardedTrace,
+    opts: &HbOptions,
+    runner: &dyn crate::shard::ShardRunner,
+    shards: usize,
+) -> std::io::Result<HbReport> {
+    let mut sp = simobs::span::span("analyzer", "hb");
+    sp.add_events(trace.count());
+    let mut a = Analyzer::new(opts);
+    trace.fold_events(runner, shards, |ev| a.push(ev))?;
+    Ok(a.finish(trace.end()))
 }
 
 #[cfg(test)]

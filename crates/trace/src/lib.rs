@@ -35,6 +35,10 @@
 //!   exact integer-nanosecond conservation.
 //! * [`diff`] — run-diff regression reports over two runs' Prometheus
 //!   registries and timeline summaries, with configurable thresholds.
+//! * [`shard`] — zero-copy sharded access to blocked v3 streams: per-block
+//!   cursors decode in place (no materialization), time-window seek over
+//!   the index clock snapshots, and byte-identical sharded twins of every
+//!   analyzer driven through the injected [`ShardRunner`].
 //!
 //! TLP here is **application-level**: analyzers take a [`PidSet`] filter and
 //! only count threads of those processes, exactly as the paper distinguishes
@@ -50,6 +54,7 @@ pub mod event;
 pub mod export;
 pub mod hb;
 pub mod setl3;
+pub mod shard;
 pub mod timeline;
 pub mod verify;
 
@@ -59,5 +64,6 @@ pub use critical::{critical_path, CriticalPath};
 pub use diff::{diff_metrics, parse_prometheus, DiffConfig, DiffReport};
 pub use event::{EtlTrace, PidSet, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
 pub use hb::{analyze, HbOptions, HbReport};
+pub use shard::{BlockCursor, SerialShards, ShardRunner, ShardedTrace};
 pub use timeline::{fold_trace, read_timeline, Timeline};
 pub use verify::{verify_trace, DiagCode, Diagnostic, Severity, VerifyReport};

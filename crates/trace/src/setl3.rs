@@ -22,11 +22,20 @@
 //!   FNV-1a — XOR-then-multiply-by-an-odd-prime is injective — so the
 //!   trailer alone catches every one-byte corruption; the record bytes
 //!   localize it.)
+//! * **blocked record area (revision 2)** — records are grouped into
+//!   fixed-size blocks ([`BLOCK_RECORDS`] each) and a trailing block index
+//!   records, per block: record count, byte length, a 64-bit FNV-1a block
+//!   hash, and the delta-decoder clock snapshot at the block boundary.
+//!   A reader holding the whole byte buffer ([`crate::shard::ShardedTrace`])
+//!   can therefore decode any block independently — no seek-from-start, no
+//!   event materialization — and verify it without touching the rest of
+//!   the file. Sequential readers are unaffected: the record encoding is
+//!   identical, blocks are contiguous, and the index parses forward.
 //!
 //! The stream starts with the 5-byte magic `SETL3`. [`crate::etl::read_etl`]
 //! sniffs it and dispatches here, so every reader in the workspace accepts
 //! both generations transparently; `tracetool pack`/`unpack` convert
-//! between them.
+//! between them. Revision 1 streams (no block index) remain readable.
 
 use crate::event::{EtlTrace, ThreadKey, TraceBuilder, TraceEvent, WaitReason};
 use simcore::SimTime;
@@ -35,17 +44,22 @@ use std::io::{self, Read, Write};
 /// The 5-byte stream magic.
 pub const MAGIC: &[u8; 5] = b"SETL3";
 /// Codec revision within the v3 family (bump for incompatible changes).
-pub const VERSION: u8 = 1;
+/// Revision 2 adds the trailing block index; revision 1 is still readable.
+pub const VERSION: u8 = 2;
+/// The first v3 revision: same record encoding, no block index.
+pub const REV1: u8 = 1;
+/// Records per block in a revision-2 stream (the last block may be short).
+pub const BLOCK_RECORDS: u64 = 4096;
 
 /// Upper bound on string-table entries and string length, to keep malformed
 /// input from asking for absurd allocations.
-const MAX_STRINGS: u64 = 1 << 22;
-const MAX_STRING_LEN: u64 = 1 << 20;
+pub(crate) const MAX_STRINGS: u64 = 1 << 22;
+pub(crate) const MAX_STRING_LEN: u64 = 1 << 20;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
     for &b in bytes {
         h ^= b as u64;
@@ -68,12 +82,6 @@ pub fn write_setl3<W: Write>(trace: &EtlTrace, mut w: W) -> io::Result<()> {
 pub fn encode(trace: &EtlTrace) -> Vec<u8> {
     let mut sp = simobs::span::span("codec", "encode_setl3");
     sp.add_events(trace.events().len() as u64);
-    let mut out = Vec::with_capacity(trace.events().len() * 10 + 64);
-    out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    put_uv(&mut out, trace.n_logical_cpus() as u64);
-    put_uv(&mut out, trace.start().as_nanos());
-    put_uv(&mut out, (trace.end() - trace.start()).as_nanos());
 
     // String table, first-appearance order (deterministic).
     let mut strings: Vec<&str> = Vec::new();
@@ -84,25 +92,235 @@ pub fn encode(trace: &EtlTrace) -> Vec<u8> {
             }
         }
     }
-    put_uv(&mut out, strings.len() as u64);
-    for s in &strings {
-        put_uv(&mut out, s.len() as u64);
-        out.extend_from_slice(s.as_bytes());
-    }
 
-    put_uv(&mut out, trace.events().len() as u64);
-    let mut clocks = Clocks::new(trace.n_logical_cpus(), trace.start());
-    let mut record = Vec::with_capacity(32);
+    let out = Vec::with_capacity(trace.events().len() * 10 + 64);
+    let mut w = V3Writer::new(
+        out,
+        trace.n_logical_cpus(),
+        trace.start(),
+        trace.end(),
+        &strings,
+        trace.events().len() as u64,
+    )
+    // lint:allow(analyzer-panic): writing into a Vec cannot fail
+    .expect("Vec write cannot fail");
     for ev in trace.events() {
-        record.clear();
-        encode_event(&mut record, ev, &strings, &mut clocks);
-        out.extend_from_slice(&record);
-        out.push(fnv1a(FNV_OFFSET, &record) as u8);
+        // lint:allow(analyzer-panic): writing into a Vec cannot fail
+        w.push(ev).expect("Vec write cannot fail");
     }
-    let file_hash = fnv1a(FNV_OFFSET, &out);
-    out.extend_from_slice(&file_hash.to_le_bytes());
+    // lint:allow(analyzer-panic): the declared count matches the loop above
+    let out = w.finish().expect("Vec write cannot fail");
     sp.add_bytes(out.len() as u64);
     out
+}
+
+/// Interned-string lookup table shared by the in-memory encoder and the
+/// streaming [`V3Writer`]: index by first-appearance order, O(log n) lookup.
+struct StringIds {
+    ordered: Vec<String>,
+    ids: std::collections::BTreeMap<String, u64>,
+}
+
+impl StringIds {
+    fn new(strings: &[&str]) -> StringIds {
+        StringIds {
+            ordered: strings.iter().map(|s| (*s).to_string()).collect(),
+            ids: strings
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ((*s).to_string(), i as u64))
+                .collect(),
+        }
+    }
+
+    /// Looks up `s` in the interned table (the caller interns every string
+    /// before encoding events).
+    fn index(&self, s: &str) -> u64 {
+        self.ids
+            .get(s)
+            .copied()
+            // lint:allow(analyzer-panic): the encoder interns every string before encoding events
+            .expect("encoder interns every event string")
+    }
+}
+
+/// Per-block bookkeeping the writer accumulates for the trailing index.
+struct BlockMetaOut {
+    records: u64,
+    bytes: u64,
+    hash: u64,
+    /// Delta-decoder clock state at the block boundary (before its first
+    /// record), as offsets from the window start.
+    global: u64,
+    per_cpu: Vec<u64>,
+}
+
+/// A streaming revision-2 encoder: declare the dimensions, string table and
+/// record count up front, push events one at a time, and `finish` to emit
+/// the block index and checksums. Nothing proportional to the trace is ever
+/// buffered — only the current block — so multi-million-event traces stream
+/// straight to disk.
+pub struct V3Writer<W: Write> {
+    w: W,
+    file_hash: u64,
+    strings: StringIds,
+    clocks: Clocks,
+    start: SimTime,
+    count: u64,
+    pushed: u64,
+    /// File hash state covering magic..record-area-start (the header), the
+    /// seed for the index `meta_hash`.
+    header_hash: u64,
+    /// Encoded records (with check bytes) of the block being filled.
+    block: Vec<u8>,
+    block_records: u64,
+    /// Clock snapshot taken when the current block opened.
+    block_clocks: Clocks,
+    metas: Vec<BlockMetaOut>,
+    record: Vec<u8>,
+}
+
+impl<W: Write> V3Writer<W> {
+    /// Starts a revision-2 stream: writes the magic, header and string
+    /// table. `strings` must contain every name/label the pushed events
+    /// will carry (first-appearance order is conventional but not
+    /// required); `count` must equal the number of `push` calls.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    pub fn new(
+        w: W,
+        n_logical: usize,
+        start: SimTime,
+        end: SimTime,
+        strings: &[&str],
+        count: u64,
+    ) -> io::Result<Self> {
+        let clocks = Clocks::new(n_logical, start);
+        let mut this = V3Writer {
+            w,
+            file_hash: FNV_OFFSET,
+            strings: StringIds::new(strings),
+            block_clocks: clocks.clone(),
+            clocks,
+            start,
+            count,
+            pushed: 0,
+            header_hash: 0,
+            block: Vec::new(),
+            block_records: 0,
+            metas: Vec::new(),
+            record: Vec::with_capacity(32),
+        };
+        let mut header = Vec::with_capacity(64);
+        header.extend_from_slice(MAGIC);
+        header.push(VERSION);
+        put_uv(&mut header, n_logical as u64);
+        put_uv(&mut header, start.as_nanos());
+        put_uv(&mut header, end.as_nanos().saturating_sub(start.as_nanos()));
+        put_uv(&mut header, this.strings.ordered.len() as u64);
+        for s in &this.strings.ordered {
+            put_uv(&mut header, s.len() as u64);
+            header.extend_from_slice(s.as_bytes());
+        }
+        put_uv(&mut header, count);
+        this.emit(&header)?;
+        this.header_hash = this.file_hash;
+        Ok(this)
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.w.write_all(bytes)?;
+        self.file_hash = fnv1a(self.file_hash, bytes);
+        Ok(())
+    }
+
+    /// Encodes one event. Events must arrive in trace (time) order, exactly
+    /// `count` of them.
+    ///
+    /// # Errors
+    /// `InvalidData` on a push past the declared count; I/O errors from the
+    /// writer when a full block flushes.
+    pub fn push(&mut self, ev: &TraceEvent) -> io::Result<()> {
+        if self.pushed == self.count {
+            return Err(bad("more events pushed than declared"));
+        }
+        if self.block_records == 0 {
+            self.block_clocks = self.clocks.clone();
+        }
+        self.record.clear();
+        let mut record = std::mem::take(&mut self.record);
+        encode_event(&mut record, ev, &self.strings, &mut self.clocks);
+        self.block.extend_from_slice(&record);
+        self.block.push(fnv1a(FNV_OFFSET, &record) as u8);
+        self.record = record;
+        self.block_records += 1;
+        self.pushed += 1;
+        if self.block_records == BLOCK_RECORDS {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.block_records == 0 {
+            return Ok(());
+        }
+        let start = self.start.as_nanos();
+        self.metas.push(BlockMetaOut {
+            records: self.block_records,
+            bytes: self.block.len() as u64,
+            hash: fnv1a(FNV_OFFSET, &self.block),
+            global: self.block_clocks.global - start,
+            per_cpu: self
+                .block_clocks
+                .per_cpu
+                .iter()
+                .map(|c| c - start)
+                .collect(),
+        });
+        let block = std::mem::take(&mut self.block);
+        self.emit(&block)?;
+        self.block = block;
+        self.block.clear();
+        self.block_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the last block and writes the block index, `meta_hash`,
+    /// index length and file trailer.
+    ///
+    /// # Errors
+    /// `InvalidData` if fewer events than declared were pushed; I/O errors
+    /// from the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.pushed != self.count {
+            return Err(bad("fewer events pushed than declared"));
+        }
+        self.flush_block()?;
+        let mut index = Vec::with_capacity(self.metas.len() * 24 + 16);
+        put_uv(&mut index, self.metas.len() as u64);
+        for m in &self.metas {
+            put_uv(&mut index, m.records);
+            put_uv(&mut index, m.bytes);
+            index.extend_from_slice(&m.hash.to_le_bytes());
+            put_uv(&mut index, m.global);
+            for c in &m.per_cpu {
+                put_uv(&mut index, *c);
+            }
+        }
+        // meta_hash covers the header bytes plus the index bytes so far —
+        // everything a sharded reader needs to trust without a full-file
+        // sequential hash.
+        let meta_hash = fnv1a(self.header_hash, &index);
+        index.extend_from_slice(&meta_hash.to_le_bytes());
+        let index_len = index.len() as u64;
+        self.emit(&index)?;
+        self.emit(&index_len.to_le_bytes())?;
+        let trailer = self.file_hash;
+        self.w.write_all(&trailer.to_le_bytes())?;
+        Ok(self.w)
+    }
 }
 
 /// Decodes a SETL v3 stream, including the 5-byte magic.
@@ -162,6 +380,8 @@ pub(crate) struct V3Header {
 pub(crate) struct V3Stream<R: Read> {
     r: HashingReader<R>,
     pub header: V3Header,
+    /// Stream revision: [`REV1`] (flat record area) or [`VERSION`] (blocked).
+    pub revision: u8,
     strings: Vec<String>,
     clocks: Clocks,
     yielded: u64,
@@ -176,7 +396,9 @@ impl<R: Read> V3Stream<R> {
         let mut r = HashingReader::new(r, fnv1a(FNV_OFFSET, MAGIC));
         let mut version = [0u8; 1];
         r.read_exact(&mut version)?;
-        if version[0] != VERSION {
+        // lint:allow(analyzer-panic): `version` is a fixed 1-byte array just
+        // filled by read_exact, so index 0 always exists.
+        if version[0] != VERSION && version[0] != REV1 {
             return Err(bad("unsupported SETL3 revision"));
         }
         let n_logical = get_uv(&mut r)? as usize;
@@ -216,6 +438,8 @@ impl<R: Read> V3Stream<R> {
                 string_bytes,
                 count,
             },
+            // lint:allow(analyzer-panic): same fixed 1-byte array as above.
+            revision: version[0],
             strings,
             clocks,
             yielded: 0,
@@ -224,12 +448,42 @@ impl<R: Read> V3Stream<R> {
         })
     }
 
+    /// Consumes the revision-2 trailing block index so the file trailer can
+    /// verify. A sequential reader needs none of its contents — blocks are
+    /// contiguous — so the entries are parsed for structure only; every
+    /// byte still flows through the hashing reader.
+    fn skip_block_index(&mut self) -> io::Result<()> {
+        let n_blocks = get_uv(&mut self.r)?;
+        if n_blocks > self.header.count {
+            return Err(bad("block index larger than record count"));
+        }
+        let snapshot_clocks = self.header.n_logical.max(1) as u64;
+        for _ in 0..n_blocks {
+            let _records = get_uv(&mut self.r)?;
+            let _bytes = get_uv(&mut self.r)?;
+            let mut hash = [0u8; 8];
+            self.r.read_exact(&mut hash)?;
+            for _ in 0..=snapshot_clocks {
+                // global clock offset + one offset per CPU
+                let _clock = get_uv(&mut self.r)?;
+            }
+        }
+        let mut meta = [0u8; 8];
+        self.r.read_exact(&mut meta)?;
+        let mut index_len = [0u8; 8];
+        self.r.read_exact(&mut index_len)?;
+        Ok(())
+    }
+
     /// The next event, or `None` once every record has been yielded and the
     /// file trailer has verified.
     pub fn next_event(&mut self) -> io::Result<Option<TraceEvent>> {
         if self.yielded == self.header.count {
             if !self.finished {
                 self.finished = true;
+                if self.revision >= 2 {
+                    self.skip_block_index()?;
+                }
                 let file_hash = self.r.hash();
                 let mut trailer = [0u8; 8];
                 self.r.read_exact(&mut trailer)?;
@@ -274,14 +528,17 @@ fn event_string(ev: &TraceEvent) -> Option<&str> {
 
 /// Timestamp reference clocks: one per CPU for `CSwitch`, one global for
 /// everything else. Encoder and decoder advance them identically, so the
-/// deltas round-trip bit-exactly.
-struct Clocks {
-    per_cpu: Vec<u64>,
-    global: u64,
+/// deltas round-trip bit-exactly. A revision-2 block-index snapshot is
+/// exactly this struct at a block boundary, which is what lets
+/// [`crate::shard::ShardedTrace`] decode blocks independently.
+#[derive(Clone, Debug)]
+pub(crate) struct Clocks {
+    pub(crate) per_cpu: Vec<u64>,
+    pub(crate) global: u64,
 }
 
 impl Clocks {
-    fn new(n_logical: usize, start: SimTime) -> Clocks {
+    pub(crate) fn new(n_logical: usize, start: SimTime) -> Clocks {
         Clocks {
             per_cpu: vec![start.as_nanos(); n_logical.max(1)],
             global: start.as_nanos(),
@@ -314,28 +571,19 @@ fn decode_at<R: Read>(r: &mut R, cpu: Option<usize>, clocks: &mut Clocks) -> io:
     Ok(SimTime::from_nanos(at))
 }
 
-/// Looks up `s` in the interned table (the encoder always inserts first).
-fn string_index(strings: &[&str], s: &str) -> u64 {
-    strings
-        .iter()
-        .position(|t| *t == s)
-        // lint:allow(analyzer-panic): the encoder interns every string before encoding events
-        .expect("encoder interns every event string") as u64
-}
-
-fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, strings: &[&str], clocks: &mut Clocks) {
+fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, strings: &StringIds, clocks: &mut Clocks) {
     match ev {
         TraceEvent::ProcessStart { at, pid, name } => {
             out.push(0);
             encode_at(out, *at, None, clocks);
             put_uv(out, *pid);
-            put_uv(out, string_index(strings, name));
+            put_uv(out, strings.index(name));
         }
         TraceEvent::ThreadStart { at, key, name } => {
             out.push(1);
             encode_at(out, *at, None, clocks);
             put_key(out, *key);
-            put_uv(out, string_index(strings, name));
+            put_uv(out, strings.index(name));
         }
         TraceEvent::ThreadEnd { at, key } => {
             out.push(2);
@@ -397,7 +645,7 @@ fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, strings: &[&str], clocks: &m
         TraceEvent::Marker { at, label } => {
             out.push(7);
             encode_at(out, *at, None, clocks);
-            put_uv(out, string_index(strings, label));
+            put_uv(out, strings.index(label));
         }
         TraceEvent::WaitBegin { at, key, reason } => {
             out.push(8);
@@ -432,7 +680,7 @@ fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, strings: &[&str], clocks: &m
     }
 }
 
-fn decode_event<R: Read>(
+pub(crate) fn decode_event<R: Read>(
     r: &mut R,
     strings: &[String],
     clocks: &mut Clocks,
@@ -640,7 +888,7 @@ fn put_uv(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// LEB128 unsigned varint decode (at most 10 bytes).
-fn get_uv<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn get_uv<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -712,7 +960,7 @@ impl<R: Read> Read for HashingReader<R> {
     }
 }
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
@@ -864,6 +1112,117 @@ mod tests {
         let mut buf = encode(&trace);
         buf[5] = 99; // revision byte after the 5-byte magic
         assert!(read_setl3(buf.as_slice()).is_err());
+    }
+
+    /// Encodes `trace` in the revision-1 flat layout (no block index), as
+    /// written by older builds: header, records with check bytes, trailer.
+    fn encode_rev1(trace: &EtlTrace) -> Vec<u8> {
+        let mut strings: Vec<&str> = Vec::new();
+        for ev in trace.events() {
+            if let Some(s) = event_string(ev) {
+                if !strings.contains(&s) {
+                    strings.push(s);
+                }
+            }
+        }
+        let ids = StringIds::new(&strings);
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(REV1);
+        put_uv(&mut out, trace.n_logical_cpus() as u64);
+        put_uv(&mut out, trace.start().as_nanos());
+        put_uv(
+            &mut out,
+            trace
+                .end()
+                .as_nanos()
+                .saturating_sub(trace.start().as_nanos()),
+        );
+        put_uv(&mut out, strings.len() as u64);
+        for s in &strings {
+            put_uv(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        put_uv(&mut out, trace.events().len() as u64);
+        let mut clocks = Clocks::new(trace.n_logical_cpus(), trace.start());
+        let mut record = Vec::new();
+        for ev in trace.events() {
+            record.clear();
+            encode_event(&mut record, ev, &ids, &mut clocks);
+            out.extend_from_slice(&record);
+            out.push(fnv1a(FNV_OFFSET, &record) as u8);
+        }
+        let trailer = fnv1a(FNV_OFFSET, &out);
+        out.extend_from_slice(&trailer.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn revision_1_streams_remain_readable() {
+        let trace = demo_trace();
+        let rev1 = encode_rev1(&trace);
+        let back = read_setl3(rev1.as_slice()).unwrap();
+        assert_eq!(trace, back);
+        // And rev1 corruption is still caught end to end.
+        for i in 0..rev1.len() {
+            let mut mutated = rev1.clone();
+            mutated[i] ^= 0x40;
+            assert!(
+                read_setl3(mutated.as_slice()).is_err(),
+                "rev1 flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_rejects_count_mismatch() {
+        let trace = demo_trace();
+        let events = trace.events();
+        // Fewer pushes than declared: finish() must fail.
+        let strings = vec!["app.exe", "main", "phase: export 🚀"];
+        let w = V3Writer::new(
+            Vec::new(),
+            trace.n_logical_cpus(),
+            trace.start(),
+            trace.end(),
+            &strings,
+            events.len() as u64 + 1,
+        )
+        .unwrap();
+        assert!(w.finish().is_err(), "short stream must not finish");
+        // More pushes than declared: push() must fail.
+        let mut w = V3Writer::new(
+            Vec::new(),
+            trace.n_logical_cpus(),
+            trace.start(),
+            trace.end(),
+            &strings,
+            1,
+        )
+        .unwrap();
+        w.push(&events[0]).unwrap();
+        assert!(w.push(&events[1]).is_err(), "overlong stream must not push");
+    }
+
+    #[test]
+    fn multi_block_stream_roundtrips() {
+        // More than two full blocks plus a short tail.
+        let n = (BLOCK_RECORDS * 2 + 37) as usize;
+        let mut b = TraceBuilder::new(2);
+        let key = ThreadKey { pid: 7, tid: 70 };
+        for i in 0..n {
+            b.push(TraceEvent::CSwitch {
+                at: SimTime::from_nanos(i as u64 * 1000),
+                cpu: i % 2,
+                old: if i % 2 == 0 { None } else { Some(key) },
+                new: if i % 2 == 0 { Some(key) } else { None },
+                ready_since: None,
+            });
+        }
+        let trace = b.finish(SimTime::ZERO, SimTime::from_nanos(n as u64 * 1000));
+        let buf = encode(&trace);
+        let back = read_setl3(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
     }
 
     #[test]

@@ -451,6 +451,31 @@ pub fn fold_trace(trace: &EtlTrace, n_buckets: usize) -> Timeline {
     f.finish()
 }
 
+/// Sharded twin of [`fold_trace`]: blocks decode in parallel on `runner`,
+/// the [`Folder`] consumes them in trace order — bit-identical timeline at
+/// any shard count (see DESIGN.md §14).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn timeline_sharded(
+    trace: &crate::shard::ShardedTrace,
+    n_buckets: usize,
+    runner: &dyn crate::shard::ShardRunner,
+    shards: usize,
+) -> io::Result<Timeline> {
+    let mut sp = simobs::span::span("analyzer", "timeline");
+    sp.add_events(trace.count());
+    sp.add_bytes(trace.len_bytes() as u64);
+    let mut f = Folder::new(
+        trace.n_logical_cpus(),
+        trace.start().as_nanos(),
+        trace.end().as_nanos(),
+        n_buckets,
+    );
+    trace.fold_events(runner, shards, |ev| f.fold(ev))?;
+    Ok(f.finish())
+}
+
 /// Folds a trace file straight off the reader — both container
 /// generations, full checksum verification on v3, and no `Vec<TraceEvent>`
 /// is ever built.

@@ -764,6 +764,24 @@ pub fn verify_trace(trace: &EtlTrace) -> VerifyReport {
     v.finish(trace.end())
 }
 
+/// Sharded twin of [`verify_trace`]: blocks decode in parallel on `runner`,
+/// the [`Verifier`] folds them in trace order — bit-identical report at any
+/// shard count (see DESIGN.md §14).
+///
+/// # Errors
+/// Any block decode or checksum error.
+pub fn verify_sharded(
+    trace: &crate::shard::ShardedTrace,
+    runner: &dyn crate::shard::ShardRunner,
+    shards: usize,
+) -> std::io::Result<VerifyReport> {
+    let mut sp = simobs::span::span("analyzer", "verify");
+    sp.add_events(trace.count());
+    let mut v = Verifier::new(trace.n_logical_cpus());
+    trace.fold_events(runner, shards, |ev| v.push(ev))?;
+    Ok(v.finish(trace.end()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,17 +136,38 @@ fn lint(args: &[String]) {
 /// benches, which are fast and steady enough for a CI smoke signal. The
 /// simulation-sweep benches (`experiments`, `runner`, `simulator`) take
 /// minutes and are left to explicit `--bench` selection.
-const GATE_BENCHES: [&str; 5] = [
+const GATE_BENCHES: [&str; 6] = [
     "hash_kernels",
     "profiler",
     "verify",
     "self_trace",
     "timeline",
+    "shard",
 ];
 
 /// Maximum cost of the enabled span tracer over its disabled twin, as a
 /// percentage, for `self_trace/on/<x>` vs `self_trace/off/<x>` pairs.
 const SELF_TRACE_MAX_PCT: f64 = 5.0;
+
+/// Minimum speedups the sharded streaming analyzers must hold over their
+/// materialize-then-fold twins, pinned from same-run pairs of the `shard`
+/// bench (immune to baseline drift across machines). The streaming pair is
+/// a conservative floor that holds even on one core — the win there is
+/// skipping event materialization, not parallelism. The seek pair is the
+/// headline: decoding only the index-selected tail blocks beats decoding
+/// the whole stream by well over 5× (~35× measured single-core).
+const SHARD_MIN_SPEEDUP: [(&str, &str, f64); 2] = [
+    (
+        "shard/materialized/tlp_250k_events",
+        "shard/streaming4/tlp_250k_events",
+        1.3,
+    ),
+    (
+        "shard/materialized/window_tail_250k_events",
+        "shard/seek/window_tail_250k_events",
+        5.0,
+    ),
+];
 
 /// The committed baseline file, relative to the workspace root.
 const BASELINE_FILE: &str = "BENCH_repro.json";
@@ -261,6 +282,7 @@ fn bench_gate(args: &[String]) {
     });
     let (mut regressions, notes) = compare_baseline(&baseline, &current, threshold_pct);
     regressions.extend(compare_self_trace_pairs(&current, SELF_TRACE_MAX_PCT));
+    regressions.extend(compare_shard_pairs(&current, &SHARD_MIN_SPEEDUP));
     for note in &notes {
         eprintln!("bench-gate: note: {note}");
     }
@@ -438,6 +460,37 @@ fn compare_self_trace_pairs(current: &BTreeMap<String, u64>, max_pct: f64) -> Ve
     regressions
 }
 
+/// Holds each sharded analyzer to its pinned speedup over the materialized
+/// twin, from same-run pairs. A pair only fires when its materialized side
+/// was measured this run, so `--bench` selections that skip the shard bench
+/// stay quiet; a measured materialized side with a missing twin is an error.
+fn compare_shard_pairs(
+    current: &BTreeMap<String, u64>,
+    pairs: &[(&str, &str, f64)],
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for &(materialized, sharded, min_speedup) in pairs {
+        let Some(&mat) = current.get(materialized) else {
+            continue;
+        };
+        match current.get(sharded) {
+            Some(&shard) if shard > 0 => {
+                let speedup = mat as f64 / shard as f64;
+                if speedup < min_speedup {
+                    regressions.push(format!(
+                        "sharded speedup on `{sharded}`: {shard} ns/iter vs {mat} materialized \
+                         ({speedup:.2}x, pinned minimum {min_speedup}x)"
+                    ));
+                }
+            }
+            _ => regressions.push(format!(
+                "`{materialized}` was measured without its `{sharded}` twin; cannot pin speedup"
+            )),
+        }
+    }
+    regressions
+}
+
 /// The workspace root, resolved from this crate's manifest directory
 /// (`crates/xtask` → two levels up).
 fn workspace_root() -> PathBuf {
@@ -521,5 +574,38 @@ not a bench line\n";
         assert_eq!(regressions.len(), 2, "{regressions:?}");
         assert!(regressions.iter().any(|r| r.contains("`slow`")));
         assert!(regressions.iter().any(|r| r.contains("orphan")));
+    }
+
+    #[test]
+    fn shard_pairs_pin_same_run_speedups() {
+        let pairs: [(&str, &str, f64); 3] = [
+            ("shard/materialized/a", "shard/streaming4/a", 1.3),
+            ("shard/materialized/b", "shard/seek/b", 5.0),
+            (
+                "shard/materialized/unmeasured",
+                "shard/seek/unmeasured",
+                5.0,
+            ),
+        ];
+        let current: BTreeMap<String, u64> = [
+            ("shard/materialized/a", 2000u64), // 2.0x over its twin: passes
+            ("shard/streaming4/a", 1000),
+            ("shard/materialized/b", 4000), // 4.0x, pinned at 5.0x: fails
+            ("shard/seek/b", 1000),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let regressions = compare_shard_pairs(&current, &pairs);
+        // b misses its pin; the unmeasured pair stays quiet (selected-bench
+        // runs that skip the shard bench must not trip it).
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("`shard/seek/b`"), "{regressions:?}");
+
+        let mut orphan = current.clone();
+        orphan.remove("shard/seek/b");
+        let regressions = compare_shard_pairs(&orphan, &pairs);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("cannot pin"), "{regressions:?}");
     }
 }
